@@ -1,0 +1,70 @@
+package dialite
+
+import (
+	"repro/internal/analyze"
+)
+
+// Analysis helpers (stage 3), re-exported from the analytics engine.
+
+// Agg enumerates group-by aggregate functions.
+type Agg = analyze.Agg
+
+// The supported aggregates.
+const (
+	AggCount = analyze.Count
+	AggSum   = analyze.Sum
+	AggAvg   = analyze.Avg
+	AggMin   = analyze.Min
+	AggMax   = analyze.Max
+)
+
+// ColumnStats summarizes one column numerically.
+type ColumnStats = analyze.Stats
+
+// Extreme is one end of Extremes.
+type Extreme = analyze.Extreme
+
+// Pearson computes the Pearson correlation between two columns over
+// pairwise-complete, numerically-coercible rows.
+func Pearson(t *Table, colA, colB int) (r float64, n int, err error) {
+	return analyze.Pearson(t, colA, colB)
+}
+
+// GroupBy groups rows by keyCol and aggregates valCol.
+func GroupBy(t *Table, keyCol, valCol int, agg Agg) (*Table, error) {
+	return analyze.GroupBy(t, keyCol, valCol, agg)
+}
+
+// Extremes finds the labels with the minimum and maximum value — "Boston
+// is the city with the lowest vaccination rate and Toronto has the
+// highest" (Example 3).
+func Extremes(t *Table, labelCol, valCol int) (min, max Extreme, err error) {
+	return analyze.ExtremesBy(t, labelCol, valCol)
+}
+
+// Stats computes numeric summary statistics for one column.
+func Stats(t *Table, col int) (ColumnStats, error) {
+	return analyze.ColumnStats(t, col)
+}
+
+// Profile summarizes every column of a table (non-null, numeric and
+// distinct counts, null fraction) — the per-stage validation view the
+// demo shows users.
+func Profile(t *Table) *Table { return analyze.Profile(t) }
+
+// Coerce interprets a cell numerically, understanding open-data spellings
+// like "63%", "1.4M" and "1,234".
+func Coerce(v Value) (float64, bool) { return analyze.Coerce(v) }
+
+// CorrelationPair is one scored column pair from TopCorrelations.
+type CorrelationPair = analyze.CorrelationPair
+
+// TopCorrelations ranks all numeric column pairs of an integrated table by
+// correlation strength — the automated version of Example 3's exploration.
+func TopCorrelations(t *Table, k int) ([]CorrelationPair, error) {
+	return analyze.TopCorrelations(t, k)
+}
+
+// CorrelationMatrix renders pairwise Pearson correlations of the numeric
+// columns as a table.
+func CorrelationMatrix(t *Table) (*Table, error) { return analyze.CorrelationMatrix(t) }

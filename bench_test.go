@@ -1,0 +1,462 @@
+// bench_test.go exposes one testing.B benchmark per reproduced artifact of
+// the paper (F-rows: Figures 1-8 and Example 3) and per scaling experiment
+// (X-rows), matching the per-experiment index in DESIGN.md. Run:
+//
+//	go test -bench=. -benchmem .
+package dialite_test
+
+import (
+	"fmt"
+	"testing"
+
+	dialite "repro"
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/er"
+	"repro/internal/experiments"
+	"repro/internal/fd"
+	"repro/internal/integrate"
+	"repro/internal/kb"
+	"repro/internal/lake"
+	"repro/internal/lshensemble"
+	"repro/internal/paperdata"
+	"repro/internal/schemamatch"
+	"repro/internal/synth"
+	"repro/internal/table"
+)
+
+// benchPipeline builds the demo pipeline once per benchmark.
+func benchPipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	p, err := core.New(paperdata.CovidLake(), core.Config{Knowledge: kb.Demo()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkFig1Pipeline measures the full discover+integrate pipeline of
+// Fig. 1 on the demo lake.
+func BenchmarkFig1Pipeline(b *testing.B) {
+	p := benchPipeline(b)
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(core.RunRequest{Query: q, QueryColumn: city}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Discovery measures the Example 1 discovery step (SANTOS +
+// LSH Ensemble over the prebuilt indexes).
+func BenchmarkFig2Discovery(b *testing.B) {
+	p := benchPipeline(b)
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Discover(core.DiscoverRequest{Query: q, QueryColumn: city}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Integration measures ALITE (holistic matching + FD) over
+// the Fig. 2 integration set.
+func BenchmarkFig3Integration(b *testing.B) {
+	p := benchPipeline(b)
+	set := []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Integrate(core.IntegrateRequest{Tables: set}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExample3Analytics measures the correlation analytics of
+// Example 3 over the Fig. 3 table.
+func BenchmarkExample3Analytics(b *testing.B) {
+	fig3 := paperdata.Fig3Expected()
+	vacc, _ := fig3.ColumnIndex(paperdata.ColVaccRate)
+	death, _ := fig3.ColumnIndex(paperdata.ColDeathRate)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dialite.Pearson(fig3, vacc, death); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4UserDiscovery measures a user-defined similarity discoverer
+// scanning the demo lake.
+func BenchmarkFig4UserDiscovery(b *testing.B) {
+	l, err := lake.New(paperdata.CovidLake(), lake.Options{Knowledge: kb.Demo()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := paperdata.T1()
+	sim := dialite.SimilarityFunc{
+		FuncName: "bench-sim",
+		Sim: func(query, cand *table.Table) float64 {
+			return float64(query.NumRows() * cand.NumRows())
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Discover(l, q, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5QueryGen measures prompt-based query-table generation.
+func BenchmarkFig5QueryGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dialite.GenerateQueryTable("COVID-19 cases", 5, 5, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6OuterJoinOp measures the user-registrable outer-join
+// operator over the Fig. 7 set.
+func BenchmarkFig6OuterJoinOp(b *testing.B) {
+	matcher := schemamatch.Holistic{Knowledge: kb.Demo()}
+	set := paperdata.VaccineSet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := integrate.Apply(integrate.FullOuterJoin{}, set, matcher, nil, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8aOuterJoin measures the Fig. 8(a) outer-join chain.
+func BenchmarkFig8aOuterJoin(b *testing.B) {
+	benchOperator(b, integrate.FullOuterJoin{})
+}
+
+// BenchmarkFig8bFD measures the Fig. 8(b) Full Disjunction.
+func BenchmarkFig8bFD(b *testing.B) {
+	benchOperator(b, integrate.ALITEFD{})
+}
+
+func benchOperator(b *testing.B, op integrate.Operator) {
+	b.Helper()
+	schema, sets, err := integrate.Prepare(paperdata.VaccineSet(), schemamatch.Holistic{Knowledge: kb.Demo()}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := op.Run(schema, sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8cEROuterJoin measures ER over the outer-join result.
+func BenchmarkFig8cEROuterJoin(b *testing.B) {
+	benchER(b, paperdata.Fig8aExpected())
+}
+
+// BenchmarkFig8dERFD measures ER over the FD result.
+func BenchmarkFig8dERFD(b *testing.B) {
+	benchER(b, paperdata.Fig8bExpected())
+}
+
+func benchER(b *testing.B, t *table.Table) {
+	b.Helper()
+	know := kb.Demo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := er.Resolve(t, er.Options{Knowledge: know}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX1Completeness compares FD and outer-join integration cost on
+// fragmented entities (the completeness experiment's workload).
+func BenchmarkX1Completeness(b *testing.B) {
+	fs := synth.Fragments(synth.FragmentOptions{Seed: 5, Entities: 40})
+	for _, op := range []integrate.Operator{integrate.ALITEFD{}, integrate.FullOuterJoin{}} {
+		b.Run(op.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.IntegrateFragments(fs, op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkX2FDScaling compares the FD algorithms across input sizes.
+func BenchmarkX2FDScaling(b *testing.B) {
+	small, err := experiments.FragmentInput(7, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	big, err := experiments.FragmentInput(150, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("Naive/n=%d", len(small.Tuples)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fd.Naive(small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("ALITE/n=%d", len(small.Tuples)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fd.ALITE(small)
+		}
+	})
+	b.Run(fmt.Sprintf("ALITE/n=%d", len(big.Tuples)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fd.ALITE(big)
+		}
+	})
+	b.Run(fmt.Sprintf("Parallel/n=%d", len(big.Tuples)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fd.Parallel(big, 0)
+		}
+	})
+}
+
+// BenchmarkX3JoinSearch compares LSH Ensemble queries against the exact
+// containment scan on a 640-domain lake.
+func BenchmarkX3JoinSearch(b *testing.B) {
+	sl := experiments.JoinSearchLake(17)
+	l, err := lake.New(sl.Tables, lake.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _ := l.Get("family0_part0")
+	domain, err := lake.QueryDomain(q, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("LSHEnsemble", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.Join().Query(domain, 0.5, 0)
+		}
+	})
+	b.Run("ExactScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lshensemble.ExactQuery(l.Domains(), domain, 0.5, 0)
+		}
+	})
+}
+
+// BenchmarkX4UnionSearch compares SANTOS and the syntactic baseline on the
+// disjoint-value semantic lake.
+func BenchmarkX4UnionSearch(b *testing.B) {
+	sl := experiments.UnionSearchLake(23)
+	l, err := lake.New(sl.Tables, lake.Options{Knowledge: kb.Demo()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _ := l.Get("sem_union0")
+	b.Run("SANTOS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Santos().Query(q, 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Syntactic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (discovery.SyntacticUnion{}).Discover(l, q, 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkX5SchemaMatch compares the holistic matcher against the header
+// baseline on a corrupted-header integration set.
+func BenchmarkX5SchemaMatch(b *testing.B) {
+	_, set := experiments.AlignmentLake(0.9, 31)
+	syn := kb.Synthesize(set, kb.SynthesizeOptions{})
+	b.Run("Holistic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (schemamatch.Holistic{Knowledge: syn}).Align(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HeaderBaseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (schemamatch.HeaderMatcher{}).Align(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkX6ERQuality measures ER over FD output versus outer-join output
+// on fragmented entities.
+func BenchmarkX6ERQuality(b *testing.B) {
+	fs := synth.Fragments(synth.FragmentOptions{Seed: 41, Entities: 25})
+	fdTab, err := experiments.IntegrateFragments(fs, integrate.ALITEFD{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ojTab, err := experiments.IntegrateFragments(fs, integrate.FullOuterJoin{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("OverFD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := er.Resolve(fdTab, er.Options{Knowledge: fs.Knowledge}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OverOuterJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := er.Resolve(ojTab, er.Options{Knowledge: fs.Knowledge}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ablationChainInput builds m entities fragmented across three relations
+// that share only a selective key — the regime the (position,value)
+// candidate index is built for (each key bucket holds a handful of
+// tuples, while exhaustive pairing scans everything).
+func ablationChainInput(m int) fd.Input {
+	schema := []string{"K", "A", "B", "C"}
+	in := fd.Input{Schema: schema}
+	pn := table.ProducedNull()
+	for i := 0; i < m; i++ {
+		key := table.StringValue(fmt.Sprintf("k%05d", i))
+		rows := [][]table.Value{
+			{key, table.IntValue(int64(i)), pn, pn},
+			{key, pn, table.IntValue(int64(i + 1000000)), pn},
+			{key, pn, pn, table.IntValue(int64(i + 2000000))},
+		}
+		for r, row := range rows {
+			in.Tuples = append(in.Tuples, fd.Tuple{
+				Values: row,
+				Prov:   []string{fmt.Sprintf("t%d_%d", r, i)},
+			})
+		}
+	}
+	return in
+}
+
+// BenchmarkAblationFDCandidateIndex isolates ALITE's (position,value)
+// candidate index — the design choice that makes the closure practical —
+// by comparing against the identical closure with exhaustive pair
+// scanning, on a selective-key workload.
+func BenchmarkAblationFDCandidateIndex(b *testing.B) {
+	in := ablationChainInput(400)
+	b.Run("Indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fd.ALITE(in)
+		}
+	})
+	b.Run("Unindexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fd.ALITEUnindexed(in)
+		}
+	})
+}
+
+// BenchmarkAblationKBEmbeddings isolates the knowledge-base semantic-type
+// features of the column embeddings (the fastText substitute): matching
+// the paper's tables with and without them.
+func BenchmarkAblationKBEmbeddings(b *testing.B) {
+	set := []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()}
+	know := kb.Demo()
+	b.Run("WithKB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (schemamatch.Holistic{Knowledge: know}).Align(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WithoutKB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (schemamatch.Holistic{}).Align(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAutoCut compares the fixed-threshold holistic matcher
+// against the silhouette auto-cut variant on the paper's tables.
+func BenchmarkAblationAutoCut(b *testing.B) {
+	set := []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()}
+	know := kb.Demo()
+	b.Run("FixedThreshold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (schemamatch.Holistic{Knowledge: know}).Align(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SilhouetteAutoCut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (schemamatch.AutoHolistic{Knowledge: know}).Align(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationERMatchers compares the rule matcher against the
+// learned logistic matcher on the Fig. 8(b) resolution.
+func BenchmarkAblationERMatchers(b *testing.B) {
+	know := kb.Demo()
+	model, err := er.TrainLogistic(er.TrainingPairsFromFigures(know), er.TrainOptions{Knowledge: know})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := paperdata.Fig8bExpected()
+	b.Run("Rule", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := er.Resolve(in, er.Options{Knowledge: know}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Learned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := er.ResolveLearned(in, model, know, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalFD compares adding one late-arriving table to a
+// maintained closure against recomputing the Full Disjunction from
+// scratch, on the selective-key workload.
+func BenchmarkIncrementalFD(b *testing.B) {
+	in := ablationChainInput(400)
+	split := len(in.Tuples) - 3*40 // the last 40 entities arrive late
+	b.Run("Recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fd.ALITE(in)
+		}
+	})
+	b.Run("IncrementalAdd", func(b *testing.B) {
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			inc := fd.NewIncremental(in.Schema, in.Tuples[:split])
+			b.StartTimer()
+			inc.Add(in.Tuples[split:])
+			_ = inc.Result()
+			b.StopTimer()
+		}
+	})
+}

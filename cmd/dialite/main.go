@@ -1,0 +1,330 @@
+// Command dialite is the command-line face of the DIALITE pipeline over a
+// CSV data lake.
+//
+// Usage:
+//
+//	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K]
+//	dialite integrate -lake DIR -tables a,b,c [-op alite-fd|outer-join|inner-join|union] [-prov]
+//	dialite pipeline  -lake DIR -query Q.csv -col N [-op OP] [-prov]
+//	dialite analyze   -table T.csv -corr colA,colB | -groupby key,val,agg | -profile
+//	dialite resolve   -table T.csv
+//	dialite generate  -prompt "covid cases" [-rows 5] [-cols 5] [-seed 1] [-out Q.csv]
+//
+// The demo knowledge base (world cities, vaccines, agencies and their
+// aliases) is always loaded; -synth additionally synthesizes a knowledge
+// base from the lake itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/core"
+	"repro/internal/er"
+	"repro/internal/kb"
+	"repro/internal/table"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "discover":
+		err = cmdDiscover(os.Args[2:])
+	case "integrate":
+		err = cmdIntegrate(os.Args[2:])
+	case "pipeline":
+		err = cmdPipeline(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "resolve":
+		err = cmdResolve(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dialite: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dialite:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `dialite — Discover, Align and Integrate Open Data Tables
+
+commands:
+  discover   find unionable/joinable tables for a query table
+  integrate  align and integrate a set of lake tables
+  pipeline   discover then integrate, end to end
+  analyze    aggregation, correlation and profiling over a table
+  resolve    entity resolution over a table
+  generate   fabricate a query table from a prompt (GPT-3 substitute)`)
+}
+
+// newPipeline builds the pipeline over -lake with the demo KB.
+func newPipeline(lakeDir string, synthKB bool) (*core.Pipeline, error) {
+	if lakeDir == "" {
+		return nil, fmt.Errorf("-lake directory is required")
+	}
+	return core.FromDir(lakeDir, core.Config{Knowledge: kb.Demo(), SynthesizeKB: synthKB})
+}
+
+func cmdDiscover(args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	lakeDir := fs.String("lake", "", "directory of lake CSVs")
+	queryPath := fs.String("query", "", "query table CSV")
+	col := fs.Int("col", 0, "intent/query column index")
+	methods := fs.String("methods", "", "comma-separated discovery methods (default santos-union,lsh-join)")
+	k := fs.Int("k", 10, "results per method")
+	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := newPipeline(*lakeDir, *synthKB)
+	if err != nil {
+		return err
+	}
+	q, err := table.ReadCSVFile(*queryPath)
+	if err != nil {
+		return err
+	}
+	var ms []string
+	if *methods != "" {
+		ms = strings.Split(*methods, ",")
+	}
+	resp, err := p.Discover(core.DiscoverRequest{Query: q, QueryColumn: *col, Methods: ms, K: *k})
+	if err != nil {
+		return err
+	}
+	for method, results := range resp.PerMethod {
+		fmt.Printf("-- %s --\n", method)
+		for i, r := range results {
+			fmt.Printf("%2d. %-30s score=%.3f\n", i+1, r.Table.Name, r.Score)
+		}
+	}
+	names := make([]string, len(resp.IntegrationSet))
+	for i, t := range resp.IntegrationSet {
+		names[i] = t.Name
+	}
+	fmt.Printf("integration set: %s\n", strings.Join(names, ", "))
+	return nil
+}
+
+func cmdIntegrate(args []string) error {
+	fs := flag.NewFlagSet("integrate", flag.ExitOnError)
+	lakeDir := fs.String("lake", "", "directory of lake CSVs")
+	tables := fs.String("tables", "", "comma-separated lake table names")
+	op := fs.String("op", "alite-fd", "integration operator")
+	prov := fs.Bool("prov", false, "include the TIDs provenance column")
+	out := fs.String("out", "", "write the integrated table to this CSV path")
+	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := newPipeline(*lakeDir, *synthKB)
+	if err != nil {
+		return err
+	}
+	if *tables == "" {
+		return fmt.Errorf("-tables is required")
+	}
+	var set []*table.Table
+	for _, name := range strings.Split(*tables, ",") {
+		t, ok := p.Lake().Get(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("table %q not in lake", name)
+		}
+		set = append(set, t)
+	}
+	resp, err := p.Integrate(core.IntegrateRequest{Tables: set, Operator: *op, WithProvenance: *prov})
+	if err != nil {
+		return err
+	}
+	fmt.Println(resp.Table)
+	if *out != "" {
+		return resp.Table.WriteCSVFile(*out)
+	}
+	return nil
+}
+
+func cmdPipeline(args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
+	lakeDir := fs.String("lake", "", "directory of lake CSVs")
+	queryPath := fs.String("query", "", "query table CSV")
+	col := fs.Int("col", 0, "intent/query column index")
+	op := fs.String("op", "alite-fd", "integration operator")
+	prov := fs.Bool("prov", false, "include the TIDs provenance column")
+	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
+	out := fs.String("out", "", "write the integrated table to this CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := newPipeline(*lakeDir, *synthKB)
+	if err != nil {
+		return err
+	}
+	q, err := table.ReadCSVFile(*queryPath)
+	if err != nil {
+		return err
+	}
+	res, err := p.Run(core.RunRequest{Query: q, QueryColumn: *col, Operator: *op, WithProvenance: *prov})
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(res.Discovery.IntegrationSet))
+	for i, t := range res.Discovery.IntegrationSet {
+		names[i] = t.Name
+	}
+	fmt.Printf("integration set: %s\n\n", strings.Join(names, ", "))
+	fmt.Println(res.Integration.Table)
+	if *out != "" {
+		return res.Integration.Table.WriteCSVFile(*out)
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	tablePath := fs.String("table", "", "table CSV to analyze")
+	corr := fs.String("corr", "", "colA,colB: Pearson correlation by header name")
+	groupby := fs.String("groupby", "", "key,val,agg: group-by aggregate (agg: count,sum,avg,min,max)")
+	profile := fs.Bool("profile", false, "print per-column profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := table.ReadCSVFile(*tablePath)
+	if err != nil {
+		return err
+	}
+	if *profile {
+		fmt.Println(analyze.Profile(t))
+	}
+	if *corr != "" {
+		parts := strings.SplitN(*corr, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-corr wants colA,colB")
+		}
+		a, err := columnByName(t, parts[0])
+		if err != nil {
+			return err
+		}
+		b, err := columnByName(t, parts[1])
+		if err != nil {
+			return err
+		}
+		r, n, err := analyze.Pearson(t, a, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pearson(%s, %s) = %.4f over %d pairs\n", parts[0], parts[1], r, n)
+	}
+	if *groupby != "" {
+		parts := strings.Split(*groupby, ",")
+		if len(parts) != 3 {
+			return fmt.Errorf("-groupby wants key,val,agg")
+		}
+		key, err := columnByName(t, parts[0])
+		if err != nil {
+			return err
+		}
+		val, err := columnByName(t, parts[1])
+		if err != nil {
+			return err
+		}
+		agg, err := parseAgg(parts[2])
+		if err != nil {
+			return err
+		}
+		out, err := analyze.GroupBy(t, key, val, agg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	return nil
+}
+
+func cmdResolve(args []string) error {
+	fs := flag.NewFlagSet("resolve", flag.ExitOnError)
+	tablePath := fs.String("table", "", "table CSV to resolve")
+	threshold := fs.Float64("threshold", 0, "match threshold (default 0.6)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := table.ReadCSVFile(*tablePath)
+	if err != nil {
+		return err
+	}
+	res, err := er.Resolve(t, er.Options{Knowledge: kb.Demo(), Threshold: *threshold})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows -> %d entities\n\n", t.NumRows(), len(res.Clusters))
+	fmt.Println(res.Resolved)
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	prompt := fs.String("prompt", "", "free-text prompt (picks a domain template)")
+	rows := fs.Int("rows", 5, "rows to generate")
+	cols := fs.Int("cols", 5, "columns to generate")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "", "write the generated table to this CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := core.New(nil, core.Config{})
+	if err != nil {
+		return err
+	}
+	q, err := p.GenerateQueryTable(*prompt, *rows, *cols, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(q)
+	if *out != "" {
+		return q.WriteCSVFile(*out)
+	}
+	return nil
+}
+
+func columnByName(t *table.Table, name string) (int, error) {
+	name = strings.TrimSpace(name)
+	if i, ok := t.ColumnIndex(name); ok {
+		return i, nil
+	}
+	if i, err := strconv.Atoi(name); err == nil && i >= 0 && i < t.NumCols() {
+		return i, nil
+	}
+	return 0, fmt.Errorf("no column %q in %q (have %v)", name, t.Name, t.Columns)
+}
+
+func parseAgg(s string) (analyze.Agg, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "count":
+		return analyze.Count, nil
+	case "sum":
+		return analyze.Sum, nil
+	case "avg":
+		return analyze.Avg, nil
+	case "min":
+		return analyze.Min, nil
+	case "max":
+		return analyze.Max, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q", s)
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/paperdata"
+	"repro/internal/table"
+)
+
+// writeDemoLake writes T2 and T3 as a CSV lake and T1 as the query table,
+// returning (lakeDir, queryPath).
+func writeDemoLake(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	lakeDir := filepath.Join(dir, "lake")
+	for _, tb := range paperdata.CovidLake() {
+		if err := tb.WriteCSVFile(filepath.Join(lakeDir, tb.Name+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queryPath := filepath.Join(dir, "T1.csv")
+	if err := paperdata.T1().WriteCSVFile(queryPath); err != nil {
+		t.Fatal(err)
+	}
+	return lakeDir, queryPath
+}
+
+func TestCmdDiscover(t *testing.T) {
+	lakeDir, queryPath := writeDemoLake(t)
+	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit methods.
+	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-methods", "lsh-join", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing lake errors.
+	if err := cmdDiscover([]string{"-query", queryPath}); err == nil {
+		t.Error("missing -lake must error")
+	}
+	// Missing query file errors.
+	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", filepath.Join(lakeDir, "nope.csv")}); err == nil {
+		t.Error("missing query must error")
+	}
+}
+
+func TestCmdIntegrate(t *testing.T) {
+	lakeDir, _ := writeDemoLake(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	if err := cmdIntegrate([]string{"-lake", lakeDir, "-tables", "T2,T3", "-prov", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	written, err := table.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written.NumRows() == 0 || written.Columns[0] != "TIDs" {
+		t.Errorf("written table wrong: %v", written.Columns)
+	}
+	if err := cmdIntegrate([]string{"-lake", lakeDir, "-tables", "T2,missing"}); err == nil {
+		t.Error("unknown table must error")
+	}
+	if err := cmdIntegrate([]string{"-lake", lakeDir}); err == nil {
+		t.Error("missing -tables must error")
+	}
+	if err := cmdIntegrate([]string{"-lake", lakeDir, "-tables", "T2,T3", "-op", "bogus"}); err == nil {
+		t.Error("unknown operator must error")
+	}
+}
+
+func TestCmdPipeline(t *testing.T) {
+	lakeDir, queryPath := writeDemoLake(t)
+	out := filepath.Join(t.TempDir(), "integrated.csv")
+	if err := cmdPipeline([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	written, err := table.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written.NumRows() != 7 {
+		t.Errorf("pipeline output rows = %d, want 7 (Fig. 3)", written.NumRows())
+	}
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig3.csv")
+	if err := paperdata.Fig3Expected().WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdAnalyze([]string{
+		"-table", path,
+		"-profile",
+		"-corr", paperdata.ColVaccRate + "," + paperdata.ColDeathRate,
+		"-groupby", paperdata.ColCountry + "," + paperdata.ColVaccRate + ",avg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-table", path, "-corr", "only-one"}); err == nil {
+		t.Error("malformed -corr must error")
+	}
+	if err := cmdAnalyze([]string{"-table", path, "-groupby", "a,b"}); err == nil {
+		t.Error("malformed -groupby must error")
+	}
+	if err := cmdAnalyze([]string{"-table", path, "-corr", "nope,also-nope"}); err == nil {
+		t.Error("unknown column must error")
+	}
+}
+
+func TestCmdResolve(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fd.csv")
+	if err := paperdata.Fig8bExpected().WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdResolve([]string{"-table", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdResolve([]string{"-table", filepath.Join(dir, "missing.csv")}); err == nil {
+		t.Error("missing table must error")
+	}
+}
+
+func TestCmdGenerate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "q.csv")
+	if err := cmdGenerate([]string{"-prompt", "covid cases", "-rows", "4", "-cols", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := table.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRows() != 4 || q.NumCols() != 3 {
+		t.Errorf("generated %dx%d", q.NumRows(), q.NumCols())
+	}
+	if err := cmdGenerate([]string{"-rows", "0"}); err == nil {
+		t.Error("zero rows must error")
+	}
+}
+
+func TestColumnByName(t *testing.T) {
+	tb := paperdata.T1()
+	if i, err := columnByName(tb, "City"); err != nil || i != 1 {
+		t.Errorf("by name = %d, %v", i, err)
+	}
+	if i, err := columnByName(tb, " 2 "); err != nil || i != 2 {
+		t.Errorf("by index = %d, %v", i, err)
+	}
+	if _, err := columnByName(tb, "nope"); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := columnByName(tb, "99"); err == nil {
+		t.Error("out-of-range index must error")
+	}
+}
+
+func TestParseAgg(t *testing.T) {
+	for s, want := range map[string]analyze.Agg{
+		"count": analyze.Count, "SUM": analyze.Sum, " avg ": analyze.Avg,
+		"min": analyze.Min, "max": analyze.Max,
+	} {
+		got, err := parseAgg(s)
+		if err != nil || got != want {
+			t.Errorf("parseAgg(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseAgg("median"); err == nil {
+		t.Error("unknown aggregate must error")
+	}
+}

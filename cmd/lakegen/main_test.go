@@ -1,0 +1,38 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/table"
+)
+
+func TestWriteLake(t *testing.T) {
+	lake := synth.GenerateLake(synth.LakeOptions{
+		Seed: 3, Families: 2, TablesPerFamily: 2, JoinablePerFamily: 1,
+		NoiseTables: 1, RowsPerTable: 5,
+	})
+	dir := t.TempDir()
+	if err := writeLake(lake, dir); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := table.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All lake tables plus the truth manifest.
+	if len(tables) != len(lake.Tables)+1 {
+		t.Fatalf("wrote %d CSVs, want %d", len(tables), len(lake.Tables)+1)
+	}
+	truth, err := table.ReadCSVFile(filepath.Join(dir, "truth.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.NumRows() != len(lake.Tables) {
+		t.Errorf("truth rows = %d, want %d", truth.NumRows(), len(lake.Tables))
+	}
+	if _, ok := truth.ColumnIndex("unionable_with"); !ok {
+		t.Errorf("truth manifest columns = %v", truth.Columns)
+	}
+}

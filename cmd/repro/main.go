@@ -1,0 +1,118 @@
+// Command repro regenerates every figure and worked example of the
+// DIALITE paper plus the X-series scaling experiments, printing a
+// paper-vs-measured report (the source of EXPERIMENTS.md) and, with
+// -tables, the reproduced tables themselves next to the figure numbers.
+//
+// Usage:
+//
+//	repro            # run everything, print the report table
+//	repro -tables    # additionally print each reproduced table
+//	repro -only F3   # run a single experiment by ID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/er"
+	"repro/internal/experiments"
+	"repro/internal/kb"
+	"repro/internal/paperdata"
+	"repro/internal/table"
+)
+
+func main() {
+	tables := flag.Bool("tables", false, "print the reproduced tables for each figure")
+	only := flag.String("only", "", "run a single experiment by ID (F1..F8d, E3, X1..X6)")
+	flag.Parse()
+
+	if *tables {
+		if err := printFigures(); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+
+	rows := experiments.All()
+	if *only != "" {
+		var filtered []experiments.Row
+		for _, r := range rows {
+			if strings.EqualFold(r.ID, *only) {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "repro: no experiment with ID %q\n", *only)
+			os.Exit(1)
+		}
+		rows = filtered
+	}
+	fmt.Print(experiments.Report(rows))
+	for _, r := range rows {
+		if !r.Pass {
+			os.Exit(1)
+		}
+	}
+}
+
+// printFigures renders the paper's tables and this build's reproductions.
+func printFigures() error {
+	fmt.Println("== Fig. 2: input tables ==")
+	for _, t := range []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()} {
+		fmt.Println(t)
+	}
+
+	p, err := core.New(paperdata.CovidLake(), core.Config{Knowledge: kb.Demo()})
+	if err != nil {
+		return err
+	}
+	rowIDs := func(name string, row int) string { return paperdata.TupleID(name, row) }
+
+	fmt.Println("== Fig. 3: FD(T1,T2,T3) by ALITE ==")
+	fig3, err := p.Integrate(core.IntegrateRequest{
+		Tables:         []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()},
+		RowIDs:         rowIDs,
+		WithProvenance: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig3.Table)
+
+	fmt.Println("== Fig. 7: vaccine integration set ==")
+	for _, t := range paperdata.VaccineSet() {
+		fmt.Println(t)
+	}
+
+	fmt.Println("== Fig. 8(a): T4 ⟗ T5 ⟗ T6 (outer join) ==")
+	oj, err := p.Integrate(core.IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "outer-join", RowIDs: rowIDs, WithProvenance: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println(oj.Table)
+
+	fmt.Println("== Fig. 8(b): FD(T4,T5,T6) by ALITE ==")
+	fdRes, err := p.Integrate(core.IntegrateRequest{Tables: paperdata.VaccineSet(), RowIDs: rowIDs, WithProvenance: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println(fdRes.Table)
+
+	fmt.Println("== Fig. 8(c): ER over outer join ==")
+	erOJ, err := er.Resolve(paperdata.Fig8aExpected(), er.Options{Knowledge: kb.Demo()})
+	if err != nil {
+		return err
+	}
+	fmt.Println(erOJ.Resolved)
+
+	fmt.Println("== Fig. 8(d): ER over FD ==")
+	erFD, err := er.Resolve(paperdata.Fig8bExpected(), er.Options{Knowledge: kb.Demo()})
+	if err != nil {
+		return err
+	}
+	fmt.Println(erFD.Resolved)
+	return nil
+}

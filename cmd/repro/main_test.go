@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+func TestPrintFigures(t *testing.T) {
+	// The figure renderer must produce every table without error; the
+	// correctness of the contents is asserted by internal/experiments.
+	if err := printFigures(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Package dialite is a Go implementation of DIALITE (Khatiwada, Shraga,
+// Miller — SIGMOD 2023): a pipeline that lets users Discover open-data
+// tables related to a query table, Align & Integrate them with ALITE's
+// holistic schema matching and Full Disjunction, and Analyze the
+// integrated result with downstream applications (aggregation, correlation
+// and entity resolution).
+//
+// The package is a façade over the implementation packages under
+// internal/: it re-exports the table engine, the pipeline, the extension
+// points (user-defined discoverers and integration operators) and the
+// synthetic-data generators, so a downstream user imports only this
+// package.
+//
+// Quickstart:
+//
+//	lake := []*dialite.Table{ ... }             // or dialite.LoadDir(dir)
+//	p, err := dialite.New(lake, dialite.Config{Knowledge: dialite.DemoKB()})
+//	res, err := p.Run(dialite.RunRequest{Query: q, QueryColumn: 1})
+//	r, n, err := p.Correlate(res.Integration.Table, "Vaccination Rate", "Death Rate")
+package dialite
+
+import (
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/lake"
+	"repro/internal/table"
+)
+
+// Core pipeline types, re-exported.
+type (
+	// Pipeline is a DIALITE instance bound to one data lake.
+	Pipeline = core.Pipeline
+	// Config configures pipeline construction.
+	Config = core.Config
+	// DiscoverRequest configures the discovery stage.
+	DiscoverRequest = core.DiscoverRequest
+	// DiscoverResponse is the discovery stage output.
+	DiscoverResponse = core.DiscoverResponse
+	// IntegrateRequest configures the align-and-integrate stage.
+	IntegrateRequest = core.IntegrateRequest
+	// IntegrateResponse is the integration stage output.
+	IntegrateResponse = core.IntegrateResponse
+	// RunRequest configures an end-to-end run.
+	RunRequest = core.RunRequest
+	// RunResult bundles the stage outputs of an end-to-end run.
+	RunResult = core.RunResult
+	// Lake is a preprocessed table repository.
+	Lake = lake.Lake
+	// LakeIndexOptions tunes lake preprocessing.
+	LakeIndexOptions = lake.Options
+	// KB is a knowledge base (semantic types, aliases, relationships).
+	KB = kb.KB
+)
+
+// New preprocesses the lake tables and returns a DIALITE pipeline.
+func New(tables []*Table, cfg Config) (*Pipeline, error) { return core.New(tables, cfg) }
+
+// FromDir loads every CSV file in dir as the data lake and returns a
+// pipeline over it.
+func FromDir(dir string, cfg Config) (*Pipeline, error) { return core.FromDir(dir, cfg) }
+
+// DefaultMethods are the discovery methods used when a request names none:
+// SANTOS unionable search and LSH Ensemble joinable search.
+var DefaultMethods = core.DefaultMethods
+
+// NewKB returns an empty knowledge base.
+func NewKB() *KB { return kb.New() }
+
+// DemoKB returns the curated demonstration knowledge base (world cities
+// and countries, COVID-19 vaccines, regulatory agencies, and the aliases
+// the paper's examples depend on).
+func DemoKB() *KB { return kb.Demo() }
+
+// SynthesizeKB builds a knowledge base from the lake tables themselves
+// (SANTOS's synthesized KB), for domains without curated coverage.
+func SynthesizeKB(tables []*Table) *KB {
+	return kb.Synthesize(tables, kb.SynthesizeOptions{})
+}
+
+// tableAlias keeps the Table alias near its constructors in tables.go.
+type tableAlias = table.Table

@@ -1,0 +1,184 @@
+package dialite_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	dialite "repro"
+	"repro/internal/paperdata"
+)
+
+// publicPipeline builds the demo pipeline through the public API only.
+func publicPipeline(t *testing.T) *dialite.Pipeline {
+	t.Helper()
+	p, err := dialite.New(paperdata.CovidLake(), dialite.Config{Knowledge: dialite.DemoKB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p := publicPipeline(t)
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	res, err := p.Run(dialite.RunRequest{Query: q, QueryColumn: city})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Discovery.IntegrationSet) != 3 {
+		t.Fatalf("integration set = %d tables", len(res.Discovery.IntegrationSet))
+	}
+	r, _, err := p.Correlate(res.Integration.Table, paperdata.ColVaccRate, paperdata.ColDeathRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Round(r*100)/100-0.16) > 1e-9 {
+		t.Errorf("public API correlation = %v, want 0.16", r)
+	}
+}
+
+func TestPublicTableConstruction(t *testing.T) {
+	tb := dialite.NewTable("mine", "a", "b")
+	tb.MustAddRow(dialite.String("x"), dialite.Int(1))
+	tb.MustAddRow(dialite.Null(), dialite.Float(2.5))
+	if tb.NumRows() != 2 || tb.NumCols() != 2 {
+		t.Error("table construction broken")
+	}
+	if dialite.ParseValue("42").Kind() != dialite.KindInt {
+		t.Error("ParseValue broken")
+	}
+	if !dialite.ProducedNull().IsProduced() {
+		t.Error("ProducedNull broken")
+	}
+	if dialite.Bool(true).Kind() != dialite.KindBool {
+		t.Error("Bool broken")
+	}
+	if dialite.ParseValue("").Kind() != dialite.KindNull {
+		t.Error("null parse broken")
+	}
+	if dialite.ParseValue("2.5").Kind() != dialite.KindFloat {
+		t.Error("float parse broken")
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	tb := dialite.NewTable("rt", "x")
+	tb.MustAddRow(dialite.String("v"))
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dialite.ReadCSV(strings.NewReader(sb.String()), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Equal(back) {
+		t.Error("public CSV round trip failed")
+	}
+}
+
+func TestPublicExtensionPoints(t *testing.T) {
+	p := publicPipeline(t)
+	if err := p.Operators().Register(dialite.OperatorFunc{
+		OpName: "noop",
+		F: func(schema []string, sets []dialite.AlignedSet) ([]dialite.Tuple, error) {
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Discoverers().Register(dialite.SimilarityFunc{
+		FuncName: "always",
+		Sim:      func(q, c *dialite.Table) float64 { return 1 },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.Discover(dialite.DiscoverRequest{Query: paperdata.T1(), QueryColumn: 1, Methods: []string{"always"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.IntegrationSet) != 3 {
+		t.Errorf("custom discoverer should find both lake tables: %d", len(resp.IntegrationSet))
+	}
+}
+
+func TestPublicBuiltinOperators(t *testing.T) {
+	for _, op := range []dialite.Operator{dialite.OpALITEFD, dialite.OpOuterJoin, dialite.OpInnerJoin, dialite.OpUnion} {
+		if op.Name() == "" {
+			t.Error("operator with empty name")
+		}
+	}
+}
+
+func TestPublicQueryGenAndLakeGen(t *testing.T) {
+	q, err := dialite.GenerateQueryTable("covid cases", 5, 5, 1)
+	if err != nil || q.NumRows() != 5 {
+		t.Fatalf("GenerateQueryTable: %v", err)
+	}
+	lake := dialite.GenerateSyntheticLake(dialite.SyntheticLakeOptions{Seed: 2, Families: 1, TablesPerFamily: 2, NoiseTables: 1, RowsPerTable: 5})
+	if len(lake.Tables) == 0 {
+		t.Fatal("synthetic lake empty")
+	}
+}
+
+func TestPublicAnalysisHelpers(t *testing.T) {
+	fig3 := paperdata.Fig3Expected()
+	city, _ := fig3.ColumnIndex(paperdata.ColCity)
+	vacc, _ := fig3.ColumnIndex(paperdata.ColVaccRate)
+	min, max, err := dialite.Extremes(fig3, city, vacc)
+	if err != nil || min.Label != "Boston" || max.Label != "Toronto" {
+		t.Errorf("Extremes = %v %v (%v)", min, max, err)
+	}
+	if _, err := dialite.GroupBy(fig3, 0, 2, dialite.AggAvg); err != nil {
+		t.Error(err)
+	}
+	if p := dialite.Profile(fig3); p.NumRows() != fig3.NumCols() {
+		t.Error("Profile broken")
+	}
+	if f, ok := dialite.Coerce(dialite.String("1.4M")); !ok || f != 1.4e6 {
+		t.Error("Coerce broken")
+	}
+	if s, err := dialite.Stats(fig3, vacc); err != nil || s.Numeric != 5 {
+		t.Errorf("Stats = %+v, %v", s, err)
+	}
+	if _, _, err := dialite.Pearson(fig3, vacc, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicKBAndMatchers(t *testing.T) {
+	k := dialite.NewKB()
+	k.AddAlias("a", "b")
+	if !k.SameEntity("a", "b") {
+		t.Error("KB alias broken via facade")
+	}
+	syn := dialite.SynthesizeKB(paperdata.CovidLake())
+	if !syn.HasEntity("berlin") {
+		t.Error("SynthesizeKB broken")
+	}
+	var m dialite.Matcher = dialite.HolisticMatcher{Knowledge: dialite.DemoKB()}
+	if _, err := m.Align(paperdata.VaccineSet()); err != nil {
+		t.Error(err)
+	}
+	var hm dialite.Matcher = dialite.HeaderMatcher{}
+	if _, err := hm.Align(paperdata.VaccineSet()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicER(t *testing.T) {
+	p := publicPipeline(t)
+	resp, err := p.Integrate(dialite.IntegrateRequest{Tables: paperdata.VaccineSet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.ResolveEntities(resp.Table, dialite.EROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolved.NumRows() != 2 {
+		t.Errorf("public ER = %d entities, want 2", res.Resolved.NumRows())
+	}
+}

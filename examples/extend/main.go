@@ -1,0 +1,159 @@
+// Extend demonstrates DIALITE's extensibility (paper §3.2, Figures 4-6):
+//
+//   - a user-defined discovery algorithm (a similarity function between
+//     two tables, here the size of the best inner join) registered next to
+//     the built-ins (Fig. 4);
+//
+//   - query-table generation from a free-text prompt, the GPT-3 substitute
+//     (Fig. 5);
+//
+//   - a user-defined integration operator registered next to ALITE
+//     (Fig. 6) — here a "left join" that keeps only the first table's rows
+//     enriched with matches.
+//
+//     go run ./examples/extend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dialite "repro"
+)
+
+func main() {
+	// A small lake to discover over: generated COVID-style tables.
+	lakeTable1, err := dialite.GenerateQueryTable("covid cases by city", 8, 5, 101)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lakeTable1.Name = "cases_by_city"
+	lakeTable2, err := dialite.GenerateQueryTable("weather by city", 8, 4, 102)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lakeTable2.Name = "weather"
+	p, err := dialite.New([]*dialite.Table{lakeTable1, lakeTable2}, dialite.Config{Knowledge: dialite.DemoKB()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 5: no query table at hand — generate one from a prompt. The
+	// same prompt and seed always produce the same table.
+	q, err := p.GenerateQueryTable("COVID-19 cases", 5, 5, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated query table:")
+	fmt.Println(q)
+
+	// Fig. 4: user-defined discovery — score a candidate by the number of
+	// rows its best column shares with the query (an inner-join size).
+	err = p.Discoverers().Register(dialite.SimilarityFunc{
+		FuncName: "inner-join-size",
+		Sim: func(query, candidate *dialite.Table) float64 {
+			best := 0
+			for qc := 0; qc < query.NumCols(); qc++ {
+				qvals := map[string]bool{}
+				for _, v := range query.Column(qc) {
+					if !v.IsNull() {
+						qvals[v.String()] = true
+					}
+				}
+				for cc := 0; cc < candidate.NumCols(); cc++ {
+					n := 0
+					for _, v := range candidate.Column(cc) {
+						if !v.IsNull() && qvals[v.String()] {
+							n++
+						}
+					}
+					if n > best {
+						best = n
+					}
+				}
+			}
+			return float64(best)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	city, _ := q.ColumnIndex("City")
+	disc, err := p.Discover(dialite.DiscoverRequest{
+		Query:       q,
+		QueryColumn: city,
+		Methods:     []string{"inner-join-size"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("user-defined discovery results:")
+	for _, r := range disc.PerMethod["inner-join-size"] {
+		fmt.Printf("  %-14s score=%.0f\n", r.Table.Name, r.Score)
+	}
+
+	// Fig. 6: user-defined integration operator — a left join keeping the
+	// first aligned set's tuples, merged with any matching tuple from the
+	// later sets.
+	err = p.Operators().Register(dialite.OperatorFunc{
+		OpName: "left-join",
+		F: func(schema []string, sets []dialite.AlignedSet) ([]dialite.Tuple, error) {
+			if len(sets) == 0 {
+				return nil, nil
+			}
+			out := append([]dialite.Tuple(nil), sets[0].Tuples...)
+			for _, next := range sets[1:] {
+				for i, left := range out {
+					for _, right := range next.Tuples {
+						merged, ok := tryMerge(left, right)
+						if ok {
+							out[i] = merged
+							break
+						}
+					}
+				}
+			}
+			return out, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	integ, err := p.Integrate(dialite.IntegrateRequest{
+		Tables:   disc.IntegrationSet,
+		Operator: "left-join",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("integrated with the user-defined left-join operator:")
+	fmt.Println(integ.Table)
+}
+
+// tryMerge combines two aligned tuples when they share a non-null value
+// and never conflict — the merge rule integration operators build on.
+func tryMerge(a, b dialite.Tuple) (dialite.Tuple, bool) {
+	shares := false
+	for i := range a.Values {
+		av, bv := a.Values[i], b.Values[i]
+		if av.IsNull() || bv.IsNull() {
+			continue
+		}
+		if av.Equal(bv) {
+			shares = true
+		} else {
+			return dialite.Tuple{}, false
+		}
+	}
+	if !shares {
+		return dialite.Tuple{}, false
+	}
+	merged := a.Clone()
+	for i := range merged.Values {
+		if merged.Values[i].IsNull() && !b.Values[i].IsNull() {
+			merged.Values[i] = b.Values[i]
+		}
+	}
+	return merged, true
+}

@@ -1,0 +1,60 @@
+// Quickstart: the smallest complete DIALITE run — build a tiny data lake,
+// discover tables related to a query table, integrate them with ALITE's
+// Full Disjunction, and run an aggregation over the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dialite "repro"
+)
+
+func main() {
+	// A two-table data lake: population figures and GDP figures keyed by
+	// city, with different column headers (open data is inconsistent).
+	pop := dialite.NewTable("city_population", "Town", "Population")
+	pop.MustAddRow(dialite.String("Berlin"), dialite.Int(3_700_000))
+	pop.MustAddRow(dialite.String("Paris"), dialite.Int(2_100_000))
+	pop.MustAddRow(dialite.String("Rome"), dialite.Int(2_800_000))
+
+	gdp := dialite.NewTable("city_gdp", "City", "GDP (B$)")
+	gdp.MustAddRow(dialite.String("Berlin"), dialite.Int(160))
+	gdp.MustAddRow(dialite.String("Rome"), dialite.Int(120))
+	gdp.MustAddRow(dialite.String("Madrid"), dialite.Int(140))
+
+	// Preprocess the lake. The demo knowledge base supplies semantic types
+	// (Berlin is a city) used by discovery and schema matching.
+	p, err := dialite.New([]*dialite.Table{pop, gdp}, dialite.Config{Knowledge: dialite.DemoKB()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The query table: cities we care about.
+	q := dialite.NewTable("my_cities", "Name")
+	q.MustAddRow(dialite.String("Berlin"))
+	q.MustAddRow(dialite.String("Rome"))
+
+	// Stage 1+2 end to end: discover related tables (joinable on the city
+	// column), then integrate everything with ALITE's Full Disjunction.
+	res, err := p.Run(dialite.RunRequest{
+		Query:       q,
+		QueryColumn: 0, // the intent/query column: Name
+		Methods:     []string{"lsh-join", "josie-join"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("discovered integration set:")
+	for _, t := range res.Discovery.IntegrationSet {
+		fmt.Println(" -", t.Name)
+	}
+	fmt.Println()
+	fmt.Println(res.Integration.Table)
+
+	// Stage 3: analytics over the integrated table.
+	profile := dialite.Profile(res.Integration.Table)
+	fmt.Println(profile)
+}

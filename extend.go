@@ -1,0 +1,115 @@
+package dialite
+
+import (
+	"repro/internal/discovery"
+	"repro/internal/er"
+	"repro/internal/fd"
+	"repro/internal/integrate"
+	"repro/internal/schemamatch"
+	"repro/internal/synth"
+)
+
+// Extension points (paper §3.2): users add discovery algorithms and
+// integration operators next to the built-ins.
+type (
+	// Discoverer finds lake tables related to a query table.
+	Discoverer = discovery.Discoverer
+	// DiscoveryResult is one discovered table with its method score.
+	DiscoveryResult = discovery.Result
+	// SimilarityFunc turns a user-defined table-similarity function into a
+	// Discoverer (the paper's Fig. 4).
+	SimilarityFunc = discovery.SimilarityFunc
+	// Operator is a pluggable integration method.
+	Operator = integrate.Operator
+	// OperatorFunc turns a plain function into an Operator (Fig. 6).
+	OperatorFunc = integrate.Func
+	// AlignedSet is one source table projected onto the integration
+	// schema, the representation operators consume.
+	AlignedSet = integrate.AlignedSet
+	// Tuple is an integrated tuple with provenance (the figures' TIDs).
+	Tuple = fd.Tuple
+	// Matcher assigns integration IDs to columns.
+	Matcher = schemamatch.Matcher
+	// HolisticMatcher is ALITE's constrained-clustering matcher.
+	HolisticMatcher = schemamatch.Holistic
+	// AutoMatcher is the holistic matcher with silhouette-based automatic
+	// cut selection (no similarity threshold to tune).
+	AutoMatcher = schemamatch.AutoHolistic
+	// HeaderMatcher is the trust-the-headers baseline matcher.
+	HeaderMatcher = schemamatch.HeaderMatcher
+	// OracleMatcher clusters columns by caller-provided truth labels.
+	OracleMatcher = schemamatch.Oracle
+	// Alignment maps columns of an integration set to integration IDs.
+	Alignment = schemamatch.Alignment
+	// EROptions configures entity resolution.
+	EROptions = er.Options
+	// ERResolution is the output of entity resolution.
+	ERResolution = er.Resolution
+	// ERTrainingPair is one labeled example for TrainERMatcher.
+	ERTrainingPair = er.TrainingPair
+	// ERTrainOptions configures TrainERMatcher.
+	ERTrainOptions = er.TrainOptions
+	// ERModel is a trained logistic-regression match classifier.
+	ERModel = er.LogisticModel
+)
+
+// TrainERMatcher fits a logistic-regression entity matcher on labeled row
+// pairs — the learned alternative to the rule matcher, standing in for
+// py_entitymatching's trainable matchers.
+func TrainERMatcher(pairs []ERTrainingPair, opts ERTrainOptions) (*ERModel, error) {
+	return er.TrainLogistic(pairs, opts)
+}
+
+// ResolveWithModel runs entity resolution with a trained matcher.
+func ResolveWithModel(t *Table, model *ERModel, knowledge *KB, threshold float64) (*ERResolution, error) {
+	return er.ResolveLearned(t, model, knowledge, threshold)
+}
+
+// DemoERTrainingPairs returns the built-in labeled pairs derived from the
+// demonstration domain, enough to train a matcher that reproduces the
+// paper's Fig. 8(c)/(d) behaviour.
+func DemoERTrainingPairs(knowledge *KB) []ERTrainingPair {
+	return er.TrainingPairsFromFigures(knowledge)
+}
+
+// Built-in integration operators.
+var (
+	// OpALITEFD is ALITE's Full Disjunction (the default).
+	OpALITEFD Operator = integrate.ALITEFD{}
+	// OpOuterJoin is the left-deep full-outer-join chain (Fig. 6).
+	OpOuterJoin Operator = integrate.FullOuterJoin{}
+	// OpInnerJoin is the left-deep inner-join chain.
+	OpInnerJoin Operator = integrate.InnerJoin{}
+	// OpUnion is the plain deduplicated outer union.
+	OpUnion Operator = integrate.Union{}
+)
+
+// GenerateQueryTable fabricates a query table from a free-text prompt —
+// the GPT-3 substitute of the paper's Fig. 5. Deterministic per seed.
+func GenerateQueryTable(prompt string, rows, cols int, seed int64) (*Table, error) {
+	return synth.GenerateQueryTable(prompt, rows, cols, seed)
+}
+
+// SyntheticLakeOptions configures GenerateSyntheticLake.
+type SyntheticLakeOptions = synth.LakeOptions
+
+// SyntheticLake is a generated lake with discovery/alignment ground truth.
+type SyntheticLake = synth.Lake
+
+// GenerateSyntheticLake builds a synthetic open-data lake with ground
+// truth (unionable families, joinable companions, noise), used by the
+// benchmark harness and available for downstream evaluation.
+func GenerateSyntheticLake(opts SyntheticLakeOptions) *SyntheticLake {
+	return synth.GenerateLake(opts)
+}
+
+// IncrementalFD maintains a Full Disjunction as tuples arrive, retaining
+// the closure state so that late-arriving tables still connect through
+// tuples an earlier result had subsumed (the Fig. 8 t13 situation).
+type IncrementalFD = fd.Incremental
+
+// NewIncrementalFD starts an incremental Full Disjunction over an
+// integration schema, optionally seeded with aligned tuples.
+func NewIncrementalFD(schema []string, initial []Tuple) *IncrementalFD {
+	return fd.NewIncremental(schema, initial)
+}

@@ -1,0 +1,99 @@
+package dialite_test
+
+import (
+	"math"
+	"testing"
+
+	dialite "repro"
+	"repro/internal/paperdata"
+)
+
+func TestPublicTopCorrelations(t *testing.T) {
+	fig3 := paperdata.Fig3Expected()
+	pairs, err := dialite.TopCorrelations(fig3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if math.Abs(math.Round(pairs[0].R*10)/10-0.9) > 1e-9 {
+		t.Errorf("strongest correlation = %v, want 0.9", pairs[0].R)
+	}
+	m, err := dialite.CorrelationMatrix(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 3 {
+		t.Errorf("matrix rows = %d", m.NumRows())
+	}
+}
+
+func TestPublicLearnedERMatcher(t *testing.T) {
+	k := dialite.DemoKB()
+	model, err := dialite.TrainERMatcher(dialite.DemoERTrainingPairs(k), dialite.ERTrainOptions{Knowledge: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dialite.ResolveWithModel(paperdata.Fig8bExpected(), model, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolved.NumRows() != 2 {
+		t.Errorf("learned ER via facade = %d entities, want 2", res.Resolved.NumRows())
+	}
+}
+
+func TestPublicAutoMatcher(t *testing.T) {
+	var m dialite.Matcher = dialite.AutoMatcher{Knowledge: dialite.DemoKB()}
+	align, err := m.Align(paperdata.VaccineSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(align.Schema) != 3 {
+		t.Errorf("auto matcher schema = %v", align.Schema)
+	}
+	// The auto matcher plugs into integration like any Matcher.
+	p, err := dialite.New(nil, dialite.Config{Knowledge: dialite.DemoKB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.Integrate(dialite.IntegrateRequest{Tables: paperdata.VaccineSet(), Matcher: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paperdata.Fig8bExpected()
+	got := resp.Table.Clone()
+	got.Columns = want.Columns
+	if !got.EqualUnordered(want) {
+		t.Errorf("auto-matched integration != Fig. 8(b):\n%s", resp.Table)
+	}
+}
+
+func TestPublicDefaultMethods(t *testing.T) {
+	if len(dialite.DefaultMethods) != 2 {
+		t.Errorf("DefaultMethods = %v", dialite.DefaultMethods)
+	}
+}
+
+func TestPublicIncrementalFD(t *testing.T) {
+	// Build an incremental FD through the public API: two fragments of one
+	// entity connect through a shared key.
+	inc := dialite.NewIncrementalFD([]string{"K", "A", "B"}, nil)
+	inc.Add([]dialite.Tuple{
+		{Values: []dialite.Value{dialite.String("k"), dialite.Int(1), dialite.ProducedNull()}, Prov: []string{"r1"}},
+	})
+	inc.Add([]dialite.Tuple{
+		{Values: []dialite.Value{dialite.String("k"), dialite.ProducedNull(), dialite.Int(2)}, Prov: []string{"r2"}},
+	})
+	out := inc.Result()
+	if len(out) != 1 {
+		t.Fatalf("incremental result = %d tuples, want 1 merged", len(out))
+	}
+	if out[0].Values[1].IntVal() != 1 || out[0].Values[2].IntVal() != 2 {
+		t.Errorf("merged tuple = %v", out[0].Values)
+	}
+	if len(out[0].Prov) != 2 {
+		t.Errorf("merged provenance = %v", out[0].Prov)
+	}
+}

@@ -1,0 +1,114 @@
+package analyze
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// CorrelationPair is one scored column pair.
+type CorrelationPair struct {
+	ColA, ColB int     // column indices, ColA < ColB
+	R          float64 // Pearson correlation
+	N          int     // complete pairs that contributed
+}
+
+// minPairsForCorrelation is the minimum number of complete pairs for a
+// correlation to be reported by the exploration helpers.
+const minPairsForCorrelation = 3
+
+// TopCorrelations scans every pair of numeric-coercible columns and
+// returns the pairs ranked by |r| descending (ties by column order),
+// truncated to k (k<=0 returns all). It is the COCOA-style
+// correlation-exploration step the paper's analyze stage motivates: after
+// integration, the user looks for relationships that span the source
+// tables — Example 3's vaccination/death-rate finding, automated.
+func TopCorrelations(t *table.Table, k int) ([]CorrelationPair, error) {
+	if t == nil || t.NumCols() == 0 {
+		return nil, fmt.Errorf("analyze: nil or zero-column table")
+	}
+	numeric := numericColumns(t)
+	var out []CorrelationPair
+	for i := 0; i < len(numeric); i++ {
+		for j := i + 1; j < len(numeric); j++ {
+			a, b := numeric[i], numeric[j]
+			r, n, err := Pearson(t, a, b)
+			if err != nil || n < minPairsForCorrelation {
+				continue
+			}
+			out = append(out, CorrelationPair{ColA: a, ColB: b, R: r, N: n})
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		ax, ay := math.Abs(out[x].R), math.Abs(out[y].R)
+		if ax != ay {
+			return ax > ay
+		}
+		if out[x].ColA != out[y].ColA {
+			return out[x].ColA < out[y].ColA
+		}
+		return out[x].ColB < out[y].ColB
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// CorrelationMatrix renders the pairwise Pearson correlations of the
+// numeric-coercible columns as a table (first column names the row
+// attribute). Cells without enough complete pairs are nulls.
+func CorrelationMatrix(t *table.Table) (*table.Table, error) {
+	if t == nil || t.NumCols() == 0 {
+		return nil, fmt.Errorf("analyze: nil or zero-column table")
+	}
+	numeric := numericColumns(t)
+	if len(numeric) == 0 {
+		return nil, fmt.Errorf("analyze: table %q has no numeric columns", t.Name)
+	}
+	headers := []string{""}
+	for _, c := range numeric {
+		headers = append(headers, t.Columns[c])
+	}
+	out := table.New(t.Name+" correlations", headers...)
+	for _, a := range numeric {
+		row := make([]table.Value, 0, len(numeric)+1)
+		row = append(row, table.StringValue(t.Columns[a]))
+		for _, b := range numeric {
+			if a == b {
+				row = append(row, table.FloatValue(1))
+				continue
+			}
+			r, n, err := Pearson(t, a, b)
+			if err != nil || n < minPairsForCorrelation {
+				row = append(row, table.NullValue())
+				continue
+			}
+			row = append(row, table.FloatValue(math.Round(r*1000)/1000))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// numericColumns lists columns where at least two cells coerce to numbers.
+func numericColumns(t *table.Table) []int {
+	var out []int
+	for c := 0; c < t.NumCols(); c++ {
+		count := 0
+		for _, row := range t.Rows {
+			if _, ok := Coerce(row[c]); ok {
+				count++
+				if count >= 2 {
+					break
+				}
+			}
+		}
+		if count >= 2 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

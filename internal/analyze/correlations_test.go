@@ -1,0 +1,90 @@
+package analyze
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/table"
+)
+
+func TestTopCorrelationsOnFig3(t *testing.T) {
+	fig3 := paperdata.Fig3Expected()
+	got, err := TopCorrelations(fig3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("pairs = %d, want 3 (vacc/cases/death choose 2)", len(got))
+	}
+	// The strongest correlation in Example 3 is cases~vaccination (0.9).
+	cases, _ := fig3.ColumnIndex(paperdata.ColCases)
+	vacc, _ := fig3.ColumnIndex(paperdata.ColVaccRate)
+	top := got[0]
+	if !(top.ColA == vacc && top.ColB == cases || top.ColA == cases && top.ColB == vacc) {
+		t.Errorf("top pair = %+v, want cases~vaccination", top)
+	}
+	if math.Abs(math.Round(top.R*10)/10-0.9) > 1e-9 {
+		t.Errorf("top |r| = %v, want 0.9", top.R)
+	}
+	// Truncation.
+	one, err := TopCorrelations(fig3, 1)
+	if err != nil || len(one) != 1 {
+		t.Errorf("top-1 = %v (%v)", one, err)
+	}
+}
+
+func TestTopCorrelationsSkipsShortPairs(t *testing.T) {
+	tb := table.New("t", "a", "b")
+	tb.MustAddRow(table.IntValue(1), table.IntValue(2))
+	tb.MustAddRow(table.IntValue(2), table.IntValue(4))
+	// Only two complete pairs: below the minimum, no output.
+	got, err := TopCorrelations(tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("short pairs must be skipped: %v", got)
+	}
+	if _, err := TopCorrelations(nil, 0); err == nil {
+		t.Error("nil table must error")
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	fig3 := paperdata.Fig3Expected()
+	m, err := CorrelationMatrix(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three numeric columns -> 3 rows x 4 cols (label + 3).
+	if m.NumRows() != 3 || m.NumCols() != 4 {
+		t.Fatalf("matrix = %dx%d", m.NumRows(), m.NumCols())
+	}
+	// Diagonal is 1.
+	for r := 0; r < m.NumRows(); r++ {
+		if v := m.Cell(r, r+1); v.Kind() != table.Float || v.FloatVal() != 1 {
+			t.Errorf("diagonal[%d] = %v", r, v)
+		}
+	}
+	// Symmetric off-diagonal values.
+	if !m.Cell(0, 3).Equal(m.Cell(2, 1)) {
+		t.Error("matrix must be symmetric")
+	}
+	// No numeric columns is an error.
+	text := table.New("t", "x")
+	text.MustAddRow(table.StringValue("a"))
+	if _, err := CorrelationMatrix(text); err == nil {
+		t.Error("all-text table must error")
+	}
+}
+
+func TestNumericColumns(t *testing.T) {
+	tb := table.New("t", "text", "num", "pct", "single")
+	tb.MustAddRow(table.StringValue("a"), table.IntValue(1), table.StringValue("10%"), table.IntValue(5))
+	tb.MustAddRow(table.StringValue("b"), table.IntValue(2), table.StringValue("20%"), table.NullValue())
+	got := numericColumns(tb)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("numericColumns = %v, want [1 2]", got)
+	}
+}

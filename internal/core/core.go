@@ -1,0 +1,269 @@
+// Package core implements the DIALITE pipeline — the paper's primary
+// contribution (Fig. 1): Discover related tables in a data lake, Align &
+// Integrate them with ALITE's holistic matching and Full Disjunction, and
+// Analyze the integrated table with downstream applications. Every stage
+// is pluggable: discoverers and integration operators live in registries
+// users can extend (paper §3.2), and intermediate results are returned so
+// users can validate each step, as the demo does.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alite"
+	"repro/internal/analyze"
+	"repro/internal/discovery"
+	"repro/internal/er"
+	"repro/internal/fd"
+	"repro/internal/integrate"
+	"repro/internal/kb"
+	"repro/internal/lake"
+	"repro/internal/schemamatch"
+	"repro/internal/synth"
+	"repro/internal/table"
+)
+
+// Config configures a Pipeline.
+type Config struct {
+	// Knowledge is the curated knowledge base (kb.Demo() in the demo);
+	// nil means none.
+	Knowledge *kb.KB
+	// SynthesizeKB merges a lake-synthesized KB into Knowledge.
+	SynthesizeKB bool
+	// LakeOptions tunes index construction (LSH parameters).
+	LakeOptions lake.Options
+}
+
+// Pipeline is a DIALITE instance bound to one data lake.
+type Pipeline struct {
+	lake        *lake.Lake
+	discoverers *discovery.Registry
+	operators   *integrate.Registry
+}
+
+// New preprocesses the lake tables and returns a pipeline with the
+// built-in discoverers and operators registered.
+func New(tables []*table.Table, cfg Config) (*Pipeline, error) {
+	lopts := cfg.LakeOptions
+	lopts.Knowledge = cfg.Knowledge
+	lopts.SynthesizeKB = cfg.SynthesizeKB
+	l, err := lake.New(tables, lopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Pipeline{
+		lake:        l,
+		discoverers: discovery.NewRegistry(),
+		operators:   integrate.NewRegistry(),
+	}, nil
+}
+
+// FromDir loads a CSV directory as the lake and builds the pipeline.
+func FromDir(dir string, cfg Config) (*Pipeline, error) {
+	lopts := cfg.LakeOptions
+	lopts.Knowledge = cfg.Knowledge
+	lopts.SynthesizeKB = cfg.SynthesizeKB
+	l, err := lake.FromDir(dir, lopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Pipeline{
+		lake:        l,
+		discoverers: discovery.NewRegistry(),
+		operators:   integrate.NewRegistry(),
+	}, nil
+}
+
+// Lake exposes the preprocessed lake.
+func (p *Pipeline) Lake() *lake.Lake { return p.lake }
+
+// Discoverers exposes the discovery registry for user extensions (Fig. 4).
+func (p *Pipeline) Discoverers() *discovery.Registry { return p.discoverers }
+
+// Operators exposes the integration-operator registry (Fig. 6).
+func (p *Pipeline) Operators() *integrate.Registry { return p.operators }
+
+// GenerateQueryTable fabricates a query table from a prompt (Fig. 5's
+// GPT-3 substitute).
+func (p *Pipeline) GenerateQueryTable(prompt string, rows, cols int, seed int64) (*table.Table, error) {
+	return synth.GenerateQueryTable(prompt, rows, cols, seed)
+}
+
+// DefaultMethods are the discovery methods the demo runs when the user
+// does not choose: SANTOS for unionable search, LSH Ensemble for joinable
+// search.
+var DefaultMethods = []string{"santos-union", "lsh-join"}
+
+// DiscoverRequest configures the discovery stage.
+type DiscoverRequest struct {
+	// Query is the query table Q.
+	Query *table.Table
+	// QueryColumn is the intent/query column index within Q.
+	QueryColumn int
+	// Methods names the discoverers to run; nil runs DefaultMethods.
+	Methods []string
+	// K bounds each method's result list; 0 means 10.
+	K int
+}
+
+// DiscoverResponse is the discovery stage's output.
+type DiscoverResponse struct {
+	// PerMethod holds each method's ranked results.
+	PerMethod map[string][]discovery.Result
+	// IntegrationSet is the deduplicated union of all results with the
+	// query table first — the input to Align & Integrate.
+	IntegrationSet []*table.Table
+}
+
+// Discover runs stage 1.
+func (p *Pipeline) Discover(req DiscoverRequest) (*DiscoverResponse, error) {
+	if req.Query == nil {
+		return nil, fmt.Errorf("core: discover: nil query table")
+	}
+	methods := req.Methods
+	if len(methods) == 0 {
+		methods = DefaultMethods
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	resp := &DiscoverResponse{PerMethod: make(map[string][]discovery.Result, len(methods))}
+	var all [][]discovery.Result
+	for _, m := range methods {
+		d, ok := p.discoverers.Get(m)
+		if !ok {
+			return nil, fmt.Errorf("core: discover: unknown method %q (have %v)", m, p.discoverers.Names())
+		}
+		rs, err := d.Discover(p.lake, req.Query, req.QueryColumn, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: discover: %w", err)
+		}
+		resp.PerMethod[m] = rs
+		all = append(all, rs)
+	}
+	resp.IntegrationSet = discovery.IntegrationSet(req.Query, all...)
+	return resp, nil
+}
+
+// IntegrateRequest configures the align-and-integrate stage.
+type IntegrateRequest struct {
+	// Tables is the integration set (from Discover or user-provided — the
+	// traditional integration scenario of §2.2).
+	Tables []*table.Table
+	// Operator names the integration operator; "" means "alite-fd".
+	Operator string
+	// Matcher overrides the schema matcher; nil uses holistic matching
+	// with the pipeline's knowledge base.
+	Matcher schemamatch.Matcher
+	// RowIDs names source rows for provenance; nil uses "<table>:<row>".
+	RowIDs integrate.RowIDFunc
+	// WithProvenance adds the TIDs column to the integrated table.
+	WithProvenance bool
+}
+
+// IntegrateResponse is the integration stage's output.
+type IntegrateResponse struct {
+	// Table is the integrated table.
+	Table *table.Table
+	// Tuples are the integrated tuples with provenance.
+	Tuples []fd.Tuple
+	// Operator echoes the operator used.
+	Operator string
+}
+
+// Integrate runs stage 2.
+func (p *Pipeline) Integrate(req IntegrateRequest) (*IntegrateResponse, error) {
+	if len(req.Tables) == 0 {
+		return nil, fmt.Errorf("core: integrate: empty integration set")
+	}
+	opName := req.Operator
+	if opName == "" {
+		opName = "alite-fd"
+	}
+	op, ok := p.operators.Get(opName)
+	if !ok {
+		return nil, fmt.Errorf("core: integrate: unknown operator %q (have %v)", opName, p.operators.Names())
+	}
+	matcher := req.Matcher
+	if matcher == nil {
+		matcher = schemamatch.Holistic{Knowledge: p.lake.Knowledge()}
+	}
+	out, tuples, err := integrate.Apply(op, req.Tables, matcher, req.RowIDs, req.WithProvenance)
+	if err != nil {
+		return nil, fmt.Errorf("core: integrate: %w", err)
+	}
+	return &IntegrateResponse{Table: out, Tuples: tuples, Operator: opName}, nil
+}
+
+// IntegrateALITE runs ALITE directly (matcher + FD with full intermediate
+// artifacts), the default path of the demo.
+func (p *Pipeline) IntegrateALITE(tables []*table.Table, rowIDs alite.RowIDFunc, withProvenance bool) (*alite.Result, error) {
+	return alite.Integrate(tables, alite.Options{
+		Knowledge:      p.lake.Knowledge(),
+		RowIDs:         rowIDs,
+		WithProvenance: withProvenance,
+	})
+}
+
+// Correlate computes the Pearson correlation between two columns of an
+// integrated table, by header name (stage 3, Example 3).
+func (p *Pipeline) Correlate(t *table.Table, colA, colB string) (float64, int, error) {
+	a, ok := t.ColumnIndex(colA)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: analyze: no column %q in %q", colA, t.Name)
+	}
+	b, ok := t.ColumnIndex(colB)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: analyze: no column %q in %q", colB, t.Name)
+	}
+	return analyze.Pearson(t, a, b)
+}
+
+// ResolveEntities runs entity resolution over an integrated table with the
+// pipeline's knowledge base (stage 3, Example 5).
+func (p *Pipeline) ResolveEntities(t *table.Table, opts er.Options) (*er.Resolution, error) {
+	if opts.Knowledge == nil {
+		opts.Knowledge = p.lake.Knowledge()
+	}
+	return er.Resolve(t, opts)
+}
+
+// RunRequest configures an end-to-end pipeline run.
+type RunRequest struct {
+	Query          *table.Table
+	QueryColumn    int
+	Methods        []string
+	K              int
+	Operator       string
+	WithProvenance bool
+}
+
+// RunResult bundles the stage outputs of an end-to-end run.
+type RunResult struct {
+	Discovery   *DiscoverResponse
+	Integration *IntegrateResponse
+}
+
+// Run executes discover then integrate (Fig. 1 end to end). Analysis is
+// left to the caller, who picks the downstream application.
+func (p *Pipeline) Run(req RunRequest) (*RunResult, error) {
+	disc, err := p.Discover(DiscoverRequest{
+		Query:       req.Query,
+		QueryColumn: req.QueryColumn,
+		Methods:     req.Methods,
+		K:           req.K,
+	})
+	if err != nil {
+		return nil, err
+	}
+	integ, err := p.Integrate(IntegrateRequest{
+		Tables:         disc.IntegrationSet,
+		Operator:       req.Operator,
+		WithProvenance: req.WithProvenance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Discovery: disc, Integration: integ}, nil
+}

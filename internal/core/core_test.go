@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/discovery"
+	"repro/internal/er"
+	"repro/internal/integrate"
+	"repro/internal/kb"
+	"repro/internal/paperdata"
+	"repro/internal/table"
+	"repro/internal/tokenize"
+)
+
+func demoPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := New(paperdata.CovidLake(), Config{Knowledge: kb.Demo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFig1EndToEndPipeline(t *testing.T) {
+	// The full paper walk-through: T1 discovers T2 (unionable) and T3
+	// (joinable); ALITE integrates to Fig. 3; Example 3's correlations
+	// follow.
+	p := demoPipeline(t)
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	res, err := p.Run(RunRequest{Query: q, QueryColumn: city})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discovery found both tables.
+	names := make([]string, 0, len(res.Discovery.IntegrationSet))
+	for _, tb := range res.Discovery.IntegrationSet {
+		names = append(names, tb.Name)
+	}
+	if strings.Join(names, ",") != "T1,T2,T3" {
+		t.Fatalf("integration set = %v", names)
+	}
+	// Integration matches Fig. 3 values.
+	want := paperdata.Fig3Expected()
+	got := res.Integration.Table.Clone()
+	got.Columns = want.Columns
+	if !got.EqualUnordered(want) {
+		t.Fatalf("pipeline integration != Fig. 3:\n%s", res.Integration.Table)
+	}
+	// Analysis reproduces Example 3.
+	r1, n1, err := p.Correlate(res.Integration.Table, paperdata.ColVaccRate, paperdata.ColDeathRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 3 || math.Abs(math.Round(r1*100)/100-0.16) > 1e-9 {
+		t.Errorf("corr(vacc,death) = %v over %d pairs, want 0.16 over 3", r1, n1)
+	}
+	r2, _, err := p.Correlate(res.Integration.Table, paperdata.ColCases, paperdata.ColVaccRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Round(r2*10)/10-0.9) > 1e-9 {
+		t.Errorf("corr(cases,vacc) = %v, want 0.9", r2)
+	}
+}
+
+func TestDiscoverPerMethodResults(t *testing.T) {
+	p := demoPipeline(t)
+	q := paperdata.T1()
+	resp, err := p.Discover(DiscoverRequest{Query: q, QueryColumn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.PerMethod["santos-union"]) == 0 || resp.PerMethod["santos-union"][0].Table.Name != "T2" {
+		t.Errorf("santos results = %+v", resp.PerMethod["santos-union"])
+	}
+	if len(resp.PerMethod["lsh-join"]) == 0 || resp.PerMethod["lsh-join"][0].Table.Name != "T3" {
+		t.Errorf("lsh results = %+v", resp.PerMethod["lsh-join"])
+	}
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	p := demoPipeline(t)
+	if _, err := p.Discover(DiscoverRequest{}); err == nil {
+		t.Error("nil query must error")
+	}
+	if _, err := p.Discover(DiscoverRequest{Query: paperdata.T1(), Methods: []string{"nope"}}); err == nil {
+		t.Error("unknown method must error")
+	}
+}
+
+func TestIntegrateUserProvidedSet(t *testing.T) {
+	// §2.2: the integration set can be user-provided (traditional
+	// integration) — the Fig. 7 vaccine tables without discovery.
+	p := demoPipeline(t)
+	resp, err := p.Integrate(IntegrateRequest{
+		Tables: paperdata.VaccineSet(),
+		RowIDs: func(name string, row int) string { return paperdata.TupleID(name, row) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paperdata.Fig8bExpected()
+	got := resp.Table.Clone()
+	got.Columns = want.Columns
+	if !got.EqualUnordered(want) {
+		t.Fatalf("integrate != Fig. 8(b):\n%s", resp.Table)
+	}
+	if resp.Operator != "alite-fd" {
+		t.Errorf("default operator = %q", resp.Operator)
+	}
+}
+
+func TestIntegrateWithAlternativeOperator(t *testing.T) {
+	p := demoPipeline(t)
+	resp, err := p.Integrate(IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "outer-join"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paperdata.Fig8aExpected()
+	got := resp.Table.Clone()
+	got.Columns = want.Columns
+	if !got.EqualUnordered(want) {
+		t.Fatalf("outer-join != Fig. 8(a):\n%s", resp.Table)
+	}
+	if _, err := p.Integrate(IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "nope"}); err == nil {
+		t.Error("unknown operator must error")
+	}
+	if _, err := p.Integrate(IntegrateRequest{}); err == nil {
+		t.Error("empty set must error")
+	}
+}
+
+func TestResolveEntitiesEndToEnd(t *testing.T) {
+	// Fig. 8(d) via the pipeline: integrate with FD, then ER.
+	p := demoPipeline(t)
+	resp, err := p.Integrate(IntegrateRequest{Tables: paperdata.VaccineSet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.ResolveEntities(resp.Table, er.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolved.NumRows() != 2 {
+		t.Fatalf("ER over FD = %d entities, want 2:\n%s", res.Resolved.NumRows(), res.Resolved)
+	}
+	foundJJ := false
+	for r := 0; r < res.Resolved.NumRows(); r++ {
+		if res.Resolved.Cell(r, 0).Str() == "J&J" && res.Resolved.Cell(r, 1).Str() == "FDA" {
+			foundJJ = true
+		}
+	}
+	if !foundJJ {
+		t.Error("resolved table must contain (J&J, FDA, ...)")
+	}
+}
+
+func TestExtensibilityUserDiscovererAndOperator(t *testing.T) {
+	// §3.2: register a custom discoverer (Fig. 4) and operator (Fig. 6)
+	// and run the pipeline with them.
+	p := demoPipeline(t)
+	err := p.Discoverers().Register(discovery.SimilarityFunc{
+		FuncName: "overlap-sim",
+		Sim: func(q, c *table.Table) float64 {
+			best := 0
+			for qc := 0; qc < q.NumCols(); qc++ {
+				for cc := 0; cc < c.NumCols(); cc++ {
+					ov := tokenize.Overlap(
+						tokenize.ValueSet(q.DistinctStrings(qc)),
+						tokenize.ValueSet(c.DistinctStrings(cc)))
+					if ov > best {
+						best = ov
+					}
+				}
+			}
+			return float64(best)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Operators().Register(integrate.Func{
+		OpName: "user-outer-join",
+		F:      integrate.FullOuterJoin{}.Run,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := paperdata.T1()
+	res, err := p.Run(RunRequest{Query: q, QueryColumn: 1, Methods: []string{"overlap-sim"}, Operator: "user-outer-join"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Discovery.IntegrationSet) < 2 {
+		t.Errorf("custom discoverer found nothing: %v", res.Discovery.IntegrationSet)
+	}
+	if !strings.HasPrefix(res.Integration.Table.Name, "user-outer-join(") {
+		t.Errorf("operator not applied: %q", res.Integration.Table.Name)
+	}
+}
+
+func TestGenerateQueryTablePassthrough(t *testing.T) {
+	p := demoPipeline(t)
+	q, err := p.GenerateQueryTable("COVID-19 cases", 5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRows() != 5 || q.NumCols() != 5 {
+		t.Error("generated table wrong shape")
+	}
+	// The generated covid query discovers the demo lake's tables.
+	city, ok := q.ColumnIndex("City")
+	if !ok {
+		t.Fatal("generated table missing City")
+	}
+	resp, err := p.Discover(DiscoverRequest{Query: q, QueryColumn: city})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.PerMethod["santos-union"]) == 0 {
+		t.Error("generated query should discover unionable tables")
+	}
+}
+
+func TestCorrelateErrors(t *testing.T) {
+	p := demoPipeline(t)
+	tb := paperdata.T3()
+	if _, _, err := p.Correlate(tb, "nope", paperdata.ColCases); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, _, err := p.Correlate(tb, paperdata.ColCases, "nope"); err == nil {
+		t.Error("unknown column must error")
+	}
+}
+
+func TestFromDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, tb := range paperdata.CovidLake() {
+		if err := tb.WriteCSVFile(filepath.Join(dir, tb.Name+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := FromDir(dir, Config{Knowledge: kb.Demo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lake().Size() != 2 {
+		t.Errorf("lake size = %d", p.Lake().Size())
+	}
+	if _, err := FromDir(filepath.Join(dir, "no"), Config{}); err == nil {
+		t.Error("missing dir must error")
+	}
+}

@@ -1,0 +1,349 @@
+// Package er implements entity resolution over integrated tables, the
+// downstream application of the paper's Example 5 (where the Python
+// prototype calls py_entitymatching). The same block → score → match →
+// cluster → merge flow is implemented natively:
+//
+//   - blocking on knowledge-base-canonicalized cell values, so alias pairs
+//     (J&J ≈ JnJ, USA ≈ United States) land in one block;
+//   - per-column similarity features: alias-aware equality, numeric
+//     closeness, Levenshtein ratio and token Jaccard;
+//   - a rule matcher with a conflict veto: a pair is rejected outright when
+//     any column both sides fill disagrees strongly, and otherwise matches
+//     when the average similarity — counting one-sided nulls as 0, the
+//     incompleteness penalty that makes ER fail on outer-join output
+//     (Fig. 8(c)) and succeed on FD output (Fig. 8(d)) — clears the
+//     threshold;
+//   - transitive clustering of matches and canonical-tuple merging.
+package er
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kb"
+	"repro/internal/table"
+	"repro/internal/tokenize"
+)
+
+// Options configures Resolve.
+type Options struct {
+	// Knowledge supplies aliases for equality features and blocking; nil
+	// disables alias awareness.
+	Knowledge *kb.KB
+	// Threshold is the minimum average similarity for a match. Default 0.6.
+	Threshold float64
+	// Veto rejects a pair outright when a column filled on both sides has
+	// similarity below it. Default 0.25.
+	Veto float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 0.6
+	}
+	if o.Veto == 0 {
+		o.Veto = 0.25
+	}
+	return o
+}
+
+// Pair is one scored candidate row pair (A < B).
+type Pair struct {
+	A, B  int
+	Score float64
+	// Matched reports whether the pair cleared the threshold.
+	Matched bool
+}
+
+// Resolution is the output of Resolve.
+type Resolution struct {
+	// Input is the table that was resolved.
+	Input *table.Table
+	// Clusters groups row indices of resolved entities (singletons
+	// included), each sorted, ordered by first member.
+	Clusters [][]int
+	// Pairs lists every compared candidate pair with its score.
+	Pairs []Pair
+	// Resolved holds one canonical merged tuple per cluster.
+	Resolved *table.Table
+}
+
+// Similarity scores two aligned rows. comparable is false when the rows
+// share no column filled on both sides (such rows can never be resolved —
+// the fate of the outer join's f9/f10) or when a shared column triggers
+// the conflict veto.
+func Similarity(a, b []table.Value, opts Options) (score float64, comparable bool) {
+	opts = opts.withDefaults()
+	considered := 0
+	bothFilled := 0
+	total := 0.0
+	for i := range a {
+		an, bn := !a[i].IsNull(), !b[i].IsNull()
+		switch {
+		case an && bn:
+			s := cellSimilarity(a[i], b[i], opts.Knowledge)
+			if s < opts.Veto {
+				return 0, false // conflicting values: hard reject
+			}
+			considered++
+			bothFilled++
+			total += s
+		case an != bn:
+			// One-sided null: the pair stays comparable but pays an
+			// uncertainty penalty (a 0 contribution).
+			considered++
+		default:
+			// Both null: the column says nothing.
+		}
+	}
+	if bothFilled == 0 || considered == 0 {
+		return 0, false
+	}
+	return total / float64(considered), true
+}
+
+// cellSimilarity scores two non-null cells in [0,1].
+func cellSimilarity(a, b table.Value, knowledge *kb.KB) float64 {
+	if a.Equal(b) {
+		return 1
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if aok && bok {
+		den := maxAbs(af, bf)
+		if den == 0 {
+			return 1
+		}
+		d := af - bf
+		if d < 0 {
+			d = -d
+		}
+		if d >= den {
+			return 0
+		}
+		return 1 - d/den
+	}
+	as, bs := a.String(), b.String()
+	if knowledge != nil && knowledge.SameEntity(as, bs) {
+		return 1
+	}
+	lev := levenshteinRatio(tokenize.Normalize(as), tokenize.Normalize(bs))
+	jac := tokenize.Jaccard(tokenize.Words(as), tokenize.Words(bs))
+	if jac > lev {
+		return jac
+	}
+	return lev
+}
+
+func maxAbs(a, b float64) float64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// levenshteinRatio returns 1 - dist/maxLen in [0,1].
+func levenshteinRatio(a, b string) float64 {
+	ar, br := []rune(a), []rune(b)
+	if len(ar) == 0 && len(br) == 0 {
+		return 1
+	}
+	la, lb := len(ar), len(br)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ar[i-1] == br[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if x := cur[j-1] + 1; x < m {
+				m = x // insertion
+			}
+			if x := prev[j-1] + cost; x < m {
+				m = x // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	dist := prev[lb]
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(dist)/float64(maxLen)
+}
+
+// Resolve performs entity resolution over the rows of t.
+func Resolve(t *table.Table, opts Options) (*Resolution, error) {
+	if t == nil || t.NumCols() == 0 {
+		return nil, fmt.Errorf("er: nil or zero-column table")
+	}
+	opts = opts.withDefaults()
+	candidates := blockPairs(t, opts.Knowledge)
+	parent := make([]int, t.NumRows())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	res := &Resolution{Input: t}
+	for _, p := range candidates {
+		score, comparable := Similarity(t.Rows[p[0]], t.Rows[p[1]], opts)
+		if !comparable {
+			continue
+		}
+		pair := Pair{A: p[0], B: p[1], Score: score, Matched: score >= opts.Threshold}
+		res.Pairs = append(res.Pairs, pair)
+		if pair.Matched {
+			ra, rb := find(p[0]), find(p[1])
+			if ra != rb {
+				if ra > rb {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for i := 0; i < t.NumRows(); i++ {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		sort.Ints(byRoot[r])
+		res.Clusters = append(res.Clusters, byRoot[r])
+	}
+	res.Resolved = mergeClusters(t, res.Clusters, opts.Knowledge)
+	return res, nil
+}
+
+// blockPairs generates candidate pairs: rows sharing a canonicalized cell
+// value in the same column. Each pair is emitted once (a<b), ordered.
+func blockPairs(t *table.Table, knowledge *kb.KB) [][2]int {
+	blocks := make(map[string][]int)
+	for r, row := range t.Rows {
+		for c, v := range row {
+			if v.IsNull() {
+				continue
+			}
+			key := tokenize.Normalize(v.String())
+			if knowledge != nil {
+				key = knowledge.Canonical(v.String())
+			}
+			if key == "" {
+				continue
+			}
+			blocks[fmt.Sprintf("%d\x1f%s", c, key)] = append(blocks[fmt.Sprintf("%d\x1f%s", c, key)], r)
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	keys := make([]string, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rows := blocks[k]
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				p := [2]int{rows[i], rows[j]}
+				if p[0] == p[1] || seen[p] {
+					continue
+				}
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// mergeClusters builds the canonical table: per cluster and column, the
+// most frequent non-null value wins; ties prefer the longest rendering,
+// then the lexicographically smallest (which selects "J&J" over "JnJ" and
+// "United States" over "USA", as in Fig. 8(d)). All-null columns keep a
+// missing null if any member had one, else a produced null.
+func mergeClusters(t *table.Table, clusters [][]int, knowledge *kb.KB) *table.Table {
+	out := table.New("ER("+t.Name+")", t.Columns...)
+	for _, cluster := range clusters {
+		row := make([]table.Value, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			row[c] = canonicalValue(t, cluster, c)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func canonicalValue(t *table.Table, cluster []int, c int) table.Value {
+	counts := make(map[string]int)
+	byKey := make(map[string]table.Value)
+	anyMissing := false
+	for _, r := range cluster {
+		v := t.Rows[r][c]
+		if v.IsNull() {
+			if v.Kind() == table.Null {
+				anyMissing = true
+			}
+			continue
+		}
+		k := v.Key()
+		counts[k]++
+		if _, ok := byKey[k]; !ok {
+			byKey[k] = v
+		}
+	}
+	if len(counts) == 0 {
+		if anyMissing {
+			return table.NullValue()
+		}
+		return table.ProducedNull()
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb2 := keys[a], keys[b]
+		if counts[ka] != counts[kb2] {
+			return counts[ka] > counts[kb2]
+		}
+		sa, sb := byKey[ka].String(), byKey[kb2].String()
+		if len(sa) != len(sb) {
+			return len(sa) > len(sb)
+		}
+		return sa < sb
+	})
+	return byKey[keys[0]]
+}

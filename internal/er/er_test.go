@@ -1,0 +1,225 @@
+package er
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/paperdata"
+	"repro/internal/table"
+)
+
+func demoOpts() Options { return Options{Knowledge: kb.Demo()} }
+
+func TestFig8dEROverFD(t *testing.T) {
+	// ER over the FD result (f8, f12, f13) resolves {f12, f13} and yields
+	// exactly the two canonical rows of Fig. 8(d).
+	res, err := Resolve(paperdata.Fig8bExpected(), demoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %v, want 2", res.Clusters)
+	}
+	want := paperdata.Fig8dExpected()
+	got := res.Resolved.Clone()
+	got.Columns = want.Columns
+	got.Name = want.Name
+	if !got.EqualUnordered(want) {
+		t.Fatalf("ER(FD) != Fig. 8(d):\ngot:\n%s\nwant:\n%s", res.Resolved, want)
+	}
+}
+
+func TestFig8cEROverOuterJoin(t *testing.T) {
+	// ER over the outer-join result (f8–f12): {f11, f12} resolve into
+	// (J&J, ⊥, United States); f9 and f10 cannot be resolved, and the J&J
+	// approver remains unknown — the paper's core contrast.
+	res, err := Resolve(paperdata.Fig8aExpected(), demoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatalf("clusters = %v, want 4", res.Clusters)
+	}
+	got := res.Resolved
+	if got.NumRows() != 4 {
+		t.Fatalf("resolved rows = %d, want 4:\n%s", got.NumRows(), got)
+	}
+	// Build the expected Fig. 8(c) table.
+	want := table.New("want", paperdata.ColVaccine, paperdata.ColApprover, paperdata.ColCountry)
+	want.MustAddRow(table.StringValue("Pfizer"), table.StringValue("FDA"), table.StringValue("United States"))
+	want.MustAddRow(table.StringValue("JnJ"), table.NullValue(), table.ProducedNull())
+	want.MustAddRow(table.ProducedNull(), table.NullValue(), table.StringValue("USA"))
+	want.MustAddRow(table.StringValue("J&J"), table.ProducedNull(), table.StringValue("United States"))
+	cmp := got.Clone()
+	cmp.Columns = want.Columns
+	cmp.Name = want.Name
+	if !cmp.EqualUnordered(want) {
+		t.Fatalf("ER(outer join) != Fig. 8(c):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// No row carries the J&J-approver fact.
+	for r := 0; r < got.NumRows(); r++ {
+		if got.Cell(r, 0).Str() == "J&J" && !got.Cell(r, 1).IsNull() {
+			t.Error("outer-join ER must not know J&J's approver")
+		}
+	}
+}
+
+func TestIncompleteTuplesNotComparable(t *testing.T) {
+	// f9 = (JnJ, ±, ⊥) and f10 = (⊥, ±, USA) share no both-filled column.
+	f9 := []table.Value{table.StringValue("JnJ"), table.NullValue(), table.ProducedNull()}
+	f10 := []table.Value{table.ProducedNull(), table.NullValue(), table.StringValue("USA")}
+	if _, comparable := Similarity(f9, f10, demoOpts()); comparable {
+		t.Error("tuples with no shared filled column must not be comparable")
+	}
+}
+
+func TestConflictVeto(t *testing.T) {
+	a := []table.Value{table.StringValue("Pfizer"), table.StringValue("FDA"), table.StringValue("United States")}
+	b := []table.Value{table.StringValue("J&J"), table.StringValue("FDA"), table.StringValue("United States")}
+	if _, comparable := Similarity(a, b, demoOpts()); comparable {
+		t.Error("conflicting vaccine names must veto the pair")
+	}
+}
+
+func TestOneSidedNullPenalty(t *testing.T) {
+	// (JnJ, ±, ⊥) vs (JnJ, ⊥, USA): vaccine matches but the one-sided
+	// country null halves the score below the threshold.
+	a := []table.Value{table.StringValue("JnJ"), table.NullValue(), table.ProducedNull()}
+	b := []table.Value{table.StringValue("JnJ"), table.ProducedNull(), table.StringValue("USA")}
+	score, comparable := Similarity(a, b, demoOpts())
+	if !comparable {
+		t.Fatal("pair must be comparable")
+	}
+	if score >= 0.6 {
+		t.Errorf("score = %v, want < 0.6 (incompleteness penalty)", score)
+	}
+}
+
+func TestCellSimilarity(t *testing.T) {
+	k := kb.Demo()
+	if s := cellSimilarity(table.StringValue("USA"), table.StringValue("United States"), k); s != 1 {
+		t.Errorf("alias similarity = %v, want 1", s)
+	}
+	if s := cellSimilarity(table.StringValue("USA"), table.StringValue("United States"), nil); s >= 1 {
+		t.Errorf("without KB, alias pair must score < 1, got %v", s)
+	}
+	if s := cellSimilarity(table.IntValue(100), table.IntValue(90), nil); s != 0.9 {
+		t.Errorf("numeric closeness = %v, want 0.9", s)
+	}
+	if s := cellSimilarity(table.IntValue(0), table.FloatValue(0), nil); s != 1 {
+		t.Errorf("zero/zero = %v, want 1", s)
+	}
+	if s := cellSimilarity(table.StringValue("Berlin"), table.StringValue("Berlin!"), nil); s < 0.8 {
+		t.Errorf("near-identical strings = %v", s)
+	}
+}
+
+func TestLevenshteinRatio(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "abc", 1},
+		{"abc", "abd", 1 - 1.0/3},
+		{"abc", "", 0},
+		{"kitten", "sitting", 1 - 3.0/7},
+	}
+	for _, c := range cases {
+		got := levenshteinRatio(c.a, c.b)
+		if diff := got - c.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("lev(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestResolveTransitiveClustering(t *testing.T) {
+	tb := table.New("t", "name", "city")
+	tb.MustAddRow(table.StringValue("USA"), table.StringValue("Boston"))
+	tb.MustAddRow(table.StringValue("United States"), table.StringValue("Boston"))
+	tb.MustAddRow(table.StringValue("U.S.A."), table.StringValue("Boston"))
+	res, err := Resolve(tb, demoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 || len(res.Clusters[0]) != 3 {
+		t.Errorf("clusters = %v, want one cluster of 3", res.Clusters)
+	}
+	if res.Resolved.NumRows() != 1 {
+		t.Errorf("resolved = %d rows", res.Resolved.NumRows())
+	}
+	if res.Resolved.Cell(0, 0).Str() != "United States" {
+		t.Errorf("canonical = %q, want longest form", res.Resolved.Cell(0, 0).Str())
+	}
+}
+
+func TestResolveNoMatches(t *testing.T) {
+	tb := table.New("t", "v")
+	tb.MustAddRow(table.StringValue("alpha"))
+	tb.MustAddRow(table.StringValue("omega"))
+	res, err := Resolve(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Errorf("clusters = %v", res.Clusters)
+	}
+}
+
+func TestResolveValidation(t *testing.T) {
+	if _, err := Resolve(nil, Options{}); err == nil {
+		t.Error("nil table must error")
+	}
+	if _, err := Resolve(table.New("x"), Options{}); err == nil {
+		t.Error("zero-column table must error")
+	}
+}
+
+func TestBlockingLimitsPairs(t *testing.T) {
+	tb := table.New("t", "v")
+	tb.MustAddRow(table.StringValue("aaa"))
+	tb.MustAddRow(table.StringValue("bbb"))
+	tb.MustAddRow(table.StringValue("aaa"))
+	pairs := blockPairs(tb, nil)
+	if !reflect.DeepEqual(pairs, [][2]int{{0, 2}}) {
+		t.Errorf("blocking pairs = %v, want [[0 2]]", pairs)
+	}
+}
+
+func TestCanonicalValueNullKinds(t *testing.T) {
+	tb := table.New("t", "v")
+	tb.MustAddRow(table.NullValue())
+	tb.MustAddRow(table.ProducedNull())
+	if v := canonicalValue(tb, []int{0, 1}, 0); v.Kind() != table.Null {
+		t.Error("missing null must win over produced null")
+	}
+	if v := canonicalValue(tb, []int{1}, 0); v.Kind() != table.PNull {
+		t.Error("produced-only cluster keeps produced null")
+	}
+}
+
+func TestPairwiseQuality(t *testing.T) {
+	clusters := [][]int{{0, 1}, {2}, {3}}
+	truth := []string{"x", "x", "y", "y"}
+	p, r, f1 := PairwiseQuality(clusters, truth)
+	if p != 1 {
+		t.Errorf("precision = %v, want 1", p)
+	}
+	if r != 0.5 {
+		t.Errorf("recall = %v, want 0.5", r)
+	}
+	if f1 <= 0.6 || f1 >= 0.7 {
+		t.Errorf("f1 = %v, want 2/3", f1)
+	}
+	// Perfect clustering.
+	p, r, f1 = PairwiseQuality([][]int{{0, 1}, {2, 3}}, truth)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("perfect = %v %v %v", p, r, f1)
+	}
+	// Degenerate: no true pairs.
+	p, r, f1 = PairwiseQuality([][]int{{0}, {1}}, []string{"a", "b"})
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("degenerate = %v %v %v", p, r, f1)
+	}
+}

@@ -1,0 +1,270 @@
+package er
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kb"
+	"repro/internal/table"
+)
+
+// FeatureNames documents the per-pair feature vector layout used by the
+// learned matcher, in order.
+var FeatureNames = []string{
+	"mean_similarity",  // average cell similarity over considered columns
+	"min_similarity",   // weakest both-filled column
+	"both_filled_frac", // fraction of columns filled on both sides
+	"one_sided_frac",   // fraction of columns filled on exactly one side
+	"exact_match_frac", // fraction of both-filled columns matching exactly
+}
+
+// Features computes the learned matcher's feature vector for a row pair.
+// The second result is false when the rows share no both-filled column
+// (such pairs are never matchable, mirroring the rule matcher).
+func Features(a, b []table.Value, knowledge *kb.KB) ([]float64, bool) {
+	n := len(a)
+	if n == 0 {
+		return nil, false
+	}
+	bothFilled, oneSided, considered := 0, 0, 0
+	var simSum float64
+	minSim := 1.0
+	exact := 0
+	for i := range a {
+		an, bn := !a[i].IsNull(), !b[i].IsNull()
+		switch {
+		case an && bn:
+			s := cellSimilarity(a[i], b[i], knowledge)
+			bothFilled++
+			considered++
+			simSum += s
+			if s < minSim {
+				minSim = s
+			}
+			if a[i].Equal(b[i]) {
+				exact++
+			}
+		case an != bn:
+			oneSided++
+			considered++
+		}
+	}
+	if bothFilled == 0 {
+		return nil, false
+	}
+	exactFrac := float64(exact) / float64(bothFilled)
+	return []float64{
+		simSum / float64(considered),
+		minSim,
+		float64(bothFilled) / float64(n),
+		float64(oneSided) / float64(n),
+		exactFrac,
+	}, true
+}
+
+// LogisticModel is a trained pairwise match classifier: P(match) =
+// sigmoid(w·x + b). It substitutes for py_entitymatching's learned
+// matchers (the demo trains one on labeled pairs).
+type LogisticModel struct {
+	// Weights holds one weight per feature in FeatureNames order.
+	Weights []float64
+	// Bias is the intercept.
+	Bias float64
+}
+
+// Predict returns P(match) for a feature vector.
+func (m *LogisticModel) Predict(features []float64) float64 {
+	z := m.Bias
+	for i, w := range m.Weights {
+		if i < len(features) {
+			z += w * features[i]
+		}
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// TrainingPair is one labeled example for TrainLogistic.
+type TrainingPair struct {
+	A, B  []table.Value
+	Match bool
+}
+
+// TrainOptions configures logistic-regression training.
+type TrainOptions struct {
+	// Knowledge feeds the feature extractor.
+	Knowledge *kb.KB
+	// Epochs of full-batch gradient descent. Default 500.
+	Epochs int
+	// LearningRate. Default 0.5.
+	LearningRate float64
+	// L2 regularization strength. Default 0.001.
+	L2 float64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 500
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.5
+	}
+	if o.L2 <= 0 {
+		o.L2 = 0.001
+	}
+	return o
+}
+
+// TrainLogistic fits a logistic-regression matcher on labeled row pairs by
+// full-batch gradient descent. Pairs whose rows share no both-filled
+// column are skipped (they are never matchable at inference either).
+// Training is deterministic: weights start at zero and the data order is
+// the caller's.
+func TrainLogistic(pairs []TrainingPair, opts TrainOptions) (*LogisticModel, error) {
+	opts = opts.withDefaults()
+	type example struct {
+		x []float64
+		y float64
+	}
+	var data []example
+	for _, p := range pairs {
+		x, ok := Features(p.A, p.B, opts.Knowledge)
+		if !ok {
+			continue
+		}
+		y := 0.0
+		if p.Match {
+			y = 1
+		}
+		data = append(data, example{x: x, y: y})
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("er: no trainable pairs (every pair lacks a both-filled column)")
+	}
+	nf := len(data[0].x)
+	m := &LogisticModel{Weights: make([]float64, nf)}
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		gw := make([]float64, nf)
+		gb := 0.0
+		for _, ex := range data {
+			p := m.Predict(ex.x)
+			diff := p - ex.y
+			for i := range gw {
+				gw[i] += diff * ex.x[i]
+			}
+			gb += diff
+		}
+		scale := opts.LearningRate / float64(len(data))
+		for i := range m.Weights {
+			m.Weights[i] -= scale*gw[i] + opts.LearningRate*opts.L2*m.Weights[i]
+		}
+		m.Bias -= scale * gb
+	}
+	return m, nil
+}
+
+// ResolveLearned runs entity resolution with a trained model instead of
+// the rule matcher: candidate pairs come from the same blocking, a pair
+// matches when P(match) >= threshold (0.5 when threshold <= 0), and
+// clusters merge transitively as in Resolve.
+func ResolveLearned(t *table.Table, model *LogisticModel, knowledge *kb.KB, threshold float64) (*Resolution, error) {
+	if t == nil || t.NumCols() == 0 {
+		return nil, fmt.Errorf("er: nil or zero-column table")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("er: nil model")
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	candidates := blockPairs(t, knowledge)
+	parent := make([]int, t.NumRows())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	res := &Resolution{Input: t}
+	for _, p := range candidates {
+		x, ok := Features(t.Rows[p[0]], t.Rows[p[1]], knowledge)
+		if !ok {
+			continue
+		}
+		score := model.Predict(x)
+		pair := Pair{A: p[0], B: p[1], Score: score, Matched: score >= threshold}
+		res.Pairs = append(res.Pairs, pair)
+		if pair.Matched {
+			ra, rb := find(p[0]), find(p[1])
+			if ra != rb {
+				if ra > rb {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for i := 0; i < t.NumRows(); i++ {
+		byRoot[find(i)] = append(byRoot[find(i)], i)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sortInts(roots)
+	for _, r := range roots {
+		sortInts(byRoot[r])
+		res.Clusters = append(res.Clusters, byRoot[r])
+	}
+	res.Resolved = mergeClusters(t, res.Clusters, knowledge)
+	return res, nil
+}
+
+// TrainingPairsFromFigures builds a small labeled training set from the
+// demo KB's alias structure: positive pairs are alias respellings of one
+// row; negatives pair different entities. It lets the demo train a learned
+// matcher without external labels.
+func TrainingPairsFromFigures(knowledge *kb.KB) []TrainingPair {
+	s := func(v string) table.Value { return table.StringValue(v) }
+	nul := table.NullValue()
+	pn := table.ProducedNull()
+	return []TrainingPair{
+		// Positives: alias respellings and partial views of one entity.
+		{A: []table.Value{s("JnJ"), s("FDA"), s("USA")}, B: []table.Value{s("J&J"), s("FDA"), s("United States")}, Match: true},
+		{A: []table.Value{s("Pfizer"), s("FDA"), s("United States")}, B: []table.Value{s("Pfizer"), s("FDA"), s("USA")}, Match: true},
+		{A: []table.Value{s("Moderna"), pn, s("USA")}, B: []table.Value{s("Moderna"), s("FDA"), s("USA")}, Match: true},
+		{A: []table.Value{s("AstraZeneca"), s("EMA"), pn}, B: []table.Value{s("AstraZeneca"), s("EMA"), s("England")}, Match: true},
+		{A: []table.Value{s("Sinovac"), nul, s("China")}, B: []table.Value{s("CoronaVac"), nul, s("China")}, Match: true},
+		// The Fig. 8(d) pair itself: two alias agreements plus one
+		// one-sided unknown is a match.
+		{A: []table.Value{s("JnJ"), pn, s("USA")}, B: []table.Value{s("J&J"), s("FDA"), s("United States")}, Match: true},
+		{A: []table.Value{s("Spikevax"), pn, s("USA")}, B: []table.Value{s("Moderna"), s("FDA"), s("United States")}, Match: true},
+		// Negatives: different entities, even when some columns agree.
+		{A: []table.Value{s("Pfizer"), s("FDA"), s("United States")}, B: []table.Value{s("J&J"), s("FDA"), s("United States")}, Match: false},
+		{A: []table.Value{s("Moderna"), s("FDA"), s("USA")}, B: []table.Value{s("Novavax"), s("FDA"), s("USA")}, Match: false},
+		// Negatives: a single agreeing attribute with everything else
+		// unknown is insufficient evidence (Fig. 8(c): f9 is not merged
+		// with f11 or f12, and f10 not with f8 or f12) — whether the
+		// agreement is literal or via an alias.
+		{A: []table.Value{s("JnJ"), nul, pn}, B: []table.Value{s("JnJ"), pn, s("USA")}, Match: false},
+		{A: []table.Value{pn, nul, s("USA")}, B: []table.Value{s("JnJ"), pn, s("USA")}, Match: false},
+		{A: []table.Value{s("JnJ"), nul, pn}, B: []table.Value{s("J&J"), pn, s("United States")}, Match: false},
+		{A: []table.Value{s("Pfizer"), s("FDA"), s("United States")}, B: []table.Value{pn, nul, s("USA")}, Match: false},
+		{A: []table.Value{s("Sputnik V"), pn, s("Russia")}, B: []table.Value{s("Covaxin"), pn, s("India")}, Match: false},
+		{A: []table.Value{s("Pfizer"), pn, pn}, B: []table.Value{s("Moderna"), pn, pn}, Match: false},
+		{A: []table.Value{s("AstraZeneca"), s("MHRA"), s("England")}, B: []table.Value{s("Sinovac"), s("WHO"), s("China")}, Match: false},
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package er
+
+// PairwiseQuality scores a clustering against ground-truth entity labels
+// (one label per row; rows with equal labels belong together). It returns
+// pairwise precision, recall and F1 — the standard ER quality metrics used
+// by experiment X6 to quantify Fig. 8's claim that ER works better over FD
+// output than over outer-join output.
+func PairwiseQuality(clusters [][]int, truth []string) (precision, recall, f1 float64) {
+	cluster := make(map[int]int)
+	for ci, rows := range clusters {
+		for _, r := range rows {
+			cluster[r] = ci
+		}
+	}
+	var tp, fp, fn float64
+	for i := 0; i < len(truth); i++ {
+		ci, iok := cluster[i]
+		for j := i + 1; j < len(truth); j++ {
+			cj, jok := cluster[j]
+			pred := iok && jok && ci == cj
+			tru := truth[i] == truth[j]
+			switch {
+			case pred && tru:
+				tp++
+			case pred && !tru:
+				fp++
+			case !pred && tru:
+				fn++
+			}
+		}
+	}
+	if tp+fp > 0 {
+		precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		recall = tp / (tp + fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return
+}

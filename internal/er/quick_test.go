@@ -1,0 +1,125 @@
+package er
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kb"
+	"repro/internal/table"
+)
+
+func randRow(rng *rand.Rand, cols int) []table.Value {
+	row := make([]table.Value, cols)
+	vocab := []string{"jnj", "j&j", "usa", "united states", "fda", "berlin", "x", "y"}
+	for i := range row {
+		switch rng.Intn(4) {
+		case 0:
+			row[i] = table.NullValue()
+		case 1:
+			row[i] = table.ProducedNull()
+		case 2:
+			row[i] = table.IntValue(int64(rng.Intn(100)))
+		default:
+			row[i] = table.StringValue(vocab[rng.Intn(len(vocab))])
+		}
+	}
+	return row
+}
+
+// TestQuickSimilaritySymmetricAndBounded: pair similarity is symmetric,
+// in [0,1], and comparability is symmetric too.
+func TestQuickSimilaritySymmetricAndBounded(t *testing.T) {
+	k := kb.Demo()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 1 + rng.Intn(4)
+		a := randRow(rng, cols)
+		b := randRow(rng, cols)
+		opts := Options{Knowledge: k}
+		s1, c1 := Similarity(a, b, opts)
+		s2, c2 := Similarity(b, a, opts)
+		if c1 != c2 {
+			return false
+		}
+		if s1 != s2 {
+			return false
+		}
+		return s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSelfSimilarityMatches: a row with at least one non-null cell is
+// always comparable to itself with similarity 1.
+func TestQuickSelfSimilarityMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		row := randRow(rng, 1+rng.Intn(4))
+		hasValue := false
+		for _, v := range row {
+			if !v.IsNull() {
+				hasValue = true
+			}
+		}
+		s, comparable := Similarity(row, row, Options{})
+		if !hasValue {
+			return !comparable
+		}
+		return comparable && s == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickResolveClustersPartitionRows: clusters always partition the
+// input rows exactly.
+func TestQuickResolveClustersPartitionRows(t *testing.T) {
+	k := kb.Demo()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := table.New("t", "a", "b", "c")
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			tb.Rows = append(tb.Rows, randRow(rng, 3))
+		}
+		res, err := Resolve(tb, Options{Knowledge: k})
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, cluster := range res.Clusters {
+			for _, r := range cluster {
+				if r < 0 || r >= n || seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		return len(seen) == n && res.Resolved.NumRows() == len(res.Clusters)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLevenshteinMetricProperties: identity, symmetry and range.
+func TestQuickLevenshteinMetricProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 || len(b) > 40 {
+			return true // bound cost
+		}
+		r1 := levenshteinRatio(a, b)
+		r2 := levenshteinRatio(b, a)
+		if r1 != r2 || r1 < 0 || r1 > 1 {
+			return false
+		}
+		return levenshteinRatio(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package experiments reproduces every figure and worked example of the
+// DIALITE paper (F-rows) and the shape of the headline experiments of the
+// systems DIALITE composes — ALITE, SANTOS, LSH Ensemble — on synthetic
+// data with ground truth (X-rows). cmd/repro prints the rows recorded in
+// EXPERIMENTS.md; the root bench_test.go exposes one testing.B benchmark
+// per row.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one reproduction result.
+type Row struct {
+	// ID is the experiment identifier (F2, E3, X1, ...).
+	ID string
+	// Name describes the artifact.
+	Name string
+	// Paper states what the paper shows or claims.
+	Paper string
+	// Measured states what this repository reproduces.
+	Measured string
+	// Pass reports whether the reproduction criterion held.
+	Pass bool
+}
+
+// String renders a row as a markdown table line.
+func (r Row) String() string {
+	status := "ok"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("| %s | %s | %s | %s | %s |", r.ID, r.Name, r.Paper, r.Measured, status)
+}
+
+// All runs every experiment in report order.
+func All() []Row {
+	return []Row{
+		Fig1(), Fig2(), Fig3(), Example3(), Fig4(), Fig5(), Fig6(),
+		Fig8a(), Fig8b(), Fig8c(), Fig8d(),
+		X1Completeness(), X2FDScaling(), X3JoinSearch(), X4UnionSearch(),
+		X5SchemaMatch(), X6ERQuality(),
+	}
+}
+
+// Report renders rows as a markdown table.
+func Report(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("| ID | Artifact | Paper | Measured | Status |\n")
+	b.WriteString("|----|----------|-------|----------|--------|\n")
+	for _, r := range rows {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/discovery"
+	"repro/internal/table"
+)
+
+// TestAllFigureRowsPass is the master golden test: every paper artifact
+// must reproduce. (The X rows run in TestAllScalingRowsPass; split so a
+// failure pinpoints the class.)
+func TestAllFigureRowsPass(t *testing.T) {
+	rows := []Row{Fig1(), Fig2(), Fig3(), Example3(), Fig4(), Fig5(), Fig6(), Fig8a(), Fig8b(), Fig8c(), Fig8d()}
+	for _, r := range rows {
+		if !r.Pass {
+			t.Errorf("%s (%s): %s", r.ID, r.Name, r.Measured)
+		}
+	}
+}
+
+func TestAllScalingRowsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling experiments are not short")
+	}
+	rows := []Row{X1Completeness(), X2FDScaling(), X3JoinSearch(), X4UnionSearch(), X5SchemaMatch(), X6ERQuality()}
+	for _, r := range rows {
+		if !r.Pass {
+			t.Errorf("%s (%s): %s", r.ID, r.Name, r.Measured)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rows := []Row{{ID: "T", Name: "n", Paper: "p", Measured: "m", Pass: true}}
+	rep := Report(rows)
+	if !strings.Contains(rep, "| T | n | p | m | ok |") {
+		t.Errorf("report = %q", rep)
+	}
+	fail := Row{ID: "F", Pass: false}
+	if !strings.Contains(fail.String(), "FAIL") {
+		t.Error("failing row must render FAIL")
+	}
+}
+
+func TestFragmentInput(t *testing.T) {
+	in, err := FragmentInput(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Schema) != 3 {
+		t.Errorf("fragment schema = %v", in.Schema)
+	}
+	if len(in.Tuples) < 5 {
+		t.Errorf("fragment tuples = %d", len(in.Tuples))
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	mk := func(names ...string) []discovery.Result {
+		out := make([]discovery.Result, len(names))
+		for i, n := range names {
+			out[i] = discovery.Result{Table: table.New(n, "c")}
+		}
+		return out
+	}
+	// Results ranked [a b c]; truth {a, c} -> p@3 = 2/3, p@1 = 1.
+	rs := mk("a", "b", "c")
+	if p := precisionAtK(rs, []string{"a", "c"}, 3); p < 0.66 || p > 0.67 {
+		t.Errorf("p@3 = %v, want 2/3", p)
+	}
+	if p := precisionAtK(rs, []string{"a", "c"}, 1); p != 1 {
+		t.Errorf("p@1 = %v, want 1", p)
+	}
+	if p := precisionAtK(nil, []string{"a"}, 3); p != 0 {
+		t.Errorf("empty results precision = %v", p)
+	}
+}

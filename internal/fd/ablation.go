@@ -1,0 +1,41 @@
+package fd
+
+// ALITEUnindexed computes the same complementation closure as ALITE but
+// generates candidate pairs by scanning every existing tuple instead of
+// probing the (position, value) inverted index. It exists purely as the
+// ablation baseline for the index — the design choice that makes ALITE's
+// closure practical — and produces identical output.
+func ALITEUnindexed(in Input) []Tuple {
+	tuples := dedupeTuples(in.Tuples)
+	keys := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		keys[t.Key()] = true
+	}
+	work := make([]int, len(tuples))
+	for i := range work {
+		work[i] = i
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		// Ablated candidate generation: every other tuple is a candidate.
+		for j := 0; j < len(tuples); j++ {
+			if j == i {
+				continue
+			}
+			a, b := tuples[i], tuples[j]
+			if !Complementable(a.Values, b.Values) {
+				continue
+			}
+			m := Merge(a, b)
+			k := m.Key()
+			if keys[k] {
+				continue
+			}
+			keys[k] = true
+			tuples = append(tuples, m)
+			work = append(work, len(tuples)-1)
+		}
+	}
+	return finalize(tuples)
+}

@@ -1,0 +1,27 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestALITEUnindexedMatchesALITE(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 60; iter++ {
+		in := randomInput(rng)
+		a := ALITE(in)
+		u := ALITEUnindexed(in)
+		if !sameValues(a, u) {
+			t.Fatalf("iteration %d: unindexed closure diverges", iter)
+		}
+	}
+}
+
+func TestALITEUnindexedOnFixtures(t *testing.T) {
+	for _, mk := range []func(*testing.T) Input{fig3Input, fig8Input} {
+		in := mk(t)
+		if !sameValues(ALITE(in), ALITEUnindexed(in)) {
+			t.Error("unindexed closure diverges on paper fixtures")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package fd
+
+// ALITE computes the Full Disjunction of the input by complementation
+// closure, the algorithm of the ALITE paper:
+//
+//  1. Deduplicate the outer-union tuples (set semantics).
+//  2. Repeatedly merge complementable tuple pairs — candidate pairs are
+//     generated from a (position, value) inverted index, so only tuples
+//     that actually share a joinable value are ever compared — until no
+//     merge produces a tuple with new values.
+//  3. Remove subsumed tuples, leaving the maximal ones.
+//
+// The result is sorted canonically and is deterministic.
+func ALITE(in Input) []Tuple {
+	c := newCloser(in.Tuples)
+	c.run()
+	return finalize(c.tuples)
+}
+
+// finalize applies subsumption removal and canonical ordering.
+func finalize(tuples []Tuple) []Tuple {
+	out := RemoveSubsumed(tuples)
+	sortTuples(out)
+	return out
+}
+
+// closer holds the shared closure state used by ALITE and Parallel.
+type closer struct {
+	tuples  []Tuple
+	keys    map[string]bool  // value keys present
+	buckets map[string][]int // (pos,value) -> tuple indices
+}
+
+func newCloser(initial []Tuple) *closer {
+	c := &closer{
+		keys:    make(map[string]bool),
+		buckets: make(map[string][]int),
+	}
+	for _, t := range dedupeTuples(initial) {
+		c.add(t)
+	}
+	return c
+}
+
+// add registers a tuple known to have a fresh value key.
+func (c *closer) add(t Tuple) int {
+	idx := len(c.tuples)
+	c.tuples = append(c.tuples, t)
+	c.keys[t.Key()] = true
+	for pos, v := range t.Values {
+		if v.IsNull() {
+			continue
+		}
+		bk := bucketKey(pos, v)
+		c.buckets[bk] = append(c.buckets[bk], idx)
+	}
+	return idx
+}
+
+// candidates returns the indices of tuples sharing at least one non-null
+// value with tuple idx, excluding idx itself, deduplicated.
+func (c *closer) candidates(idx int) []int {
+	seen := map[int]bool{idx: true}
+	var out []int
+	for pos, v := range c.tuples[idx].Values {
+		if v.IsNull() {
+			continue
+		}
+		for _, j := range c.buckets[bucketKey(pos, v)] {
+			if !seen[j] {
+				seen[j] = true
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// tryMerge merges tuples i and j if complementable and the merge carries
+// new values; it returns the new tuple index or -1.
+func (c *closer) tryMerge(i, j int) int {
+	a, b := c.tuples[i], c.tuples[j]
+	if !Complementable(a.Values, b.Values) {
+		return -1
+	}
+	m := Merge(a, b)
+	k := m.Key()
+	// A merge whose values already exist (including one of its own sides,
+	// which happens exactly when one side subsumes the other) adds nothing;
+	// the existing tuple keeps its (minimal) provenance.
+	if c.keys[k] {
+		return -1
+	}
+	return c.add(m)
+}
+
+// run drives the sequential closure to fixpoint with a worklist.
+func (c *closer) run() {
+	work := make([]int, len(c.tuples))
+	for i := range work {
+		work[i] = i
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		for _, j := range c.candidates(i) {
+			if ni := c.tryMerge(i, j); ni >= 0 {
+				work = append(work, ni)
+			}
+		}
+	}
+}
+
+// RemoveSubsumed drops every tuple strictly subsumed by another (its
+// non-null values all appear in a tuple with strictly more information).
+// Value-duplicates are removed first; an all-null tuple is dropped whenever
+// any other tuple exists. The survivors are exactly the maximal tuples.
+func RemoveSubsumed(tuples []Tuple) []Tuple {
+	ts := dedupeTuples(tuples)
+	// Bucket index for candidate subsumers: a subsumer must share every
+	// non-null value of the subsumed tuple, in particular its first one.
+	buckets := make(map[string][]int)
+	for i, t := range ts {
+		for pos, v := range t.Values {
+			if v.IsNull() {
+				continue
+			}
+			bk := bucketKey(pos, v)
+			buckets[bk] = append(buckets[bk], i)
+		}
+	}
+	removed := make([]bool, len(ts))
+	for i, t := range ts {
+		firstNonNull := -1
+		for pos, v := range t.Values {
+			if !v.IsNull() {
+				firstNonNull = pos
+				break
+			}
+		}
+		if firstNonNull < 0 {
+			// All-null tuple: carries no information; keep only when it is
+			// the entire result.
+			if len(ts) > 1 {
+				removed[i] = true
+			}
+			continue
+		}
+		bk := bucketKey(firstNonNull, t.Values[firstNonNull])
+		for _, j := range buckets[bk] {
+			if j == i || removed[j] {
+				continue
+			}
+			if Subsumes(ts[j].Values, t.Values) {
+				removed[i] = true
+				break
+			}
+		}
+	}
+	out := make([]Tuple, 0, len(ts))
+	for i, t := range ts {
+		if !removed[i] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package fd implements Full Disjunction (FD), the integration operator at
+// the heart of ALITE and therefore of DIALITE. FD assembles partial facts
+// from many tables into maximally-connected integrated tuples
+// (Galindo-Legaria 1994; Rajaraman & Ullman 1996): over tables aligned to a
+// single integration schema, the FD is the set of subsumption-maximal
+// tuples obtainable by merging join-consistent, connected sets of source
+// tuples, where nulls never join and never conflict.
+//
+// Three algorithms are provided:
+//
+//   - ALITE: the complementation-closure algorithm of the ALITE paper
+//     (Khatiwada et al., VLDB 2022) over the outer union of the inputs,
+//     with a (position,value) inverted index generating candidate pairs.
+//   - Parallel: a round-synchronous parallel variant of the same closure
+//     (the ParaFD comparison point of the ALITE paper).
+//   - Naive: exact enumeration of connected, consistent tuple subsets —
+//     exponential, used as the ground truth in tests and as the baseline
+//     in the X2 scaling experiment.
+//
+// All three agree on output values; tests assert it, including by property
+// testing. Provenance follows the paper's figures: every output tuple
+// carries the set of source-tuple IDs it was assembled from, and a tuple
+// whose values coincide with a plain source tuple keeps that tuple's
+// minimal provenance (Fig. 8(b)'s f12 is {t16}, not {t12,t16}).
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Tuple is one integrated tuple: values over the integration schema plus
+// the sorted set of source tuple IDs that produced it.
+type Tuple struct {
+	Values []table.Value
+	Prov   []string
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	return Tuple{
+		Values: append([]table.Value(nil), t.Values...),
+		Prov:   append([]string(nil), t.Prov...),
+	}
+}
+
+// Key returns the canonical value key of the tuple (provenance excluded;
+// both null kinds collide, matching subsumption semantics).
+func (t Tuple) Key() string { return table.RowKey(t.Values) }
+
+// Input is a set of tuples aligned to one integration schema, typically
+// produced by OuterUnion.
+type Input struct {
+	Schema []string
+	Tuples []Tuple
+}
+
+// Relation maps one source table onto the integration schema.
+type Relation struct {
+	// Table is the source table.
+	Table *table.Table
+	// ColPos maps each source column index to its position in the
+	// integration schema. len(ColPos) == Table.NumCols(). Two source
+	// columns of one table must not map to the same position.
+	ColPos []int
+	// RowIDs optionally names each row for provenance (the paper's
+	// t1..t16). When nil, IDs default to "<table>:<row>".
+	RowIDs []string
+}
+
+// OuterUnion pads every source row onto the integration schema: positions
+// not covered by the source table become produced nulls (⊥), and source
+// cells (including missing nulls ±) are copied through. This is the outer
+// union the ALITE algorithm closes over.
+func OuterUnion(schema []string, rels []Relation) (Input, error) {
+	in := Input{Schema: append([]string(nil), schema...)}
+	for ri, rel := range rels {
+		t := rel.Table
+		if t == nil {
+			return Input{}, fmt.Errorf("fd: relation %d has nil table", ri)
+		}
+		if len(rel.ColPos) != t.NumCols() {
+			return Input{}, fmt.Errorf("fd: relation %q: ColPos has %d entries for %d columns", t.Name, len(rel.ColPos), t.NumCols())
+		}
+		seen := make(map[int]bool)
+		for c, p := range rel.ColPos {
+			if p < 0 || p >= len(schema) {
+				return Input{}, fmt.Errorf("fd: relation %q: column %d maps to position %d outside schema of size %d", t.Name, c, p, len(schema))
+			}
+			if seen[p] {
+				return Input{}, fmt.Errorf("fd: relation %q: two columns map to schema position %d", t.Name, p)
+			}
+			seen[p] = true
+		}
+		if rel.RowIDs != nil && len(rel.RowIDs) != t.NumRows() {
+			return Input{}, fmt.Errorf("fd: relation %q: %d row IDs for %d rows", t.Name, len(rel.RowIDs), t.NumRows())
+		}
+		for r, row := range t.Rows {
+			vals := make([]table.Value, len(schema))
+			for i := range vals {
+				vals[i] = table.ProducedNull()
+			}
+			for c, p := range rel.ColPos {
+				vals[p] = row[c]
+			}
+			id := t.Name + ":" + strconv.Itoa(r)
+			if rel.RowIDs != nil {
+				id = rel.RowIDs[r]
+			}
+			in.Tuples = append(in.Tuples, Tuple{Values: vals, Prov: []string{id}})
+		}
+	}
+	return in, nil
+}
+
+// Complementable reports whether two aligned tuples can merge: they share
+// at least one position where both are non-null and equal, and no position
+// where both are non-null and unequal. Nulls (either kind) neither join nor
+// conflict.
+func Complementable(a, b []table.Value) bool {
+	shares := false
+	for i := range a {
+		if a[i].IsNull() || b[i].IsNull() {
+			continue
+		}
+		if a[i].Equal(b[i]) {
+			shares = true
+		} else {
+			return false
+		}
+	}
+	return shares
+}
+
+// Merge combines two complementable tuples position-wise: the non-null
+// side wins; when both sides are null, a missing null (±) survives over a
+// produced null (⊥), since it reflects source data rather than padding.
+func Merge(a, b Tuple) Tuple {
+	vals := make([]table.Value, len(a.Values))
+	for i := range vals {
+		av, bv := a.Values[i], b.Values[i]
+		switch {
+		case !av.IsNull():
+			vals[i] = av
+		case !bv.IsNull():
+			vals[i] = bv
+		case av.Kind() == table.Null || bv.Kind() == table.Null:
+			vals[i] = table.NullValue()
+		default:
+			vals[i] = table.ProducedNull()
+		}
+	}
+	return Tuple{Values: vals, Prov: unionProv(a.Prov, b.Prov)}
+}
+
+// Subsumes reports whether sup subsumes sub: everywhere sub is non-null,
+// sup holds an equal value. Value-identical tuples subsume each other;
+// callers needing strictness compare keys.
+func Subsumes(sup, sub []table.Value) bool {
+	for i := range sub {
+		if sub[i].IsNull() {
+			continue
+		}
+		if sup[i].IsNull() || !sup[i].Equal(sub[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// unionProv merges two sorted provenance sets.
+func unionProv(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, x := range b {
+		found := false
+		for _, y := range a {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bucketKey identifies an inverted-index bucket for a non-null value at a
+// schema position.
+func bucketKey(pos int, v table.Value) string {
+	return strconv.Itoa(pos) + "\x1f" + v.Key()
+}
+
+// dedupeTuples removes value-duplicate tuples, keeping the first occurrence
+// (and its provenance). Inputs are processed in order, so source tuples
+// added before merged tuples always win, matching the paper's provenance.
+func dedupeTuples(tuples []Tuple) []Tuple {
+	seen := make(map[string]bool, len(tuples))
+	out := make([]Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// sortTuples orders tuples canonically by values, then provenance.
+func sortTuples(tuples []Tuple) {
+	sort.SliceStable(tuples, func(i, j int) bool {
+		if c := table.CompareRows(tuples[i].Values, tuples[j].Values); c != 0 {
+			return c < 0
+		}
+		return strings.Join(tuples[i].Prov, ",") < strings.Join(tuples[j].Prov, ",")
+	})
+}
+
+// ToTable renders tuples as a table over the integration schema. When
+// withProvenance is true, a leading "TIDs" column carries each tuple's
+// provenance set rendered as {id1, id2, ...}, like the figures in the
+// paper.
+func ToTable(name string, schema []string, tuples []Tuple, withProvenance bool) *table.Table {
+	cols := schema
+	if withProvenance {
+		cols = append([]string{"TIDs"}, schema...)
+	}
+	out := table.New(name, cols...)
+	for _, t := range tuples {
+		row := make([]table.Value, 0, len(cols))
+		if withProvenance {
+			row = append(row, table.StringValue("{"+strings.Join(t.Prov, ", ")+"}"))
+		}
+		row = append(row, t.Values...)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package fd
+
+// Incremental maintains a Full Disjunction as tuples arrive (for example,
+// as the user adds one more discovered table to the integration set). It
+// retains the complementation *closure* — not just the maximal result —
+// because subsumed tuples still matter: in Fig. 8, t13 = (⊥, FDA, United
+// States) is subsumed by f8 once T4 and T5 are integrated, yet it is
+// exactly the tuple that later merges with t15 to derive f13. Maintaining
+// only the maximal tuples would lose that fact, which is the same
+// information loss that makes outer-join chains order-dependent.
+//
+// Work per Add is proportional to the incoming tuples and the merges they
+// trigger; already-processed pairs are never revisited.
+type Incremental struct {
+	schema []string
+	c      *closer
+}
+
+// NewIncremental starts an incremental FD over the given integration
+// schema, optionally seeded with initial aligned tuples.
+func NewIncremental(schema []string, initial []Tuple) *Incremental {
+	inc := &Incremental{
+		schema: append([]string(nil), schema...),
+		c: &closer{
+			keys:    make(map[string]bool),
+			buckets: make(map[string][]int),
+		},
+	}
+	inc.Add(initial)
+	return inc
+}
+
+// Add ingests aligned tuples (padded to the schema, e.g. by OuterUnion)
+// and extends the closure to its new fixpoint.
+func (inc *Incremental) Add(tuples []Tuple) {
+	var work []int
+	for _, t := range dedupeTuples(tuples) {
+		if inc.c.keys[t.Key()] {
+			continue
+		}
+		work = append(work, inc.c.add(t))
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		for _, j := range inc.c.candidates(i) {
+			if ni := inc.c.tryMerge(i, j); ni >= 0 {
+				work = append(work, ni)
+			}
+		}
+	}
+}
+
+// Result returns the current Full Disjunction: the subsumption-maximal
+// tuples of the closure, canonically ordered. The closure state is not
+// consumed; more tuples can be added afterwards.
+func (inc *Incremental) Result() []Tuple {
+	snapshot := make([]Tuple, len(inc.c.tuples))
+	copy(snapshot, inc.c.tuples)
+	return finalize(snapshot)
+}
+
+// ClosureSize reports how many distinct tuples (source and merged) the
+// closure currently holds — the state an incremental integration pays to
+// keep.
+func (inc *Incremental) ClosureSize() int { return len(inc.c.tuples) }
+
+// Schema returns the integration schema.
+func (inc *Incremental) Schema() []string { return inc.schema }

@@ -1,0 +1,77 @@
+package fd
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Parallel computes the Full Disjunction with a round-synchronous parallel
+// complementation closure, the comparison point the ALITE paper draws
+// against ParaFD (Paganelli et al., 2019). Each round, the current frontier
+// of unprocessed tuples is split across workers; every worker proposes
+// merges of its frontier tuples against a read-only snapshot of the closure
+// state; proposals are then integrated sequentially in a deterministic
+// order, forming the next frontier. Output is identical to ALITE.
+func Parallel(in Input, workers int) []Tuple {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := newCloser(in.Tuples)
+	frontier := make([]int, len(c.tuples))
+	for i := range frontier {
+		frontier[i] = i
+	}
+	for len(frontier) > 0 {
+		// Propose merges in parallel against a frozen snapshot.
+		type proposal struct {
+			tuple Tuple
+			key   string
+		}
+		proposalsPer := make([][]proposal, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var local []proposal
+				for fi := w; fi < len(frontier); fi += workers {
+					i := frontier[fi]
+					for _, j := range c.candidates(i) {
+						a, b := c.tuples[i], c.tuples[j]
+						if !Complementable(a.Values, b.Values) {
+							continue
+						}
+						m := Merge(a, b)
+						k := m.Key()
+						if c.keys[k] {
+							continue
+						}
+						local = append(local, proposal{tuple: m, key: k})
+					}
+				}
+				proposalsPer[w] = local
+			}(w)
+		}
+		wg.Wait()
+		// Integrate sequentially, deterministically.
+		var all []proposal
+		for _, ps := range proposalsPer {
+			all = append(all, ps...)
+		}
+		sort.Slice(all, func(x, y int) bool {
+			if all[x].key != all[y].key {
+				return all[x].key < all[y].key
+			}
+			return provLess(all[x].tuple.Prov, all[y].tuple.Prov)
+		})
+		frontier = frontier[:0]
+		for _, p := range all {
+			if c.keys[p.key] {
+				continue
+			}
+			frontier = append(frontier, c.add(p.tuple))
+		}
+	}
+	return finalize(c.tuples)
+}

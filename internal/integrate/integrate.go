@@ -1,0 +1,268 @@
+// Package integrate provides DIALITE's extensible integration-operator
+// framework (paper §2.2, §3.2). ALITE's Full Disjunction is the default
+// operator; users can register alternatives — the demo registers the
+// standard full outer join (Fig. 6) to contrast against FD (Fig. 8) — and
+// every operator runs over the same aligned representation produced by
+// holistic schema matching, so operators are comparable apples-to-apples.
+package integrate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/schemamatch"
+	"repro/internal/table"
+)
+
+// RowIDFunc names source rows for provenance (the paper's t1..t16).
+type RowIDFunc func(tableName string, row int) string
+
+// AlignedSet is one source table projected onto the integration schema:
+// padded tuples plus the set of schema positions the table actually covers
+// (needed by join operators to determine natural-join attributes).
+type AlignedSet struct {
+	Name      string
+	Positions []int
+	Tuples    []fd.Tuple
+}
+
+// Prepare aligns an integration set with the given matcher and builds the
+// per-table aligned sets all operators consume. A nil matcher uses the
+// holistic matcher without a knowledge base.
+func Prepare(tables []*table.Table, matcher schemamatch.Matcher, rowIDs RowIDFunc) ([]string, []AlignedSet, error) {
+	if len(tables) == 0 {
+		return nil, nil, fmt.Errorf("integrate: empty integration set")
+	}
+	if matcher == nil {
+		matcher = schemamatch.Holistic{}
+	}
+	align, err := matcher.Align(tables)
+	if err != nil {
+		return nil, nil, fmt.Errorf("integrate: align: %w", err)
+	}
+	sets := make([]AlignedSet, 0, len(tables))
+	for ti, t := range tables {
+		colPos := make([]int, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			p, ok := align.PositionOf(ti, c)
+			if !ok {
+				return nil, nil, fmt.Errorf("integrate: alignment misses column %d of table %q", c, t.Name)
+			}
+			colPos[c] = p
+		}
+		rel := fd.Relation{Table: t, ColPos: colPos}
+		if rowIDs != nil {
+			ids := make([]string, t.NumRows())
+			for r := range ids {
+				ids[r] = rowIDs(t.Name, r)
+			}
+			rel.RowIDs = ids
+		}
+		in, err := fd.OuterUnion(align.Schema, []fd.Relation{rel})
+		if err != nil {
+			return nil, nil, fmt.Errorf("integrate: pad %q: %w", t.Name, err)
+		}
+		positions := append([]int(nil), colPos...)
+		sort.Ints(positions)
+		sets = append(sets, AlignedSet{Name: t.Name, Positions: positions, Tuples: in.Tuples})
+	}
+	return align.Schema, sets, nil
+}
+
+// Operator is a pluggable integration method over aligned sets.
+type Operator interface {
+	// Name is the registry key ("alite-fd", "outer-join", ...).
+	Name() string
+	// Run integrates the aligned sets into one tuple set over schema.
+	Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error)
+}
+
+// Apply aligns the tables, runs the operator, and renders the integrated
+// table named "<op>(T1,T2,...)". It is the one-call path the CLI and the
+// examples use.
+func Apply(op Operator, tables []*table.Table, matcher schemamatch.Matcher, rowIDs RowIDFunc, withProvenance bool) (*table.Table, []fd.Tuple, error) {
+	schema, sets, err := Prepare(tables, matcher, rowIDs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples, err := op.Run(schema, sets)
+	if err != nil {
+		return nil, nil, fmt.Errorf("integrate: operator %q: %w", op.Name(), err)
+	}
+	names := make([]string, len(tables))
+	for i, t := range tables {
+		names[i] = t.Name
+	}
+	out := fd.ToTable(fmt.Sprintf("%s(%s)", op.Name(), strings.Join(names, ",")), schema, tuples, withProvenance)
+	return out, tuples, nil
+}
+
+// ALITEFD is the default operator: ALITE's Full Disjunction.
+type ALITEFD struct {
+	// Workers > 0 selects the parallel FD algorithm.
+	Workers int
+}
+
+// Name implements Operator.
+func (ALITEFD) Name() string { return "alite-fd" }
+
+// Run implements Operator.
+func (o ALITEFD) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+	in := fd.Input{Schema: schema}
+	for _, s := range sets {
+		in.Tuples = append(in.Tuples, s.Tuples...)
+	}
+	if o.Workers > 0 {
+		return fd.Parallel(in, o.Workers), nil
+	}
+	return fd.ALITE(in), nil
+}
+
+// FullOuterJoin is the paper's comparison operator (Fig. 6): a left-deep
+// chain of binary natural full outer joins over the integration IDs, in
+// input order. Unlike FD it is order-dependent and misses derivable facts
+// (Fig. 8(a) vs 8(b)); DIALITE includes it so users can see the
+// difference.
+type FullOuterJoin struct{}
+
+// Name implements Operator.
+func (FullOuterJoin) Name() string { return "outer-join" }
+
+// Run implements Operator.
+func (FullOuterJoin) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+	return foldJoin(schema, sets, true)
+}
+
+// InnerJoin chains binary natural inner joins in input order; rows without
+// partners are dropped. Included as the restrictive end of the operator
+// spectrum (Auctus-style pairwise integration).
+type InnerJoin struct{}
+
+// Name implements Operator.
+func (InnerJoin) Name() string { return "inner-join" }
+
+// Run implements Operator.
+func (InnerJoin) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+	return foldJoin(schema, sets, false)
+}
+
+// Union is the plain outer union: all padded tuples, deduplicated. It is
+// the weakest integration — no tuples are ever connected.
+type Union struct{}
+
+// Name implements Operator.
+func (Union) Name() string { return "union" }
+
+// Run implements Operator.
+func (Union) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+	var all []fd.Tuple
+	for _, s := range sets {
+		all = append(all, s.Tuples...)
+	}
+	return dedupe(all), nil
+}
+
+// foldJoin implements the left-deep natural join chain. outer selects full
+// outer join (unmatched rows survive padded) versus inner join.
+//
+// Join semantics with nulls follow SQL: the join attributes are the schema
+// positions covered by both sides; a pair matches only when every join
+// attribute is non-null and equal on both sides. When the sides share no
+// positions, the natural join degenerates to a cross product.
+func foldJoin(schema []string, sets []AlignedSet, outer bool) ([]fd.Tuple, error) {
+	if len(sets) == 0 {
+		return nil, nil
+	}
+	cur := append([]fd.Tuple(nil), sets[0].Tuples...)
+	curPos := append([]int(nil), sets[0].Positions...)
+	for _, next := range sets[1:] {
+		shared := intersect(curPos, next.Positions)
+		var out []fd.Tuple
+		matchedRight := make([]bool, len(next.Tuples))
+		for _, a := range cur {
+			matched := false
+			for bi, b := range next.Tuples {
+				if joinMatch(a.Values, b.Values, shared) {
+					out = append(out, fd.Merge(a, b))
+					matched = true
+					matchedRight[bi] = true
+				}
+			}
+			if !matched && outer {
+				out = append(out, a)
+			}
+		}
+		if outer {
+			for bi, b := range next.Tuples {
+				if !matchedRight[bi] {
+					out = append(out, b)
+				}
+			}
+		}
+		cur = dedupe(out)
+		curPos = union(curPos, next.Positions)
+	}
+	sorted := append([]fd.Tuple(nil), cur...)
+	sortTuplesCanonical(sorted)
+	return sorted, nil
+}
+
+// joinMatch reports whether every shared position is non-null and equal on
+// both sides. An empty shared set matches everything (cross product).
+func joinMatch(a, b []table.Value, shared []int) bool {
+	for _, p := range shared {
+		if a[p].IsNull() || b[p].IsNull() || !a[p].Equal(b[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+func intersect(a, b []int) []int {
+	in := make(map[int]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	var out []int
+	for _, y := range b {
+		if in[y] {
+			out = append(out, y)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func union(a, b []int) []int {
+	in := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, x := range append(append([]int(nil), a...), b...) {
+		if !in[x] {
+			in[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func dedupe(tuples []fd.Tuple) []fd.Tuple {
+	seen := make(map[string]bool, len(tuples))
+	out := make([]fd.Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortTuplesCanonical(tuples []fd.Tuple) {
+	sort.SliceStable(tuples, func(i, j int) bool {
+		return table.CompareRows(tuples[i].Values, tuples[j].Values) < 0
+	})
+}

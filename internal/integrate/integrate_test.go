@@ -1,0 +1,255 @@
+package integrate
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/kb"
+	"repro/internal/paperdata"
+	"repro/internal/schemamatch"
+	"repro/internal/table"
+)
+
+func paperRowIDs(tableName string, row int) string {
+	return paperdata.TupleID(tableName, row)
+}
+
+func vaccineMatcher() schemamatch.Matcher {
+	return schemamatch.Holistic{Knowledge: kb.Demo()}
+}
+
+func TestFullOuterJoinReproducesFig8a(t *testing.T) {
+	got, tuples, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paperdata.Fig8aExpected()
+	cmp := got.Clone()
+	cmp.Columns = want.Columns
+	if !cmp.EqualUnordered(want) {
+		t.Fatalf("outer join != Fig. 8(a):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Provenance of the joined tuple f8 = {t11, t13}.
+	for _, tu := range tuples {
+		if tu.Values[0].String() == "Pfizer" {
+			if !reflect.DeepEqual(tu.Prov, []string{"t11", "t13"}) {
+				t.Errorf("f8 provenance = %v", tu.Prov)
+			}
+		}
+	}
+	// The outer join result must NOT contain the J&J-approver fact that FD
+	// recovers (the paper's key contrast).
+	for _, tu := range tuples {
+		if tu.Values[0].String() == "J&J" && tu.Values[1].String() == "FDA" {
+			t.Error("outer join must not derive (J&J, FDA, ...)")
+		}
+	}
+}
+
+func TestALITEFDOperatorReproducesFig8b(t *testing.T) {
+	got, _, err := Apply(ALITEFD{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paperdata.Fig8bExpected()
+	cmp := got.Clone()
+	cmp.Columns = want.Columns
+	if !cmp.EqualUnordered(want) {
+		t.Fatalf("alite-fd operator != Fig. 8(b):\ngot:\n%s", got)
+	}
+	par, _, err := Apply(ALITEFD{Workers: 4}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.EqualUnordered(got) {
+		t.Error("parallel operator differs")
+	}
+}
+
+func TestFDSubsumesOuterJoinInformation(t *testing.T) {
+	// Every outer-join tuple is subsumed by some FD tuple (FD integrates
+	// maximally); the converse is false.
+	_, oj, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fdt, err := Apply(ALITEFD{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range oj {
+		covered := false
+		for _, b := range fdt {
+			if fd.Subsumes(b.Values, a.Values) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("outer-join tuple %v not subsumed by any FD tuple", a.Values)
+		}
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	_, tuples, err := Apply(InnerJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner join keeps only fully-matching chains: T4⋈T5 on Approver gives
+	// (Pfizer,FDA,United States); joining T6 on (Vaccine,Country) requires
+	// Vaccine=Pfizer AND Country=United States in T6 — absent — so the
+	// chain is empty.
+	if len(tuples) != 0 {
+		t.Errorf("inner join = %d tuples, want 0: %v", len(tuples), tuples)
+	}
+}
+
+func TestUnionOperator(t *testing.T) {
+	_, tuples, err := Apply(Union{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer union keeps every padded source tuple (6 rows, all distinct).
+	if len(tuples) != 6 {
+		t.Errorf("union = %d tuples, want 6", len(tuples))
+	}
+}
+
+// canonicalColumns reorders a table's columns alphabetically by header so
+// results from different alignment orders become comparable.
+func canonicalColumns(t *testing.T, tb *table.Table) *table.Table {
+	t.Helper()
+	idx := make([]int, tb.NumCols())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return tb.Columns[idx[a]] < tb.Columns[idx[b]] })
+	out, err := tb.Project("canon", idx...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestOuterJoinOrderDependence(t *testing.T) {
+	// The paper motivates FD as the associative alternative: outer join
+	// chains depend on table order. T5,T6,T4 vs T4,T5,T6 differ — the
+	// reversed order happens to derive the J&J fact while the paper's
+	// order does not.
+	tablesA := paperdata.VaccineSet()
+	tablesB := []*table.Table{paperdata.T5(), paperdata.T6(), paperdata.T4()}
+	ta, _, err := Apply(FullOuterJoin{}, tablesA, vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _, err := Apply(FullOuterJoin{}, tablesB, vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalColumns(t, ta).EqualUnordered(canonicalColumns(t, tb)) {
+		t.Error("outer join chain should be order-dependent on the Fig. 7 tables")
+	}
+	// FD must be order-invariant on the same permutation.
+	fa, _, err := Apply(ALITEFD{}, tablesA, vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _, err := Apply(ALITEFD{}, tablesB, vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canonicalColumns(t, fa).EqualUnordered(canonicalColumns(t, fb)) {
+		t.Errorf("FD must be order-invariant:\n%s\n%s", fa, fb)
+	}
+}
+
+func TestCrossProductWhenNoSharedPositions(t *testing.T) {
+	a := table.New("A", "x")
+	a.MustAddRow(table.StringValue("p"))
+	a.MustAddRow(table.StringValue("q"))
+	b := table.New("B", "y")
+	b.MustAddRow(table.IntValue(1))
+	oracle := schemamatch.Oracle{Label: func(name string, col int) string { return name }}
+	_, tuples, err := Apply(FullOuterJoin{}, []*table.Table{a, b}, oracle, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Errorf("cross product of 2x1 = %d tuples, want 2", len(tuples))
+	}
+}
+
+func TestPrepareValidation(t *testing.T) {
+	if _, _, err := Prepare(nil, nil, nil); err == nil {
+		t.Error("empty set must error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	want := []string{"alite-fd", "inner-join", "outer-join", "union"}
+	if !reflect.DeepEqual(r.Names(), want) {
+		t.Errorf("builtin names = %v", r.Names())
+	}
+	if _, ok := r.Get("alite-fd"); !ok {
+		t.Error("alite-fd missing")
+	}
+	if err := r.Register(ALITEFD{}); err == nil {
+		t.Error("duplicate registration must error")
+	}
+	if err := r.Register(Func{OpName: ""}); err == nil {
+		t.Error("empty name must error")
+	}
+	custom := Func{OpName: "left-pad", F: func(schema []string, sets []AlignedSet) ([]Tuple, error) {
+		return nil, nil
+	}}
+	if err := r.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("left-pad"); !ok {
+		t.Error("custom operator not registered")
+	}
+}
+
+func TestFuncOperator(t *testing.T) {
+	// Fig. 6's scenario: a user-defined outer-join operator plugged in as a
+	// function behaves identically to the built-in.
+	user := Func{OpName: "my-outer-join", F: FullOuterJoin{}.Run}
+	got, _, err := Apply(user, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, _, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := got.Clone()
+	cmp.Name = builtin.Name
+	if !cmp.EqualUnordered(builtin) {
+		t.Error("user-defined operator diverges from built-in")
+	}
+	broken := Func{OpName: "broken"}
+	if _, err := broken.Run(nil, nil); err == nil {
+		t.Error("Func without F must error")
+	}
+}
+
+func TestApplyNamesResult(t *testing.T) {
+	got, _, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "outer-join(T4,T5,T6)" {
+		t.Errorf("result name = %q", got.Name)
+	}
+	withProv, _, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withProv.Columns[0] != "TIDs" {
+		t.Error("provenance column missing")
+	}
+}

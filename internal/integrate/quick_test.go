@@ -1,0 +1,133 @@
+package integrate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fd"
+	"repro/internal/table"
+)
+
+// randSets builds 2-3 aligned sets over a 3-position schema with random
+// coverage and small value vocabularies.
+func randSets(rng *rand.Rand) ([]string, []AlignedSet) {
+	schema := []string{"A", "B", "C"}
+	nsets := 2 + rng.Intn(2)
+	sets := make([]AlignedSet, nsets)
+	for s := range sets {
+		// Each set covers 2 of the 3 positions.
+		first := rng.Intn(3)
+		second := (first + 1 + rng.Intn(2)) % 3
+		positions := []int{first, second}
+		if positions[0] > positions[1] {
+			positions[0], positions[1] = positions[1], positions[0]
+		}
+		n := 1 + rng.Intn(4)
+		var tuples []fd.Tuple
+		for i := 0; i < n; i++ {
+			vals := make([]table.Value, 3)
+			for p := range vals {
+				vals[p] = table.ProducedNull()
+			}
+			for _, p := range positions {
+				if rng.Intn(5) == 0 {
+					vals[p] = table.NullValue()
+				} else {
+					vals[p] = table.StringValue(string(rune('a' + rng.Intn(3))))
+				}
+			}
+			tuples = append(tuples, fd.Tuple{Values: vals, Prov: []string{"s"}})
+		}
+		sets[s] = AlignedSet{Name: "t", Positions: positions, Tuples: tuples}
+	}
+	return schema, sets
+}
+
+// TestQuickUnionIdempotent: applying the union operator twice changes
+// nothing (set semantics).
+func TestQuickUnionIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema, sets := randSets(rng)
+		once, err := (Union{}).Run(schema, sets)
+		if err != nil {
+			return false
+		}
+		again, err := (Union{}).Run(schema, []AlignedSet{{Name: "u", Positions: []int{0, 1, 2}, Tuples: once}})
+		if err != nil {
+			return false
+		}
+		return len(once) == len(again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFDSubsumesEveryOperator: the FD result subsumes every tuple any
+// join operator produces from the same aligned sets — FD integrates
+// maximally, the paper's core claim.
+func TestQuickFDSubsumesEveryOperator(t *testing.T) {
+	ops := []Operator{FullOuterJoin{}, InnerJoin{}, Union{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema, sets := randSets(rng)
+		fdOut, err := (ALITEFD{}).Run(schema, sets)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			out, err := op.Run(schema, sets)
+			if err != nil {
+				return false
+			}
+			for _, tu := range out {
+				covered := false
+				for _, m := range fdOut {
+					if fd.Subsumes(m.Values, tu.Values) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInnerJoinSubsetOfOuterJoin: every inner-join tuple appears in
+// the outer-join result (by value key).
+func TestQuickInnerJoinSubsetOfOuterJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema, sets := randSets(rng)
+		inner, err := (InnerJoin{}).Run(schema, sets)
+		if err != nil {
+			return false
+		}
+		outer, err := (FullOuterJoin{}).Run(schema, sets)
+		if err != nil {
+			return false
+		}
+		keys := make(map[string]bool, len(outer))
+		for _, tu := range outer {
+			keys[tu.Key()] = true
+		}
+		for _, tu := range inner {
+			if !keys[tu.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

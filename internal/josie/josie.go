@@ -1,0 +1,144 @@
+// Package josie implements exact top-k overlap set-similarity search in the
+// style of JOSIE (Zhu, Deng, Nargesian, Miller — SIGMOD 2019), the other
+// joinable-table discovery method cited by the paper. Unlike the LSH
+// Ensemble (approximate, threshold-based), JOSIE answers exact top-k
+// queries: the k indexed column domains with the largest overlap |Q∩X|.
+//
+// The implementation uses an inverted index from token to posting list and
+// merges posting lists in ascending-frequency order with a prefix-filter
+// style early termination: once fewer unread query tokens remain than the
+// current k-th best overlap, no unseen candidate can reach the top k, so
+// only already-seen candidates are updated. This mirrors JOSIE's core
+// insight (adaptively stop creating new candidates) without its cost model.
+package josie
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tokenize"
+)
+
+// Set is one indexed column domain.
+type Set struct {
+	Table      string
+	Column     int
+	ColumnName string
+	Values     []string // normalized, deduplicated value set
+}
+
+// Key identifies the set as "table[col]".
+func (s *Set) Key() string { return fmt.Sprintf("%s[%d]", s.Table, s.Column) }
+
+// Index is an immutable inverted index over set members.
+type Index struct {
+	sets     []Set
+	postings map[string][]int32
+}
+
+// Build constructs the inverted index. Set values are assumed normalized
+// (use tokenize.ValueSet when extracting from tables); Build deduplicates
+// defensively so posting lists never double-count a set.
+func Build(sets []Set) *Index {
+	ix := &Index{
+		sets:     append([]Set(nil), sets...),
+		postings: make(map[string][]int32),
+	}
+	for i := range ix.sets {
+		seen := make(map[string]bool, len(ix.sets[i].Values))
+		for _, v := range ix.sets[i].Values {
+			if v == "" || seen[v] {
+				continue
+			}
+			seen[v] = true
+			ix.postings[v] = append(ix.postings[v], int32(i))
+		}
+	}
+	return ix
+}
+
+// NumSets reports how many sets are indexed.
+func (ix *Index) NumSets() int { return len(ix.sets) }
+
+// Result is one ranked answer.
+type Result struct {
+	Set     *Set
+	Overlap int // exact |Q∩X|
+}
+
+// TopK returns the k sets with the largest exact overlap with the query
+// (after normalization), ranked by overlap descending with deterministic
+// tie-breaking by key. Sets with zero overlap are never returned. k<=0
+// returns all sets with positive overlap.
+func (ix *Index) TopK(rawQuery []string, k int) []Result {
+	query := tokenize.ValueSet(rawQuery)
+	if len(query) == 0 || len(ix.sets) == 0 {
+		return nil
+	}
+	// Keep only tokens with postings, processed shortest-list first: rare
+	// tokens discriminate candidates early, making the prefix filter bite
+	// sooner.
+	tokens := query[:0:0]
+	for _, tok := range query {
+		if len(ix.postings[tok]) > 0 {
+			tokens = append(tokens, tok)
+		}
+	}
+	sort.SliceStable(tokens, func(a, b int) bool {
+		la, lb := len(ix.postings[tokens[a]]), len(ix.postings[tokens[b]])
+		if la != lb {
+			return la < lb
+		}
+		return tokens[a] < tokens[b]
+	})
+	counts := make(map[int32]int)
+	for i, tok := range tokens {
+		remaining := len(tokens) - i // including tok itself
+		admitNew := true
+		if k > 0 && len(counts) >= k {
+			// kth returns the k-th largest current count; a brand-new
+			// candidate can reach at most `remaining`, so skip admission
+			// when it cannot displace the incumbent top k.
+			if kthLargest(counts, k) >= remaining {
+				admitNew = false
+			}
+		}
+		for _, si := range ix.postings[tok] {
+			if _, seen := counts[si]; seen {
+				counts[si]++
+			} else if admitNew {
+				counts[si] = 1
+			}
+		}
+	}
+	var results []Result
+	for si, c := range counts {
+		if c > 0 {
+			results = append(results, Result{Set: &ix.sets[si], Overlap: c})
+		}
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Overlap != results[b].Overlap {
+			return results[a].Overlap > results[b].Overlap
+		}
+		return results[a].Set.Key() < results[b].Set.Key()
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// kthLargest returns the k-th largest value in counts (1-based); if counts
+// has fewer than k entries it returns 0.
+func kthLargest(counts map[int32]int, k int) int {
+	if len(counts) < k {
+		return 0
+	}
+	vals := make([]int, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+	return vals[k-1]
+}

@@ -1,0 +1,175 @@
+package kb
+
+// Relationship labels used by the built-in demo KB. The synthesized KB
+// (see Synthesize) generates its own "syn:*" labels.
+const (
+	RelLocatedIn     = "locatedIn"     // city -> country
+	RelCapitalOf     = "capitalOf"     // city -> country
+	RelApprovedBy    = "approvedBy"    // vaccine -> agency
+	RelOriginCountry = "originCountry" // vaccine -> country
+	RelRegulatorOf   = "regulatorOf"   // agency -> country
+)
+
+// Type labels used by the built-in demo KB.
+const (
+	TypePlace   = "place"
+	TypeCity    = "city"
+	TypeCountry = "country"
+	TypeOrg     = "organization"
+	TypeAgency  = "agency"
+	TypeProduct = "product"
+	TypeVaccine = "vaccine"
+)
+
+// cityCountry maps demo cities to their countries; it also seeds the
+// synthetic data lake generator so that generated tables annotate
+// correctly against this KB.
+var cityCountry = map[string]string{
+	"berlin": "germany", "munich": "germany", "hamburg": "germany", "frankfurt": "germany",
+	"manchester": "england", "london": "england", "liverpool": "england", "birmingham": "england",
+	"barcelona": "spain", "madrid": "spain", "valencia": "spain", "seville": "spain",
+	"toronto": "canada", "vancouver": "canada", "montreal": "canada", "ottawa": "canada",
+	"mexico city": "mexico", "guadalajara": "mexico", "monterrey": "mexico",
+	"boston": "united states", "new york": "united states", "chicago": "united states",
+	"los angeles": "united states", "seattle": "united states", "houston": "united states",
+	"new delhi": "india", "mumbai": "india", "bangalore": "india", "chennai": "india",
+	"paris": "france", "lyon": "france", "marseille": "france",
+	"rome": "italy", "milan": "italy", "naples": "italy",
+	"tokyo": "japan", "osaka": "japan", "kyoto": "japan",
+	"sao paulo": "brazil", "rio de janeiro": "brazil", "brasilia": "brazil",
+	"sydney": "australia", "melbourne": "australia", "canberra": "australia",
+	"beijing": "china", "shanghai": "china", "shenzhen": "china",
+	"moscow": "russia", "saint petersburg": "russia",
+}
+
+// capitals is the subset of demo cities that are national capitals.
+var capitals = map[string]bool{
+	"berlin": true, "london": true, "madrid": true, "ottawa": true,
+	"mexico city": true, "new delhi": true, "paris": true, "rome": true,
+	"tokyo": true, "brasilia": true, "canberra": true, "beijing": true,
+	"moscow": true,
+}
+
+// vaccineFacts drives the vaccine/agency demo domain of Figures 7–8.
+var vaccineFacts = []struct {
+	vaccine  string
+	approved []string // agencies
+	origins  []string // countries
+}{
+	{"pfizer", []string{"fda", "ema", "mhra", "health canada"}, []string{"united states", "germany"}},
+	{"jnj", []string{"fda", "ema"}, []string{"united states"}},
+	{"moderna", []string{"fda", "ema", "health canada"}, []string{"united states"}},
+	{"astrazeneca", []string{"ema", "mhra"}, []string{"england"}},
+	{"sputnik v", []string{"cdsco"}, []string{"russia"}},
+	{"sinovac", []string{"who"}, []string{"china"}},
+	{"covaxin", []string{"cdsco"}, []string{"india"}},
+	{"novavax", []string{"ema", "fda"}, []string{"united states"}},
+}
+
+// agencyCountry maps regulatory agencies to the country they regulate.
+var agencyCountry = map[string]string{
+	"fda":           "united states",
+	"mhra":          "england",
+	"health canada": "canada",
+	"cofepris":      "mexico",
+	"cdsco":         "india",
+	"tga":           "australia",
+	"ema":           "", // supranational: no single country
+	"who":           "",
+}
+
+// Demo returns the curated knowledge base for the paper's demonstration
+// domain: world cities and countries, COVID-19 vaccines, and regulatory
+// agencies, with the aliases the paper's Example 5 depends on
+// (J&J ≈ JnJ, USA ≈ United States).
+func Demo() *KB {
+	k := New()
+	k.AddType(TypePlace, "")
+	k.AddType(TypeCity, TypePlace)
+	k.AddType(TypeCountry, TypePlace)
+	k.AddType(TypeOrg, "")
+	k.AddType(TypeAgency, TypeOrg)
+	k.AddType(TypeProduct, "")
+	k.AddType(TypeVaccine, TypeProduct)
+
+	k.AddAlias("usa", "united states")
+	k.AddAlias("u s a", "united states")
+	k.AddAlias("us", "united states")
+	k.AddAlias("united states of america", "united states")
+	k.AddAlias("america", "united states")
+	k.AddAlias("uk", "england")
+	k.AddAlias("united kingdom", "england")
+	k.AddAlias("great britain", "england")
+	k.AddAlias("j&j", "jnj")
+	k.AddAlias("j and j", "jnj")
+	k.AddAlias("johnson johnson", "jnj")
+	k.AddAlias("johnson and johnson", "jnj")
+	k.AddAlias("janssen", "jnj")
+	k.AddAlias("pfizer biontech", "pfizer")
+	k.AddAlias("biontech", "pfizer")
+	k.AddAlias("comirnaty", "pfizer")
+	k.AddAlias("spikevax", "moderna")
+	k.AddAlias("oxford astrazeneca", "astrazeneca")
+	k.AddAlias("vaxzevria", "astrazeneca")
+	k.AddAlias("coronavac", "sinovac")
+
+	countries := make(map[string]bool)
+	for city, country := range cityCountry {
+		k.AddEntity(city, TypeCity)
+		countries[country] = true
+		k.AddRelation(city, RelLocatedIn, country)
+		if capitals[city] {
+			k.AddRelation(city, RelCapitalOf, country)
+		}
+	}
+	for c := range countries {
+		k.AddEntity(c, TypeCountry)
+	}
+	for _, f := range vaccineFacts {
+		k.AddEntity(f.vaccine, TypeVaccine)
+		for _, a := range f.approved {
+			k.AddEntity(a, TypeAgency)
+			k.AddRelation(f.vaccine, RelApprovedBy, a)
+		}
+		for _, c := range f.origins {
+			k.AddEntity(c, TypeCountry)
+			k.AddRelation(f.vaccine, RelOriginCountry, c)
+		}
+	}
+	for a, c := range agencyCountry {
+		k.AddEntity(a, TypeAgency)
+		if c != "" {
+			k.AddRelation(a, RelRegulatorOf, c)
+		}
+	}
+	return k
+}
+
+// DemoCities returns the demo city names sorted deterministically; the
+// synthetic lake generator samples from these so that generated tables are
+// covered by the Demo KB.
+func DemoCities() []string { return sortedKeys(cityCountry) }
+
+// DemoCountryOf returns the country of a demo city ("" when unknown).
+func DemoCountryOf(city string) string { return cityCountry[city] }
+
+// DemoVaccines returns the demo vaccine names in declaration order.
+func DemoVaccines() []string {
+	out := make([]string, len(vaccineFacts))
+	for i, f := range vaccineFacts {
+		out[i] = f.vaccine
+	}
+	return out
+}
+
+// DemoAgencies returns the demo agency names sorted deterministically.
+func DemoAgencies() []string { return sortedKeys(agencyCountry) }
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}

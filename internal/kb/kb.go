@@ -1,0 +1,262 @@
+// Package kb provides the knowledge base substrate for SANTOS-style
+// semantic table discovery and for alias-aware entity resolution. The
+// paper's SANTOS uses YAGO; this package implements the same consumer
+// surface — entity→type lookup over a type hierarchy, entity aliases, and
+// directed binary relationships — backed by (a) a curated built-in KB for
+// the demo's COVID/geo/vaccine domain and (b) a KB *synthesized* from the
+// data lake itself (SANTOS §4: the synthesized KB), so discovery still
+// works on domains the curated KB does not cover.
+package kb
+
+import (
+	"sort"
+
+	"repro/internal/tokenize"
+)
+
+// KB is an in-memory knowledge base. All entity strings are stored and
+// queried in normalized form (tokenize.Normalize); callers may pass raw
+// cell values.
+type KB struct {
+	parent      map[string]string   // type -> parent type ("" when root)
+	entityTypes map[string][]string // entity -> declared types
+	alias       map[string]string   // alias -> canonical entity
+	relations   map[string][]string // "subj\x1fobj" -> labels
+}
+
+// New returns an empty knowledge base.
+func New() *KB {
+	return &KB{
+		parent:      make(map[string]string),
+		entityTypes: make(map[string][]string),
+		alias:       make(map[string]string),
+		relations:   make(map[string][]string),
+	}
+}
+
+// AddType declares a type with an optional parent ("" for a root type).
+func (k *KB) AddType(typ, parent string) {
+	k.parent[typ] = parent
+}
+
+// AddEntity declares an entity with one or more types. Repeated calls
+// accumulate types.
+func (k *KB) AddEntity(entity string, types ...string) {
+	e := tokenize.Normalize(entity)
+	if e == "" {
+		return
+	}
+	have := make(map[string]bool)
+	for _, t := range k.entityTypes[e] {
+		have[t] = true
+	}
+	for _, t := range types {
+		if !have[t] {
+			k.entityTypes[e] = append(k.entityTypes[e], t)
+			have[t] = true
+		}
+	}
+}
+
+// AddAlias maps an alias to a canonical entity; lookups and relationship
+// queries resolve aliases first. ("J&J" → "jnj", "USA" → "united states".)
+func (k *KB) AddAlias(aliasName, canonical string) {
+	a := tokenize.Normalize(aliasName)
+	c := tokenize.Normalize(canonical)
+	if a == "" || c == "" || a == c {
+		return
+	}
+	k.alias[a] = c
+}
+
+// AddRelation records a directed relationship subject --label--> object.
+func (k *KB) AddRelation(subject, label, object string) {
+	s := k.Canonical(subject)
+	o := k.Canonical(object)
+	if s == "" || o == "" {
+		return
+	}
+	key := s + "\x1f" + o
+	for _, l := range k.relations[key] {
+		if l == label {
+			return
+		}
+	}
+	k.relations[key] = append(k.relations[key], label)
+}
+
+// Canonical normalizes s and resolves one alias hop.
+func (k *KB) Canonical(s string) string {
+	n := tokenize.Normalize(s)
+	if c, ok := k.alias[n]; ok {
+		return c
+	}
+	return n
+}
+
+// SameEntity reports whether two raw strings resolve to the same canonical
+// entity (used by alias-aware ER features).
+func (k *KB) SameEntity(a, b string) bool {
+	ca, cb := k.Canonical(a), k.Canonical(b)
+	return ca != "" && ca == cb
+}
+
+// HasEntity reports whether the (canonicalized) string is a known entity.
+func (k *KB) HasEntity(s string) bool {
+	_, ok := k.entityTypes[k.Canonical(s)]
+	return ok
+}
+
+// TypesOf returns the declared types of the entity (after alias
+// resolution), without ancestor expansion. Nil when unknown.
+func (k *KB) TypesOf(entity string) []string {
+	return k.entityTypes[k.Canonical(entity)]
+}
+
+// Ancestors returns the chain of ancestor types of typ, nearest first.
+func (k *KB) Ancestors(typ string) []string {
+	var out []string
+	seen := map[string]bool{typ: true}
+	for cur := k.parent[typ]; cur != ""; cur = k.parent[cur] {
+		if seen[cur] {
+			break // defensive: cycle in a hand-built hierarchy
+		}
+		seen[cur] = true
+		out = append(out, cur)
+	}
+	return out
+}
+
+// RelationsBetween returns the labels of relationships subject --label-->
+// object, after alias resolution. Nil when none.
+func (k *KB) RelationsBetween(subject, object string) []string {
+	s, o := k.Canonical(subject), k.Canonical(object)
+	if s == "" || o == "" {
+		return nil
+	}
+	return k.relations[s+"\x1f"+o]
+}
+
+// ancestorDecay is the vote weight multiplier per hierarchy level when
+// annotating columns: specific types win on homogeneous columns, while a
+// column that genuinely mixes sibling types accumulates more weight on the
+// shared supertype (with 0.75, an even two-sibling mix scores the parent
+// 0.75·n against 0.5·n for either sibling).
+const ancestorDecay = 0.75
+
+// ColumnAnnotation is the semantic annotation of one column.
+type ColumnAnnotation struct {
+	Type       string  // winning type label ("" when nothing annotates)
+	Confidence float64 // supporting fraction of non-empty values, in [0,1]
+}
+
+// AnnotateColumn assigns a semantic type to a column by majority vote over
+// its values' entity types. Each value votes 1 for each declared type and a
+// geometrically decayed weight for ancestors. Confidence is the fraction of
+// non-empty values whose entity carries the winning type (directly or via
+// ancestors).
+func (k *KB) AnnotateColumn(values []string) ColumnAnnotation {
+	votes := make(map[string]float64)
+	support := make(map[string]int)
+	total := 0
+	for _, raw := range values {
+		c := k.Canonical(raw)
+		if c == "" {
+			continue
+		}
+		total++
+		counted := make(map[string]bool)
+		for _, t := range k.entityTypes[c] {
+			votes[t]++
+			if !counted[t] {
+				support[t]++
+				counted[t] = true
+			}
+			w := 1.0
+			for _, anc := range k.Ancestors(t) {
+				w *= ancestorDecay
+				votes[anc] += w
+				if !counted[anc] {
+					support[anc]++
+					counted[anc] = true
+				}
+			}
+		}
+	}
+	if total == 0 || len(votes) == 0 {
+		return ColumnAnnotation{}
+	}
+	labels := make([]string, 0, len(votes))
+	for t := range votes {
+		labels = append(labels, t)
+	}
+	sort.Slice(labels, func(a, b int) bool {
+		if votes[labels[a]] != votes[labels[b]] {
+			return votes[labels[a]] > votes[labels[b]]
+		}
+		return labels[a] < labels[b]
+	})
+	best := labels[0]
+	return ColumnAnnotation{Type: best, Confidence: float64(support[best]) / float64(total)}
+}
+
+// PairAnnotation is the semantic annotation of an ordered column pair.
+type PairAnnotation struct {
+	Label      string  // winning relationship label ("" when none)
+	Inverse    bool    // true when the relationship holds object->subject
+	Confidence float64 // supporting fraction of co-non-empty value pairs
+}
+
+// AnnotateColumnPair assigns a relationship label to the ordered column
+// pair by majority vote over row-aligned value pairs: a pair (a,b) votes
+// for every label of a--->b and (as inverse) of b--->a.
+func (k *KB) AnnotateColumnPair(pairs [][2]string) PairAnnotation {
+	type cand struct {
+		label   string
+		inverse bool
+	}
+	votes := make(map[cand]int)
+	total := 0
+	for _, p := range pairs {
+		a, b := k.Canonical(p[0]), k.Canonical(p[1])
+		if a == "" || b == "" {
+			continue
+		}
+		total++
+		for _, l := range k.relations[a+"\x1f"+b] {
+			votes[cand{l, false}]++
+		}
+		for _, l := range k.relations[b+"\x1f"+a] {
+			votes[cand{l, true}]++
+		}
+	}
+	if total == 0 || len(votes) == 0 {
+		return PairAnnotation{}
+	}
+	cands := make([]cand, 0, len(votes))
+	for c := range votes {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if votes[cands[i]] != votes[cands[j]] {
+			return votes[cands[i]] > votes[cands[j]]
+		}
+		if cands[i].label != cands[j].label {
+			return cands[i].label < cands[j].label
+		}
+		return !cands[i].inverse && cands[j].inverse
+	})
+	best := cands[0]
+	return PairAnnotation{
+		Label:      best.label,
+		Inverse:    best.inverse,
+		Confidence: float64(votes[best]) / float64(total),
+	}
+}
+
+// NumEntities reports the number of known entities.
+func (k *KB) NumEntities() int { return len(k.entityTypes) }
+
+// NumRelations reports the number of (subject,object) pairs with at least
+// one relationship label.
+func (k *KB) NumRelations() int { return len(k.relations) }

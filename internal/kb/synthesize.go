@@ -1,0 +1,206 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+	"repro/internal/tokenize"
+)
+
+// sortStrings sorts in place; split out so builtin.go stays import-light.
+func sortStrings(xs []string) { sort.Strings(xs) }
+
+// SynthesizeOptions configures KB synthesis from a data lake.
+type SynthesizeOptions struct {
+	// MinJaccard is the column-pair value-overlap threshold above which two
+	// columns are considered to draw from the same synthesized type.
+	// Default 0.3.
+	MinJaccard float64
+	// MaxPairsPerTable caps the relationship pairs recorded per column pair
+	// (guards against quadratic blowup on very tall tables). Default 2000.
+	MaxPairsPerTable int
+}
+
+func (o SynthesizeOptions) withDefaults() SynthesizeOptions {
+	if o.MinJaccard <= 0 {
+		o.MinJaccard = 0.3
+	}
+	if o.MaxPairsPerTable <= 0 {
+		o.MaxPairsPerTable = 2000
+	}
+	return o
+}
+
+// Synthesize builds a knowledge base from the data lake itself, mirroring
+// SANTOS's synthesized KB: when no curated KB covers a domain, the lake's
+// own value co-occurrence structure supplies semantics.
+//
+//   - Columns that are mostly textual are clustered by value-set Jaccard
+//     similarity (union-find over pairs above MinJaccard); each cluster
+//     becomes a synthesized type "syn:<representative>".
+//   - Every distinct value of a clustered column becomes an entity of the
+//     cluster's type.
+//   - For each table and each ordered pair of clustered columns, row-aligned
+//     value pairs become relationships labeled
+//     "syn:<typeA>-><typeB>", so two tables that relate the same kinds of
+//     things in the same way share relationship labels.
+func Synthesize(tables []*table.Table, opts SynthesizeOptions) *KB {
+	opts = opts.withDefaults()
+	type colRef struct {
+		tableIdx int
+		col      int
+		values   []string // normalized distinct values
+	}
+	var cols []colRef
+	for ti, t := range tables {
+		for c := 0; c < t.NumCols(); c++ {
+			if !MostlyTextual(t, c) {
+				continue
+			}
+			vals := tokenize.ValueSet(t.DistinctStrings(c))
+			if len(vals) == 0 {
+				continue
+			}
+			cols = append(cols, colRef{tableIdx: ti, col: c, values: vals})
+		}
+	}
+	// Union-find clustering of columns by value overlap.
+	parent := make([]int, len(cols))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			if tokenize.Jaccard(cols[i].values, cols[j].values) >= opts.MinJaccard {
+				union(i, j)
+			}
+		}
+	}
+	// Name each cluster after its lexicographically-smallest member key so
+	// synthesis is deterministic regardless of table order quirks.
+	clusterName := make(map[int]string)
+	for i := range cols {
+		r := find(i)
+		key := fmt.Sprintf("%s.%d", tables[cols[i].tableIdx].Name, cols[i].col)
+		if cur, ok := clusterName[r]; !ok || key < cur {
+			clusterName[r] = key
+		}
+	}
+	typeOf := func(i int) string { return "syn:" + clusterName[find(i)] }
+
+	k := New()
+	colType := make(map[[2]int]string) // (tableIdx, col) -> type
+	for i, cr := range cols {
+		tn := typeOf(i)
+		k.AddType(tn, "")
+		colType[[2]int{cr.tableIdx, cr.col}] = tn
+		for _, v := range cr.values {
+			k.AddEntity(v, tn)
+		}
+	}
+	// Relationship extraction from row co-occurrence.
+	for ti, t := range tables {
+		var clustered []int
+		for c := 0; c < t.NumCols(); c++ {
+			if _, ok := colType[[2]int{ti, c}]; ok {
+				clustered = append(clustered, c)
+			}
+		}
+		for ai := 0; ai < len(clustered); ai++ {
+			for bi := ai + 1; bi < len(clustered); bi++ {
+				a, b := clustered[ai], clustered[bi]
+				label := "syn:" + colType[[2]int{ti, a}] + "->" + colType[[2]int{ti, b}]
+				added := 0
+				for _, row := range t.Rows {
+					if added >= opts.MaxPairsPerTable {
+						break
+					}
+					va, vb := row[a], row[b]
+					if va.IsNull() || vb.IsNull() {
+						continue
+					}
+					k.AddRelation(va.String(), label, vb.String())
+					added++
+				}
+			}
+		}
+	}
+	return k
+}
+
+// MostlyTextual reports whether at least half of the column's non-null
+// cells are strings: numeric measure columns carry no entity semantics.
+func MostlyTextual(t *table.Table, c int) bool {
+	text, nonNull := 0, 0
+	for _, row := range t.Rows {
+		v := row[c]
+		if v.IsNull() {
+			continue
+		}
+		nonNull++
+		if v.Kind() == table.String {
+			text++
+		}
+	}
+	return nonNull > 0 && text*2 >= nonNull
+}
+
+// Merge returns a KB containing everything in k plus everything in other;
+// conflicting aliases keep k's entry. SANTOS runs with the curated KB
+// merged with the synthesized one.
+func (k *KB) Merge(other *KB) *KB {
+	out := New()
+	copyInto := func(src *KB) {
+		for t, p := range src.parent {
+			if _, ok := out.parent[t]; !ok {
+				out.parent[t] = p
+			}
+		}
+		for e, ts := range src.entityTypes {
+			out.entityTypes[e] = appendUnique(out.entityTypes[e], ts...)
+		}
+		for a, c := range src.alias {
+			if _, ok := out.alias[a]; !ok {
+				out.alias[a] = c
+			}
+		}
+		for key, ls := range src.relations {
+			out.relations[key] = appendUnique(out.relations[key], ls...)
+		}
+	}
+	copyInto(k)
+	copyInto(other)
+	return out
+}
+
+func appendUnique(dst []string, items ...string) []string {
+	have := make(map[string]bool, len(dst))
+	for _, d := range dst {
+		have[d] = true
+	}
+	for _, it := range items {
+		if !have[it] {
+			dst = append(dst, it)
+			have[it] = true
+		}
+	}
+	return dst
+}

@@ -1,0 +1,155 @@
+// Package lake models the data lake (table repository) DIALITE discovers
+// over. Mirroring the demo's setup — "the indexes used in SANTOS and LSH
+// Ensemble are built offline, i.e., they are already available for the
+// user" — constructing a Lake preprocesses every table once: semantic
+// annotation for SANTOS, MinHash/LSH for LSH Ensemble, an inverted index
+// for JOSIE-style search, and (optionally) a knowledge base synthesized
+// from the lake itself merged into the curated one.
+package lake
+
+import (
+	"fmt"
+
+	"repro/internal/josie"
+	"repro/internal/kb"
+	"repro/internal/lshensemble"
+	"repro/internal/santos"
+	"repro/internal/table"
+	"repro/internal/tokenize"
+)
+
+// Options configures lake preprocessing.
+type Options struct {
+	// Knowledge is the curated KB (kb.Demo() for the demonstration); nil
+	// means none.
+	Knowledge *kb.KB
+	// SynthesizeKB additionally synthesizes a KB from the lake tables and
+	// merges it with Knowledge, as SANTOS does for uncovered domains.
+	SynthesizeKB bool
+	// LSH configures the LSH Ensemble index.
+	LSH lshensemble.Options
+}
+
+// Lake is an immutable preprocessed table repository.
+type Lake struct {
+	tables    []*table.Table
+	byName    map[string]*table.Table
+	knowledge *kb.KB
+	santosIx  *santos.Index
+	joinIx    *lshensemble.Index
+	josieIx   *josie.Index
+	domains   []lshensemble.Domain
+}
+
+// New preprocesses the given tables into a queryable lake. Duplicate table
+// names are rejected: discovery results are reported by name.
+func New(tables []*table.Table, opts Options) (*Lake, error) {
+	l := &Lake{byName: make(map[string]*table.Table, len(tables))}
+	for _, t := range tables {
+		if t == nil {
+			return nil, fmt.Errorf("lake: nil table")
+		}
+		if t.Name == "" {
+			return nil, fmt.Errorf("lake: table with empty name")
+		}
+		if _, dup := l.byName[t.Name]; dup {
+			return nil, fmt.Errorf("lake: duplicate table name %q", t.Name)
+		}
+		l.byName[t.Name] = t
+		l.tables = append(l.tables, t)
+	}
+	l.knowledge = opts.Knowledge
+	if opts.SynthesizeKB {
+		syn := kb.Synthesize(l.tables, kb.SynthesizeOptions{})
+		if l.knowledge != nil {
+			l.knowledge = l.knowledge.Merge(syn)
+		} else {
+			l.knowledge = syn
+		}
+	}
+	if l.knowledge == nil {
+		l.knowledge = kb.New()
+	}
+	l.santosIx = santos.Build(l.tables, l.knowledge)
+	l.domains = extractDomains(l.tables)
+	l.joinIx = lshensemble.Build(l.domains, opts.LSH)
+	sets := make([]josie.Set, len(l.domains))
+	for i, d := range l.domains {
+		sets[i] = josie.Set{Table: d.Table, Column: d.Column, ColumnName: d.ColumnName, Values: d.Values}
+	}
+	l.josieIx = josie.Build(sets)
+	return l, nil
+}
+
+// FromDir loads every CSV in dir and preprocesses it into a lake.
+func FromDir(dir string, opts Options) (*Lake, error) {
+	tables, err := table.LoadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lake: %w", err)
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("lake: no CSV tables in %s", dir)
+	}
+	return New(tables, opts)
+}
+
+// extractDomains pulls the normalized value set of every textual column.
+func extractDomains(tables []*table.Table) []lshensemble.Domain {
+	var out []lshensemble.Domain
+	for _, t := range tables {
+		for c := 0; c < t.NumCols(); c++ {
+			if !kb.MostlyTextual(t, c) {
+				continue
+			}
+			vals := tokenize.ValueSet(t.DistinctStrings(c))
+			if len(vals) == 0 {
+				continue
+			}
+			out = append(out, lshensemble.Domain{
+				Table:      t.Name,
+				Column:     c,
+				ColumnName: t.Columns[c],
+				Values:     vals,
+			})
+		}
+	}
+	return out
+}
+
+// Tables returns the lake's tables in name order.
+func (l *Lake) Tables() []*table.Table { return l.tables }
+
+// Get returns a table by name.
+func (l *Lake) Get(name string) (*table.Table, bool) {
+	t, ok := l.byName[name]
+	return t, ok
+}
+
+// Size reports the number of tables.
+func (l *Lake) Size() int { return len(l.tables) }
+
+// Knowledge returns the (possibly merged) knowledge base the lake was
+// annotated with.
+func (l *Lake) Knowledge() *kb.KB { return l.knowledge }
+
+// Santos returns the prebuilt semantic union-search index.
+func (l *Lake) Santos() *santos.Index { return l.santosIx }
+
+// Join returns the prebuilt LSH Ensemble containment index.
+func (l *Lake) Join() *lshensemble.Index { return l.joinIx }
+
+// Josie returns the prebuilt exact top-k overlap index.
+func (l *Lake) Josie() *josie.Index { return l.josieIx }
+
+// Domains returns the extracted column domains (for baselines and
+// experiments).
+func (l *Lake) Domains() []lshensemble.Domain { return l.domains }
+
+// QueryDomain extracts the normalized value set of a query table column,
+// using the same normalization as the lake's indexes.
+func QueryDomain(q *table.Table, col int) ([]string, error) {
+	if col < 0 || col >= q.NumCols() {
+		return nil, fmt.Errorf("lake: query column %d out of range for table %q", col, q.Name)
+	}
+	return tokenize.ValueSet(q.DistinctStrings(col)), nil
+}

@@ -1,0 +1,295 @@
+// Package lshensemble implements the LSH Ensemble index for
+// domain-containment search (Zhu, Nargesian, Pu, Miller — VLDB 2016), the
+// joinable-table discovery method DIALITE exposes. Given a query column Q
+// and a containment threshold t*, the index returns the indexed column
+// domains X with |Q∩X|/|Q| ≥ t*.
+//
+// The ensemble works around MinHash LSH being a Jaccard filter, not a
+// containment filter: domains are partitioned by set size (equi-depth), and
+// within each partition the containment threshold is converted to a Jaccard
+// threshold using the partition's upper size bound; each partition is then
+// probed with a banding configuration tuned to that converted threshold.
+// Candidates are verified and ranked by exact containment, so the index has
+// no false positives — only (rare) false negatives from the sketch.
+package lshensemble
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/minhash"
+	"repro/internal/tokenize"
+)
+
+// Domain is one indexed column: the deduplicated normalized value set of a
+// table column, plus the identifiers discovery needs to report results.
+type Domain struct {
+	Table      string   // owning table name
+	Column     int      // column index within the table
+	ColumnName string   // column header (may be empty/unreliable)
+	Values     []string // normalized, deduplicated value set
+}
+
+// Key identifies the domain as "table[col]".
+func (d *Domain) Key() string { return fmt.Sprintf("%s[%d]", d.Table, d.Column) }
+
+// Options configures index construction.
+type Options struct {
+	// NumHashes is the MinHash signature length. Default 128.
+	NumHashes int
+	// NumPartitions is the number of equi-depth size partitions. Default 8.
+	NumPartitions int
+	// Seed makes signatures deterministic. Default 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumHashes <= 0 {
+		o.NumHashes = 128
+	}
+	if o.NumPartitions <= 0 {
+		o.NumPartitions = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// rChoices are the band-row counts precomputed per partition. At query time
+// the configuration whose S-curve threshold is closest to the converted
+// Jaccard threshold is probed.
+var rChoices = []int{1, 2, 4, 8}
+
+// partition is one size range of the ensemble.
+type partition struct {
+	upper   int   // maximum domain size within the partition
+	domains []int // indices into Index.domains
+	tables  []bandTable
+}
+
+// bandTable holds banded buckets for one value of r: bucket key -> domains.
+type bandTable struct {
+	r       int
+	buckets map[uint64][]int32
+}
+
+// Index is an immutable LSH Ensemble built over a set of domains.
+type Index struct {
+	opts       Options
+	family     *minhash.Family
+	domains    []Domain
+	signatures []minhash.Signature
+	parts      []partition
+}
+
+// Build constructs the ensemble. Domains with empty value sets are indexed
+// but can never be returned (containment verification removes them).
+func Build(domains []Domain, opts Options) *Index {
+	opts = opts.withDefaults()
+	ix := &Index{
+		opts:    opts,
+		family:  minhash.NewFamily(opts.NumHashes, opts.Seed),
+		domains: append([]Domain(nil), domains...),
+	}
+	ix.signatures = make([]minhash.Signature, len(ix.domains))
+	for i := range ix.domains {
+		ix.signatures[i] = ix.family.Sign(ix.domains[i].Values)
+	}
+	// Equi-depth partitioning by domain size.
+	order := make([]int, len(ix.domains))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if la, lb := len(ix.domains[order[a]].Values), len(ix.domains[order[b]].Values); la != lb {
+			return la < lb
+		}
+		return ix.domains[order[a]].Key() < ix.domains[order[b]].Key()
+	})
+	nparts := opts.NumPartitions
+	if nparts > len(order) && len(order) > 0 {
+		nparts = len(order)
+	}
+	for p := 0; p < nparts; p++ {
+		lo := p * len(order) / nparts
+		hi := (p + 1) * len(order) / nparts
+		if lo >= hi {
+			continue
+		}
+		part := partition{}
+		for _, di := range order[lo:hi] {
+			part.domains = append(part.domains, di)
+			if n := len(ix.domains[di].Values); n > part.upper {
+				part.upper = n
+			}
+		}
+		for _, r := range rChoices {
+			if r > opts.NumHashes {
+				continue
+			}
+			bt := bandTable{r: r, buckets: make(map[uint64][]int32)}
+			for _, di := range part.domains {
+				for _, key := range bandKeys(ix.signatures[di], r) {
+					bt.buckets[key] = append(bt.buckets[key], int32(di))
+				}
+			}
+			part.tables = append(part.tables, bt)
+		}
+		ix.parts = append(ix.parts, part)
+	}
+	return ix
+}
+
+// bandKeys hashes a signature into bands of r rows; the band index is mixed
+// into the key so buckets from different bands never collide by accident.
+func bandKeys(sig minhash.Signature, r int) []uint64 {
+	nb := len(sig) / r
+	keys := make([]uint64, 0, nb)
+	var buf [8]byte
+	for b := 0; b < nb; b++ {
+		h := fnv.New64a()
+		buf[0] = byte(b)
+		buf[1] = byte(b >> 8)
+		h.Write(buf[:2])
+		for i := b * r; i < (b+1)*r; i++ {
+			v := sig[i]
+			for j := 0; j < 8; j++ {
+				buf[j] = byte(v >> (8 * j))
+			}
+			h.Write(buf[:8])
+		}
+		keys = append(keys, h.Sum64())
+	}
+	return keys
+}
+
+// minRecallAtThreshold is the collision probability a banding must achieve
+// for a pair sitting exactly at the converted Jaccard threshold. Choosing
+// the most selective (largest r) banding that still clears this bound keeps
+// candidate sets small without sacrificing recall at the threshold.
+const minRecallAtThreshold = 0.95
+
+// chooseTable picks the most selective precomputed banding whose collision
+// probability 1-(1-j^r)^b at the target Jaccard threshold j is still at
+// least minRecallAtThreshold. r=1 (which collides with probability
+// 1-(1-j)^K) is the fallback.
+func (p *partition) chooseTable(j float64, numHashes int) *bandTable {
+	bestIdx := 0
+	for i := range p.tables {
+		r := p.tables[i].r
+		b := numHashes / r
+		if b == 0 {
+			continue
+		}
+		collide := 1 - math.Pow(1-math.Pow(j, float64(r)), float64(b))
+		if collide >= minRecallAtThreshold && r >= p.tables[bestIdx].r {
+			bestIdx = i
+		}
+	}
+	return &p.tables[bestIdx]
+}
+
+// Result is one verified query answer.
+type Result struct {
+	Domain      *Domain
+	Containment float64 // exact |Q∩X|/|Q|
+}
+
+// Query returns the indexed domains whose exact containment of the
+// normalized query value set is at least threshold, ranked by containment
+// descending (ties broken by domain key), truncated to k (k<=0 means all).
+// rawQuery is normalized with tokenize.ValueSet, matching how domains are
+// extracted from tables.
+func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
+	query := tokenize.ValueSet(rawQuery)
+	if len(query) == 0 {
+		return nil
+	}
+	candidates := make(map[int32]bool)
+	qsig := ix.family.Sign(query)
+	for pi := range ix.parts {
+		p := &ix.parts[pi]
+		if len(p.tables) == 0 {
+			continue
+		}
+		j := minhash.JaccardForContainment(threshold, len(query), p.upper)
+		bt := p.chooseTable(j, ix.opts.NumHashes)
+		for _, key := range bandKeys(qsig, bt.r) {
+			for _, di := range bt.buckets[key] {
+				candidates[di] = true
+			}
+		}
+	}
+	qset := make(map[string]bool, len(query))
+	for _, v := range query {
+		qset[v] = true
+	}
+	var results []Result
+	for di := range candidates {
+		d := &ix.domains[di]
+		inter := 0
+		for _, v := range d.Values {
+			if qset[v] {
+				inter++
+			}
+		}
+		c := float64(inter) / float64(len(query))
+		if c >= threshold && c > 0 {
+			results = append(results, Result{Domain: d, Containment: c})
+		}
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Containment != results[b].Containment {
+			return results[a].Containment > results[b].Containment
+		}
+		return results[a].Domain.Key() < results[b].Domain.Key()
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// NumDomains reports how many domains are indexed.
+func (ix *Index) NumDomains() int { return len(ix.domains) }
+
+// ExactQuery is the brute-force baseline: it scans every domain and computes
+// exact containment. It is the ground truth against which the ensemble's
+// recall and speedup are measured (experiment X3).
+func ExactQuery(domains []Domain, rawQuery []string, threshold float64, k int) []Result {
+	query := tokenize.ValueSet(rawQuery)
+	if len(query) == 0 {
+		return nil
+	}
+	qset := make(map[string]bool, len(query))
+	for _, v := range query {
+		qset[v] = true
+	}
+	var results []Result
+	for i := range domains {
+		d := &domains[i]
+		inter := 0
+		for _, v := range d.Values {
+			if qset[v] {
+				inter++
+			}
+		}
+		c := float64(inter) / float64(len(query))
+		if c >= threshold && c > 0 {
+			results = append(results, Result{Domain: d, Containment: c})
+		}
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Containment != results[b].Containment {
+			return results[a].Containment > results[b].Containment
+		}
+		return results[a].Domain.Key() < results[b].Domain.Key()
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}

@@ -1,0 +1,141 @@
+// Package minhash implements MinHash signatures for Jaccard-similarity
+// estimation, the sketch underlying the LSH Ensemble joinable-table index
+// (Zhu et al., VLDB 2016). Signatures are deterministic for a given family
+// seed, which keeps discovery results and tests reproducible.
+package minhash
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// mersennePrime is 2^61-1, the modulus of the multiply-add hash family.
+const mersennePrime = (uint64(1) << 61) - 1
+
+// Signature is a MinHash sketch: one minimum per hash function.
+type Signature []uint64
+
+// Family is a set of k pairwise-independent hash functions
+// h_i(x) = (a_i*x + b_i) mod (2^61-1), applied to 64-bit FNV fingerprints
+// of set members.
+type Family struct {
+	k int
+	a []uint64
+	b []uint64
+}
+
+// NewFamily creates a family of k hash functions seeded deterministically.
+func NewFamily(k int, seed int64) *Family {
+	if k <= 0 {
+		panic("minhash: family size must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Family{k: k, a: make([]uint64, k), b: make([]uint64, k)}
+	for i := 0; i < k; i++ {
+		// a must be nonzero for the family to be pairwise independent.
+		f.a[i] = uint64(rng.Int63n(int64(mersennePrime-1))) + 1
+		f.b[i] = uint64(rng.Int63n(int64(mersennePrime)))
+	}
+	return f
+}
+
+// K reports the number of hash functions (the signature length).
+func (f *Family) K() int { return f.k }
+
+// fingerprint hashes a set member to 64 bits.
+func fingerprint(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mulmod computes (a*x + b) mod 2^61-1 using 128-bit intermediate math.
+func mulmod(a, x, b uint64) uint64 {
+	hi, lo := mul64(a, x%mersennePrime)
+	// Fold the 128-bit product modulo 2^61-1: since 2^61 ≡ 1 (mod p),
+	// value = hi*2^64 + lo = hi*8*2^61 + lo ≡ hi*8 + lo (mod p), applied
+	// iteratively to keep within range.
+	v := (hi<<3 | lo>>61) + (lo & mersennePrime)
+	for v >= mersennePrime {
+		v -= mersennePrime
+	}
+	v += b % mersennePrime
+	if v >= mersennePrime {
+		v -= mersennePrime
+	}
+	return v
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	x0, x1 := x&mask, x>>32
+	y0, y1 := y&mask, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Sign computes the MinHash signature of a string set. Duplicates are
+// harmless (min is idempotent). An empty set yields a signature of all
+// MaxUint64, which estimates Jaccard 1 only against another empty set
+// signed by the same family.
+func (f *Family) Sign(set []string) Signature {
+	sig := make(Signature, f.k)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, s := range set {
+		fp := fingerprint(s)
+		for i := 0; i < f.k; i++ {
+			if h := mulmod(f.a[i], fp, f.b[i]); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// EstimateJaccard estimates the Jaccard similarity of the sets behind two
+// signatures from the same family: the fraction of agreeing components.
+func EstimateJaccard(a, b Signature) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// JaccardForContainment converts a containment threshold t = |Q∩X|/|Q| into
+// the equivalent Jaccard threshold j = t / (1 + x/q - t) for a domain of
+// size x and query of size q, the inclusion LSH Ensemble uses to query
+// Jaccard-based LSH for containment search. The conversion uses the
+// partition's upper bound on x, making it a lower bound on the true Jaccard
+// (no false negatives from the conversion itself).
+func JaccardForContainment(t float64, querySize, domainUpper int) float64 {
+	if querySize <= 0 {
+		return 0
+	}
+	den := 1 + float64(domainUpper)/float64(querySize) - t
+	if den <= 0 {
+		return 1
+	}
+	j := t / den
+	if j > 1 {
+		return 1
+	}
+	if j < 0 {
+		return 0
+	}
+	return j
+}

@@ -1,0 +1,170 @@
+package minhash
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tokenize"
+)
+
+func setOf(n, offset int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("member-%d", i+offset)
+	}
+	return out
+}
+
+func TestNewFamilyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFamily(0) must panic")
+		}
+	}()
+	NewFamily(0, 1)
+}
+
+func TestSignDeterministic(t *testing.T) {
+	f := NewFamily(64, 42)
+	a := f.Sign([]string{"x", "y", "z"})
+	b := f.Sign([]string{"z", "y", "x", "x"}) // order and dups irrelevant
+	if len(a) != 64 {
+		t.Fatalf("signature length = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("signatures differ at %d", i)
+		}
+	}
+	g := NewFamily(64, 43)
+	c := g.Sign([]string{"x", "y", "z"})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different signatures")
+	}
+}
+
+func TestIdenticalSetsEstimateOne(t *testing.T) {
+	f := NewFamily(128, 1)
+	s := f.Sign(setOf(100, 0))
+	if got := EstimateJaccard(s, s); got != 1 {
+		t.Errorf("self similarity = %v, want 1", got)
+	}
+}
+
+func TestDisjointSetsEstimateNearZero(t *testing.T) {
+	f := NewFamily(256, 7)
+	a := f.Sign(setOf(200, 0))
+	b := f.Sign(setOf(200, 10000))
+	if got := EstimateJaccard(a, b); got > 0.05 {
+		t.Errorf("disjoint estimate = %v, want near 0", got)
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// True Jaccard of [0,150) vs [50,200) is 100/200 = 0.5.
+	f := NewFamily(512, 11)
+	a := setOf(150, 0)
+	b := setOf(150, 50)
+	truth := tokenize.Jaccard(a, b)
+	est := EstimateJaccard(f.Sign(a), f.Sign(b))
+	if math.Abs(est-truth) > 0.08 {
+		t.Errorf("estimate %v too far from truth %v", est, truth)
+	}
+}
+
+func TestEstimateMismatchedLengths(t *testing.T) {
+	f := NewFamily(16, 3)
+	g := NewFamily(32, 3)
+	if EstimateJaccard(f.Sign([]string{"a"}), g.Sign([]string{"a"})) != 0 {
+		t.Error("mismatched signature lengths must estimate 0")
+	}
+	if EstimateJaccard(nil, nil) != 0 {
+		t.Error("empty signatures must estimate 0")
+	}
+}
+
+func TestEstimateRangeProperty(t *testing.T) {
+	f := NewFamily(64, 99)
+	fn := func(a, b []string) bool {
+		e := EstimateJaccard(f.Sign(a), f.Sign(b))
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetEstimateMonotone(t *testing.T) {
+	// A bigger intersection should estimate at least roughly higher.
+	f := NewFamily(512, 5)
+	base := setOf(100, 0)
+	near := f.Sign(setOf(100, 10)) // 90% overlap
+	far := f.Sign(setOf(100, 80))  // 20% overlap
+	qb := f.Sign(base)
+	if EstimateJaccard(qb, near) <= EstimateJaccard(qb, far) {
+		t.Error("estimates should order by true similarity")
+	}
+}
+
+func TestJaccardForContainment(t *testing.T) {
+	// Equal sizes, containment 1 -> jaccard 1.
+	if j := JaccardForContainment(1, 100, 100); j != 1 {
+		t.Errorf("J(1,100,100) = %v, want 1", j)
+	}
+	// Domain twice the query, containment 1 -> jaccard 1/2.
+	if j := JaccardForContainment(1, 100, 200); math.Abs(j-0.5) > 1e-12 {
+		t.Errorf("J(1,100,200) = %v, want 0.5", j)
+	}
+	// t=0.5, x=q: j = 0.5/(1+1-0.5) = 1/3.
+	if j := JaccardForContainment(0.5, 100, 100); math.Abs(j-1.0/3) > 1e-12 {
+		t.Errorf("J(0.5,100,100) = %v, want 1/3", j)
+	}
+	if JaccardForContainment(0.5, 0, 10) != 0 {
+		t.Error("empty query must convert to 0")
+	}
+	// Result is clamped to [0,1].
+	if j := JaccardForContainment(1.5, 10, 1); j < 0 || j > 1 {
+		t.Errorf("clamping broken: %v", j)
+	}
+}
+
+func TestJaccardForContainmentMonotoneInThreshold(t *testing.T) {
+	prev := -1.0
+	for _, tt := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		j := JaccardForContainment(tt, 50, 150)
+		if j < prev {
+			t.Errorf("conversion must be monotone in t: J(%v)=%v < %v", tt, j, prev)
+		}
+		prev = j
+	}
+}
+
+func TestMul64(t *testing.T) {
+	// Spot-check 128-bit multiplication against known values.
+	hi, lo := mul64(^uint64(0), ^uint64(0))
+	// (2^64-1)^2 = 2^128 - 2^65 + 1 -> hi = 2^64-2, lo = 1.
+	if hi != ^uint64(0)-1 || lo != 1 {
+		t.Errorf("mul64 max = (%d,%d)", hi, lo)
+	}
+	hi, lo = mul64(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Errorf("mul64 2^32*2^32 = (%d,%d), want (1,0)", hi, lo)
+	}
+}
+
+func TestMulmodInRange(t *testing.T) {
+	f := func(a, x, b uint64) bool {
+		return mulmod(a, x, b) < mersennePrime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package paperdata holds the worked-example tables of the DIALITE paper
+// (Figures 2, 3, 7 and 8) as fixtures, along with the paper's expected
+// outputs. Golden tests across the repository assert that discovery,
+// integration, analytics and entity resolution reproduce these figures
+// exactly; the cmd/repro harness prints them side by side.
+//
+// Tuple identifiers follow the paper: rows t1–t10 for the COVID-cases
+// example (Fig. 2) and t11–t16 for the vaccine example (Fig. 7). The
+// fixtures attach these as provenance IDs so integrated outputs can be
+// compared against the figures' TIDs column.
+package paperdata
+
+import "repro/internal/table"
+
+// Column headers of the Fig. 2 tables. Headers are "presented for
+// simplicity" in the paper and not used by discovery; they are used by the
+// oracle schema matcher in tests.
+const (
+	ColCountry   = "Country"
+	ColCity      = "City"
+	ColVaccRate  = "Vaccination Rate (1+ dose)"
+	ColCases     = "Total Cases"
+	ColDeathRate = "Death Rate (per 100k residents)"
+	ColVaccine   = "Vaccine"
+	ColApprover  = "Approver"
+)
+
+// T1 returns the paper's query table T1 (rows t1–t3).
+func T1() *table.Table {
+	t := table.New("T1", ColCountry, ColCity, ColVaccRate)
+	t.MustAddRow(table.StringValue("Germany"), table.StringValue("Berlin"), table.StringValue("63%"))
+	t.MustAddRow(table.StringValue("England"), table.StringValue("Manchester"), table.StringValue("78%"))
+	t.MustAddRow(table.StringValue("Spain"), table.StringValue("Barcelona"), table.StringValue("82%"))
+	return t
+}
+
+// T2 returns the retrieved unionable table T2 (rows t4–t6). Row t5 has a
+// missing null (±) for the vaccination rate.
+func T2() *table.Table {
+	t := table.New("T2", ColCountry, ColCity, ColVaccRate)
+	t.MustAddRow(table.StringValue("Canada"), table.StringValue("Toronto"), table.StringValue("83%"))
+	t.MustAddRow(table.StringValue("Mexico"), table.StringValue("Mexico City"), table.NullValue())
+	t.MustAddRow(table.StringValue("USA"), table.StringValue("Boston"), table.StringValue("62%"))
+	return t
+}
+
+// T3 returns the retrieved joinable table T3 (rows t7–t10).
+func T3() *table.Table {
+	t := table.New("T3", ColCity, ColCases, ColDeathRate)
+	t.MustAddRow(table.StringValue("Berlin"), table.StringValue("1.4M"), table.IntValue(147))
+	t.MustAddRow(table.StringValue("Barcelona"), table.StringValue("2.68M"), table.IntValue(275))
+	t.MustAddRow(table.StringValue("Boston"), table.StringValue("263k"), table.IntValue(335))
+	t.MustAddRow(table.StringValue("New Delhi"), table.StringValue("2M"), table.IntValue(158))
+	return t
+}
+
+// T4 returns the vaccine/approver table T4 of Fig. 7 (rows t11–t12).
+func T4() *table.Table {
+	t := table.New("T4", ColVaccine, ColApprover)
+	t.MustAddRow(table.StringValue("Pfizer"), table.StringValue("FDA"))
+	t.MustAddRow(table.StringValue("JnJ"), table.NullValue())
+	return t
+}
+
+// T5 returns the country/approver table T5 of Fig. 7 (rows t13–t14).
+func T5() *table.Table {
+	t := table.New("T5", ColCountry, ColApprover)
+	t.MustAddRow(table.StringValue("United States"), table.StringValue("FDA"))
+	t.MustAddRow(table.StringValue("USA"), table.NullValue())
+	return t
+}
+
+// T6 returns the vaccine/country table T6 of Fig. 7 (rows t15–t16).
+func T6() *table.Table {
+	t := table.New("T6", ColVaccine, ColCountry)
+	t.MustAddRow(table.StringValue("J&J"), table.StringValue("United States"))
+	t.MustAddRow(table.StringValue("JnJ"), table.StringValue("USA"))
+	return t
+}
+
+// TupleID returns the paper's tuple identifier for row r of the named
+// fixture table ("T1" row 0 -> "t1", "T5" row 1 -> "t14").
+func TupleID(tableName string, r int) string {
+	base := map[string]int{"T1": 1, "T2": 4, "T3": 7, "T4": 11, "T5": 13, "T6": 15}
+	b, ok := base[tableName]
+	if !ok {
+		return ""
+	}
+	return "t" + itoa(b+r)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Fig3Expected returns the paper's Fig. 3 integrated table
+// FD(T1,T2,T3) — tuples f1–f7 — over the integration schema
+// (Country, City, Vaccination Rate, Total Cases, Death Rate), without the
+// provenance column. Row order follows the figure.
+func Fig3Expected() *table.Table {
+	t := table.New("FD(T1,T2,T3)", ColCountry, ColCity, ColVaccRate, ColCases, ColDeathRate)
+	t.MustAddRow(table.StringValue("Germany"), table.StringValue("Berlin"), table.StringValue("63%"), table.StringValue("1.4M"), table.IntValue(147))
+	t.MustAddRow(table.StringValue("England"), table.StringValue("Manchester"), table.StringValue("78%"), table.ProducedNull(), table.ProducedNull())
+	t.MustAddRow(table.StringValue("Spain"), table.StringValue("Barcelona"), table.StringValue("82%"), table.StringValue("2.68M"), table.IntValue(275))
+	t.MustAddRow(table.StringValue("Canada"), table.StringValue("Toronto"), table.StringValue("83%"), table.ProducedNull(), table.ProducedNull())
+	t.MustAddRow(table.StringValue("Mexico"), table.StringValue("Mexico City"), table.NullValue(), table.ProducedNull(), table.ProducedNull())
+	t.MustAddRow(table.StringValue("USA"), table.StringValue("Boston"), table.StringValue("62%"), table.StringValue("263k"), table.IntValue(335))
+	t.MustAddRow(table.ProducedNull(), table.StringValue("New Delhi"), table.ProducedNull(), table.StringValue("2M"), table.IntValue(158))
+	return t
+}
+
+// Fig3Provenance returns the expected provenance sets of Fig. 3, keyed by
+// the City value of each output tuple (every Fig. 3 tuple has a distinct
+// city, which makes the mapping unambiguous).
+func Fig3Provenance() map[string][]string {
+	return map[string][]string{
+		"Berlin":      {"t1", "t7"},
+		"Manchester":  {"t2"},
+		"Barcelona":   {"t3", "t8"},
+		"Toronto":     {"t4"},
+		"Mexico City": {"t5"},
+		"Boston":      {"t6", "t9"},
+		"New Delhi":   {"t10"},
+	}
+}
+
+// Fig8aExpected returns the paper's Fig. 8(a): the full outer join
+// T4 ⟗ T5 ⟗ T6 — tuples f8–f12 — over (Vaccine, Approver, Country).
+func Fig8aExpected() *table.Table {
+	t := table.New("T4⟗T5⟗T6", ColVaccine, ColApprover, ColCountry)
+	t.MustAddRow(table.StringValue("Pfizer"), table.StringValue("FDA"), table.StringValue("United States"))
+	t.MustAddRow(table.StringValue("JnJ"), table.NullValue(), table.ProducedNull())
+	t.MustAddRow(table.ProducedNull(), table.NullValue(), table.StringValue("USA"))
+	t.MustAddRow(table.StringValue("J&J"), table.ProducedNull(), table.StringValue("United States"))
+	t.MustAddRow(table.StringValue("JnJ"), table.ProducedNull(), table.StringValue("USA"))
+	return t
+}
+
+// Fig8bExpected returns the paper's Fig. 8(b): FD(T4,T5,T6) — tuples f8,
+// f12, f13 — over (Vaccine, Approver, Country).
+func Fig8bExpected() *table.Table {
+	t := table.New("FD(T4,T5,T6)", ColVaccine, ColApprover, ColCountry)
+	t.MustAddRow(table.StringValue("Pfizer"), table.StringValue("FDA"), table.StringValue("United States"))
+	t.MustAddRow(table.StringValue("JnJ"), table.ProducedNull(), table.StringValue("USA"))
+	t.MustAddRow(table.StringValue("J&J"), table.StringValue("FDA"), table.StringValue("United States"))
+	return t
+}
+
+// Fig8bProvenance returns the expected provenance sets of Fig. 8(b), keyed
+// by Vaccine value (distinct per output tuple).
+func Fig8bProvenance() map[string][]string {
+	return map[string][]string{
+		"Pfizer": {"t11", "t13"},
+		"JnJ":    {"t16"},
+		"J&J":    {"t13", "t15"},
+	}
+}
+
+// Fig8dExpected returns the paper's Fig. 8(d): entity resolution over the
+// FD result — two resolved entities, with the J&J/JnJ pair merged into
+// (J&J, FDA, United States).
+func Fig8dExpected() *table.Table {
+	t := table.New("ER(FD)", ColVaccine, ColApprover, ColCountry)
+	t.MustAddRow(table.StringValue("Pfizer"), table.StringValue("FDA"), table.StringValue("United States"))
+	t.MustAddRow(table.StringValue("J&J"), table.StringValue("FDA"), table.StringValue("United States"))
+	return t
+}
+
+// CovidLake returns the demo data lake for the Fig. 2 walk-through: the
+// repository tables T2 and T3 (T1 is the query and not part of the lake).
+func CovidLake() []*table.Table {
+	return []*table.Table{T2(), T3()}
+}
+
+// VaccineSet returns the Fig. 7 integration set {T4, T5, T6}.
+func VaccineSet() []*table.Table {
+	return []*table.Table{T4(), T5(), T6()}
+}

@@ -1,0 +1,84 @@
+package paperdata
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestFixtureShapes(t *testing.T) {
+	cases := []struct {
+		tab        *table.Table
+		rows, cols int
+	}{
+		{T1(), 3, 3}, {T2(), 3, 3}, {T3(), 4, 3},
+		{T4(), 2, 2}, {T5(), 2, 2}, {T6(), 2, 2},
+		{Fig3Expected(), 7, 5}, {Fig8aExpected(), 5, 3}, {Fig8bExpected(), 3, 3},
+		{Fig8dExpected(), 2, 3},
+	}
+	for _, c := range cases {
+		if c.tab.NumRows() != c.rows || c.tab.NumCols() != c.cols {
+			t.Errorf("%s: %dx%d, want %dx%d", c.tab.Name, c.tab.NumRows(), c.tab.NumCols(), c.rows, c.cols)
+		}
+	}
+}
+
+func TestTupleIDs(t *testing.T) {
+	cases := map[[2]interface{}]string{
+		{"T1", 0}: "t1", {"T1", 2}: "t3", {"T2", 0}: "t4", {"T3", 3}: "t10",
+		{"T4", 1}: "t12", {"T5", 0}: "t13", {"T6", 1}: "t16", {"ZZ", 0}: "",
+	}
+	for k, want := range cases {
+		if got := TupleID(k[0].(string), k[1].(int)); got != want {
+			t.Errorf("TupleID(%v) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNullKindsMatchFigures(t *testing.T) {
+	// t5's vaccination rate is a missing null (±).
+	if v := T2().Cell(1, 2); v.Kind() != table.Null {
+		t.Errorf("t5 rate kind = %v, want missing null", v.Kind())
+	}
+	// Fig. 3 f2 has produced nulls (⊥) for cases/death rate.
+	f3 := Fig3Expected()
+	if v := f3.Cell(1, 3); v.Kind() != table.PNull {
+		t.Errorf("f2 cases kind = %v, want produced null", v.Kind())
+	}
+	// Fig. 3 f5 keeps the missing null from t5.
+	if v := f3.Cell(4, 2); v.Kind() != table.Null {
+		t.Errorf("f5 rate kind = %v, want missing null", v.Kind())
+	}
+	// Fig. 8(a) f9 has a missing null approver and produced null country.
+	f8a := Fig8aExpected()
+	if f8a.Cell(1, 1).Kind() != table.Null || f8a.Cell(1, 2).Kind() != table.PNull {
+		t.Error("f9 null kinds wrong")
+	}
+}
+
+func TestProvenanceMapsCoverAllRows(t *testing.T) {
+	if len(Fig3Provenance()) != Fig3Expected().NumRows() {
+		t.Error("Fig3Provenance incomplete")
+	}
+	if len(Fig8bProvenance()) != Fig8bExpected().NumRows() {
+		t.Error("Fig8bProvenance incomplete")
+	}
+}
+
+func TestLakeHelpers(t *testing.T) {
+	if got := CovidLake(); len(got) != 2 || got[0].Name != "T2" || got[1].Name != "T3" {
+		t.Errorf("CovidLake = %v", got)
+	}
+	if got := VaccineSet(); len(got) != 3 || got[2].Name != "T6" {
+		t.Errorf("VaccineSet = %v", got)
+	}
+}
+
+func TestFixturesAreFresh(t *testing.T) {
+	// Each call returns an independent copy; mutating one must not leak.
+	a := T1()
+	a.Rows[0][0] = table.StringValue("MUTATED")
+	if T1().Cell(0, 0).Str() == "MUTATED" {
+		t.Error("fixtures must be freshly built per call")
+	}
+}

@@ -1,0 +1,244 @@
+// Package santos implements relationship-based semantic table union search
+// in the style of SANTOS (Khatiwada et al., SIGMOD 2023), the unionable
+// discovery method DIALITE exposes. A table is unionable with the query
+// when it describes the same *kind* of entities (column semantic types
+// agree) related in the same *way* (column-pair relationship semantics
+// agree), anchored at a user-chosen intent column.
+//
+// Semantics come from a knowledge base (see package kb): the curated demo
+// KB plays the role SANTOS assigns to YAGO, and a KB synthesized from the
+// lake itself covers domains without curated entries. The two are merged by
+// the caller (kb.Merge) or used individually.
+package santos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kb"
+	"repro/internal/table"
+)
+
+// edge is one relationship incident to a column, direction-normalized:
+// "out:" edges leave the column, "in:" edges arrive at it, and the far
+// endpoint is identified by its semantic type only (column positions are
+// meaningless across lake tables).
+type edge struct {
+	key        string // "out:<label>:<otherType>" or "in:<label>:<otherType>"
+	confidence float64
+}
+
+// columnSemantics is the annotation of one column of one table.
+type columnSemantics struct {
+	col   int
+	ann   kb.ColumnAnnotation
+	edges []edge
+}
+
+// tableSemantics is the semantic graph of one table.
+type tableSemantics struct {
+	t    *table.Table
+	cols []columnSemantics
+}
+
+// Index is an immutable SANTOS index over a data lake: every table's
+// semantic graph, precomputed offline as the demo's preprocessing step.
+type Index struct {
+	knowledge *kb.KB
+	tables    []tableSemantics
+}
+
+// Build annotates every lake table against the knowledge base. Tables
+// without any annotated column are indexed but can never match.
+func Build(lakeTables []*table.Table, knowledge *kb.KB) *Index {
+	ix := &Index{knowledge: knowledge}
+	for _, t := range lakeTables {
+		ix.tables = append(ix.tables, annotate(t, knowledge))
+	}
+	return ix
+}
+
+// NumTables reports how many tables are indexed.
+func (ix *Index) NumTables() int { return len(ix.tables) }
+
+// annotate computes the semantic graph of a table.
+func annotate(t *table.Table, knowledge *kb.KB) tableSemantics {
+	ts := tableSemantics{t: t}
+	anns := make([]kb.ColumnAnnotation, t.NumCols())
+	textual := make([]bool, t.NumCols())
+	for c := 0; c < t.NumCols(); c++ {
+		if !kb.MostlyTextual(t, c) {
+			continue
+		}
+		textual[c] = true
+		anns[c] = knowledge.AnnotateColumn(t.DistinctStrings(c))
+	}
+	edgesByCol := make(map[int][]edge)
+	for a := 0; a < t.NumCols(); a++ {
+		if !textual[a] || anns[a].Type == "" {
+			continue
+		}
+		for b := a + 1; b < t.NumCols(); b++ {
+			if !textual[b] || anns[b].Type == "" {
+				continue
+			}
+			pairs := rowPairs(t, a, b)
+			pa := knowledge.AnnotateColumnPair(pairs)
+			if pa.Label == "" {
+				continue
+			}
+			// Normalize direction: with Inverse=false the relation runs
+			// a -> b; with Inverse=true it runs b -> a.
+			from, to := a, b
+			if pa.Inverse {
+				from, to = b, a
+			}
+			edgesByCol[from] = append(edgesByCol[from], edge{
+				key:        fmt.Sprintf("out:%s:%s", pa.Label, anns[to].Type),
+				confidence: pa.Confidence,
+			})
+			edgesByCol[to] = append(edgesByCol[to], edge{
+				key:        fmt.Sprintf("in:%s:%s", pa.Label, anns[from].Type),
+				confidence: pa.Confidence,
+			})
+		}
+	}
+	for c := 0; c < t.NumCols(); c++ {
+		if anns[c].Type == "" {
+			continue
+		}
+		ts.cols = append(ts.cols, columnSemantics{col: c, ann: anns[c], edges: edgesByCol[c]})
+	}
+	return ts
+}
+
+// rowPairs extracts row-aligned (a,b) string pairs where both cells are
+// non-null.
+func rowPairs(t *table.Table, a, b int) [][2]string {
+	var out [][2]string
+	for _, row := range t.Rows {
+		if row[a].IsNull() || row[b].IsNull() {
+			continue
+		}
+		out = append(out, [2]string{row[a].String(), row[b].String()})
+	}
+	return out
+}
+
+// supertypeDecay is the type-match score multiplier per hierarchy hop when
+// the query and candidate column types differ but one subsumes the other.
+const supertypeDecay = 0.5
+
+// typeMatchScore scores how well candidate type ct matches query type qt.
+func typeMatchScore(knowledge *kb.KB, qt, ct string) float64 {
+	if qt == ct {
+		return 1
+	}
+	w := 1.0
+	for _, anc := range knowledge.Ancestors(ct) {
+		w *= supertypeDecay
+		if anc == qt {
+			return w
+		}
+	}
+	w = 1.0
+	for _, anc := range knowledge.Ancestors(qt) {
+		w *= supertypeDecay
+		if anc == ct {
+			return w
+		}
+	}
+	return 0
+}
+
+// edgeJaccard computes the Jaccard similarity of two edge sets by key.
+func edgeJaccard(a, b []edge) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	as := make(map[string]bool, len(a))
+	for _, e := range a {
+		as[e.key] = true
+	}
+	bs := make(map[string]bool, len(b))
+	for _, e := range b {
+		bs[e.key] = true
+	}
+	inter := 0
+	for k := range as {
+		if bs[k] {
+			inter++
+		}
+	}
+	union := len(as) + len(bs) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Result is one ranked unionable table.
+type Result struct {
+	Table *table.Table
+	Score float64
+	// MatchedColumn is the candidate column matched to the intent column.
+	MatchedColumn int
+}
+
+// Query ranks lake tables by semantic unionability with the query table,
+// anchored at intentCol (the demo's "intent column"). The score of a
+// candidate column c against the query's intent column q is
+//
+//	conf(q)·conf(c)·typeMatch(q,c) · (1 + relationshipJaccard(q,c))
+//
+// and a table scores the maximum over its columns. Tables scoring zero
+// (no type-compatible column) are omitted. k<=0 returns all matches.
+func (ix *Index) Query(q *table.Table, intentCol int, k int) ([]Result, error) {
+	if intentCol < 0 || intentCol >= q.NumCols() {
+		return nil, fmt.Errorf("santos: intent column %d out of range for table %q with %d columns", intentCol, q.Name, q.NumCols())
+	}
+	qs := annotate(q, ix.knowledge)
+	var qcs *columnSemantics
+	for i := range qs.cols {
+		if qs.cols[i].col == intentCol {
+			qcs = &qs.cols[i]
+		}
+	}
+	if qcs == nil {
+		return nil, fmt.Errorf("santos: intent column %d of table %q has no semantic annotation (textual KB-covered column required)", intentCol, q.Name)
+	}
+	var results []Result
+	for i := range ix.tables {
+		cand := &ix.tables[i]
+		if cand.t.Name == q.Name {
+			continue // never return the query itself
+		}
+		best := 0.0
+		bestCol := -1
+		for j := range cand.cols {
+			cc := &cand.cols[j]
+			tm := typeMatchScore(ix.knowledge, qcs.ann.Type, cc.ann.Type)
+			if tm == 0 {
+				continue
+			}
+			score := qcs.ann.Confidence * cc.ann.Confidence * tm * (1 + edgeJaccard(qcs.edges, cc.edges))
+			if score > best {
+				best = score
+				bestCol = cc.col
+			}
+		}
+		if best > 0 {
+			results = append(results, Result{Table: cand.t, Score: best, MatchedColumn: bestCol})
+		}
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Score != results[b].Score {
+			return results[a].Score > results[b].Score
+		}
+		return results[a].Table.Name < results[b].Table.Name
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results, nil
+}

@@ -1,0 +1,299 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/kb"
+	"repro/internal/table"
+)
+
+// LakeOptions configures GenerateLake.
+type LakeOptions struct {
+	// Seed drives all randomness; equal options yield equal lakes.
+	Seed int64
+	// Families is the number of unionable families. Default 4.
+	Families int
+	// TablesPerFamily is the number of horizontal partitions per family.
+	// Default 4.
+	TablesPerFamily int
+	// RowsPerTable is the row count of each partition. Default 20.
+	RowsPerTable int
+	// JoinablePerFamily is the number of joinable companion tables per
+	// family (sharing the family's key domain with partial containment).
+	// Default 2.
+	JoinablePerFamily int
+	// NoiseTables is the number of off-topic tables. Default 5.
+	NoiseTables int
+	// HeaderCorruption is the probability a header is renamed to a synonym
+	// or blanked. Default 0 (reliable headers); experiments sweep it.
+	HeaderCorruption float64
+	// NullRate is the probability any measure cell becomes a missing null.
+	// Default 0.05.
+	NullRate float64
+}
+
+func (o LakeOptions) withDefaults() LakeOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Families <= 0 {
+		o.Families = 4
+	}
+	if o.TablesPerFamily <= 0 {
+		o.TablesPerFamily = 4
+	}
+	if o.RowsPerTable <= 0 {
+		o.RowsPerTable = 20
+	}
+	if o.JoinablePerFamily < 0 {
+		o.JoinablePerFamily = 0
+	} else if o.JoinablePerFamily == 0 {
+		o.JoinablePerFamily = 2
+	}
+	if o.NoiseTables <= 0 {
+		o.NoiseTables = 5
+	}
+	if o.NullRate == 0 {
+		o.NullRate = 0.05
+	}
+	return o
+}
+
+// Lake is a generated data lake plus its ground truth.
+type Lake struct {
+	// Tables holds every lake table, sorted by name.
+	Tables []*table.Table
+	// Truth records what discovery and alignment should find.
+	Truth GroundTruth
+	// Options echoes the (defaulted) generation options.
+	Options LakeOptions
+}
+
+// GroundTruth records the generated structure.
+type GroundTruth struct {
+	// FamilyOf maps a table name to its unionable family index (-1 for
+	// joinable companions and noise tables).
+	FamilyOf map[string]int
+	// UnionableWith maps a table name to the names of its unionable
+	// partners (same family, excluding itself), sorted.
+	UnionableWith map[string][]string
+	// JoinableWith maps a table name to the names of companion tables
+	// whose key column shares its key domain, sorted.
+	JoinableWith map[string][]string
+	// AttrLabels maps a table name to the per-column ground-truth
+	// attribute labels (for alignment scoring). Labels are globally
+	// consistent within a family.
+	AttrLabels map[string][]string
+	// KeyColumn maps a table name to the index of its key (entity) column.
+	KeyColumn map[string]int
+}
+
+// headerSynonyms provides the corrupted spellings per attribute label.
+var headerSynonyms = map[string][]string{
+	"city":    {"municipality", "town", "place_name", "CityName"},
+	"country": {"nation", "state_name", "Country/Region", "land"},
+	"measure": {"value", "metric", "reading", "amount", "figure"},
+}
+
+// GenerateLake builds a synthetic open-data lake. Each family describes a
+// set of entities (cities when the demo KB has enough, synthetic place
+// names otherwise) with a country column and per-family measure columns;
+// the family's row universe is partitioned into overlapping horizontal
+// slices (the unionable tables). Joinable companions key on the same
+// entities with fresh measure columns and controlled containment. Noise
+// tables draw from an unrelated vocabulary.
+func GenerateLake(opts LakeOptions) *Lake {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	lake := &Lake{
+		Options: opts,
+		Truth: GroundTruth{
+			FamilyOf:      make(map[string]int),
+			UnionableWith: make(map[string][]string),
+			JoinableWith:  make(map[string][]string),
+			AttrLabels:    make(map[string][]string),
+			KeyColumn:     make(map[string]int),
+		},
+	}
+	cities := kb.DemoCities()
+	for f := 0; f < opts.Families; f++ {
+		// Partitions sample from a universe only slightly larger than one
+		// partition, so sibling partitions overlap heavily — the property
+		// that makes them unionable (and lets the synthesized KB cluster
+		// their columns into one type).
+		universeSize := opts.RowsPerTable * 4 / 3
+		if universeSize < opts.RowsPerTable {
+			universeSize = opts.RowsPerTable
+		}
+		entities := make([]string, universeSize)
+		countries := make([]string, universeSize)
+		for i := range entities {
+			if len(cities) > 0 && rng.Float64() < 0.7 {
+				c := cities[rng.Intn(len(cities))]
+				entities[i] = fmt.Sprintf("%s %d", titleCase(c), f*1000+i)
+				countries[i] = titleCase(kb.DemoCountryOf(c))
+			} else {
+				entities[i] = fmt.Sprintf("%s-%d", titleCase(syntheticName(rng)), f*1000+i)
+				countries[i] = titleCase(syntheticName(rng))
+			}
+		}
+		nMeasures := 2 + rng.Intn(2)
+		measureScale := make([]float64, nMeasures)
+		for m := range measureScale {
+			measureScale[m] = float64(intPow(10, 1+rng.Intn(5)))
+		}
+		var familyNames []string
+		for p := 0; p < opts.TablesPerFamily; p++ {
+			name := fmt.Sprintf("family%d_part%d", f, p)
+			familyNames = append(familyNames, name)
+			t, labels, keyCol := buildPartition(rng, opts, name, f, entities, countries, measureScale)
+			lake.Tables = append(lake.Tables, t)
+			lake.Truth.FamilyOf[name] = f
+			lake.Truth.AttrLabels[name] = labels
+			lake.Truth.KeyColumn[name] = keyCol
+		}
+		for _, n := range familyNames {
+			var partners []string
+			for _, m := range familyNames {
+				if m != n {
+					partners = append(partners, m)
+				}
+			}
+			sort.Strings(partners)
+			lake.Truth.UnionableWith[n] = partners
+		}
+		// Joinable companions: key column contains a high fraction of the
+		// family's entity universe plus some foreign keys.
+		for j := 0; j < opts.JoinablePerFamily; j++ {
+			name := fmt.Sprintf("family%d_join%d", f, j)
+			t, keyCol := buildJoinable(rng, opts, name, f, j, entities)
+			lake.Tables = append(lake.Tables, t)
+			lake.Truth.FamilyOf[name] = -1
+			lake.Truth.KeyColumn[name] = keyCol
+			lake.Truth.AttrLabels[name] = []string{fmt.Sprintf("fam%d:key", f), fmt.Sprintf("fam%d:join%d_m0", f, j), fmt.Sprintf("fam%d:join%d_m1", f, j)}
+			for _, n := range familyNames {
+				lake.Truth.JoinableWith[n] = append(lake.Truth.JoinableWith[n], name)
+				lake.Truth.JoinableWith[name] = append(lake.Truth.JoinableWith[name], n)
+			}
+		}
+	}
+	for f := 0; f < opts.NoiseTables; f++ {
+		name := fmt.Sprintf("noise%d", f)
+		t := buildNoise(rng, opts, name)
+		lake.Tables = append(lake.Tables, t)
+		lake.Truth.FamilyOf[name] = -1
+		lake.Truth.KeyColumn[name] = 0
+		labels := make([]string, t.NumCols())
+		for c := range labels {
+			labels[c] = fmt.Sprintf("noise%d:c%d", f, c)
+		}
+		lake.Truth.AttrLabels[name] = labels
+	}
+	for k := range lake.Truth.JoinableWith {
+		sort.Strings(lake.Truth.JoinableWith[k])
+	}
+	sort.Slice(lake.Tables, func(i, j int) bool { return lake.Tables[i].Name < lake.Tables[j].Name })
+	return lake
+}
+
+// buildPartition emits one unionable horizontal slice of a family.
+func buildPartition(rng *rand.Rand, opts LakeOptions, name string, f int, entities, countries []string, measureScale []float64) (*table.Table, []string, int) {
+	nMeasures := len(measureScale)
+	headers := make([]string, 0, 2+nMeasures)
+	labels := make([]string, 0, 2+nMeasures)
+	headers = append(headers, corruptHeader(rng, opts, "City", "city"))
+	labels = append(labels, fmt.Sprintf("fam%d:city", f))
+	headers = append(headers, corruptHeader(rng, opts, "Country", "country"))
+	labels = append(labels, fmt.Sprintf("fam%d:country", f))
+	for m := 0; m < nMeasures; m++ {
+		headers = append(headers, corruptHeader(rng, opts, fmt.Sprintf("Measure %c", 'A'+m), "measure"))
+		labels = append(labels, fmt.Sprintf("fam%d:m%d", f, m))
+	}
+	t := table.New(name, headers...)
+	perm := rng.Perm(len(entities))
+	rows := opts.RowsPerTable
+	if rows > len(perm) {
+		rows = len(perm)
+	}
+	for _, ei := range perm[:rows] {
+		row := make([]table.Value, 0, t.NumCols())
+		row = append(row, table.StringValue(entities[ei]), table.StringValue(countries[ei]))
+		for m := 0; m < nMeasures; m++ {
+			if rng.Float64() < opts.NullRate {
+				row = append(row, table.NullValue())
+			} else {
+				row = append(row, table.FloatValue(float64(int(rng.Float64()*measureScale[m]*100))/100))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, labels, 0
+}
+
+// buildJoinable emits one joinable companion for a family: ~80% of its key
+// domain comes from the family's entity universe.
+func buildJoinable(rng *rand.Rand, opts LakeOptions, name string, f, j int, entities []string) (*table.Table, int) {
+	headers := []string{
+		corruptHeader(rng, opts, "City", "city"),
+		fmt.Sprintf("Stat %d-%d A", f, j),
+		fmt.Sprintf("Stat %d-%d B", f, j),
+	}
+	t := table.New(name, headers...)
+	perm := rng.Perm(len(entities))
+	n := len(entities) * 4 / 5
+	for _, ei := range perm[:n] {
+		t.MustAddRow(
+			table.StringValue(entities[ei]),
+			table.IntValue(int64(rng.Intn(1000))),
+			table.FloatValue(float64(rng.Intn(10000))/100),
+		)
+	}
+	extra := len(entities) / 5
+	for i := 0; i < extra; i++ {
+		t.MustAddRow(
+			table.StringValue(fmt.Sprintf("%s-x%d", titleCase(syntheticName(rng)), i)),
+			table.IntValue(int64(rng.Intn(1000))),
+			table.FloatValue(float64(rng.Intn(10000))/100),
+		)
+	}
+	return t, 0
+}
+
+// buildNoise emits an off-topic table.
+func buildNoise(rng *rand.Rand, opts LakeOptions, name string) *table.Table {
+	t := table.New(name, "Item", "Batch", "Quantity", "Price")
+	for r := 0; r < opts.RowsPerTable; r++ {
+		t.MustAddRow(
+			table.StringValue("sku-"+syntheticName(rng)),
+			table.StringValue(fmt.Sprintf("batch-%d", rng.Intn(50))),
+			table.IntValue(int64(rng.Intn(500))),
+			table.FloatValue(float64(rng.Intn(100000))/100),
+		)
+	}
+	return t
+}
+
+// corruptHeader maybe replaces a header with a synonym or blanks it.
+func corruptHeader(rng *rand.Rand, opts LakeOptions, clean, kind string) string {
+	if rng.Float64() >= opts.HeaderCorruption {
+		return clean
+	}
+	if rng.Float64() < 0.3 {
+		return "" // missing header
+	}
+	syns := headerSynonyms[kind]
+	if len(syns) == 0 {
+		return ""
+	}
+	return syns[rng.Intn(len(syns))]
+}
+
+func intPow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

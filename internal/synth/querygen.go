@@ -1,0 +1,198 @@
+// Package synth generates the synthetic data DIALITE's demonstration and
+// experiments run on:
+//
+//   - GenerateQueryTable substitutes for the paper's GPT-3 query-table
+//     generation (Fig. 5): a prompt selects a domain template and a seeded
+//     generator fabricates a plausible table, deterministically.
+//   - GenerateLake builds an open-data lake with ground truth — unionable
+//     families (horizontal partitions with corrupted headers), joinable
+//     tables (controlled key containment) and off-topic noise — so
+//     discovery precision/recall, alignment accuracy and integration
+//     experiments (X1–X6) can be scored exactly.
+//   - Fragments builds vaccine-style fragmented entities (the Fig. 7
+//     shape, scaled up) for the FD-vs-outer-join completeness and ER
+//     experiments.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/table"
+)
+
+// domainTemplate is one GPT-3-substitute table recipe.
+type domainTemplate struct {
+	keywords []string
+	columns  []columnSpec
+}
+
+type columnSpec struct {
+	name string
+	gen  func(rng *rand.Rand, row int) table.Value
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func pctValue(rng *rand.Rand, lo, hi int) table.Value {
+	return table.StringValue(fmt.Sprintf("%d%%", lo+rng.Intn(hi-lo)))
+}
+
+// templates lists the known prompt domains; the first whose keyword
+// matches the prompt wins, and the last is the generic fallback.
+func templates() []domainTemplate {
+	cities := kb.DemoCities()
+	vaccines := kb.DemoVaccines()
+	agencies := kb.DemoAgencies()
+	return []domainTemplate{
+		{
+			keywords: []string{"vaccine", "approval", "dose"},
+			columns: []columnSpec{
+				{"Vaccine", func(r *rand.Rand, _ int) table.Value { return table.StringValue(titleCase(pick(r, vaccines))) }},
+				{"Approver", func(r *rand.Rand, _ int) table.Value { return table.StringValue(strings.ToUpper(pick(r, agencies))) }},
+				{"Country", func(r *rand.Rand, _ int) table.Value {
+					return table.StringValue(titleCase(pick(r, countriesOf(cities))))
+				}},
+				{"Efficacy", func(r *rand.Rand, _ int) table.Value { return pctValue(r, 60, 96) }},
+				{"Doses Shipped", func(r *rand.Rand, _ int) table.Value { return table.StringValue(fmt.Sprintf("%dM", 1+r.Intn(400))) }},
+			},
+		},
+		{
+			keywords: []string{"covid", "case", "pandemic", "vaccination"},
+			columns: []columnSpec{
+				{"Country", func(r *rand.Rand, _ int) table.Value {
+					return table.StringValue(titleCase(pick(r, countriesOf(cities))))
+				}},
+				{"City", func(r *rand.Rand, _ int) table.Value { return table.StringValue(titleCase(pick(r, cities))) }},
+				{"Vaccination Rate (1+ dose)", func(r *rand.Rand, _ int) table.Value { return pctValue(r, 40, 95) }},
+				{"Total Cases", func(r *rand.Rand, _ int) table.Value {
+					return table.StringValue(fmt.Sprintf("%.1fM", 0.1+r.Float64()*3))
+				}},
+				{"Death Rate (per 100k residents)", func(r *rand.Rand, _ int) table.Value { return table.IntValue(int64(50 + r.Intn(400))) }},
+			},
+		},
+		{
+			keywords: []string{"weather", "temperature", "climate"},
+			columns: []columnSpec{
+				{"City", func(r *rand.Rand, _ int) table.Value { return table.StringValue(titleCase(pick(r, cities))) }},
+				{"Temperature", func(r *rand.Rand, _ int) table.Value { return table.FloatValue(float64(r.Intn(350))/10 - 5) }},
+				{"Humidity", func(r *rand.Rand, _ int) table.Value { return pctValue(r, 20, 100) }},
+				{"Condition", func(r *rand.Rand, _ int) table.Value {
+					return table.StringValue(pick(r, []string{"sunny", "cloudy", "rain", "snow", "fog"}))
+				}},
+				{"Wind (km/h)", func(r *rand.Rand, _ int) table.Value { return table.IntValue(int64(r.Intn(80))) }},
+			},
+		},
+		{
+			keywords: []string{}, // generic fallback
+			columns: []columnSpec{
+				{"ID", func(_ *rand.Rand, row int) table.Value { return table.IntValue(int64(row + 1)) }},
+				{"Name", func(r *rand.Rand, _ int) table.Value { return table.StringValue(syntheticName(r)) }},
+				{"Category", func(r *rand.Rand, _ int) table.Value {
+					return table.StringValue(pick(r, []string{"alpha", "beta", "gamma", "delta"}))
+				}},
+				{"Score", func(r *rand.Rand, _ int) table.Value { return table.FloatValue(float64(r.Intn(1000)) / 10) }},
+				{"Active", func(r *rand.Rand, _ int) table.Value { return table.BoolValue(r.Intn(2) == 0) }},
+			},
+		},
+	}
+}
+
+// countriesOf returns the distinct countries of the demo cities.
+func countriesOf(cities []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range cities {
+		country := kb.DemoCountryOf(c)
+		if country != "" && !seen[country] {
+			seen[country] = true
+			out = append(out, country)
+		}
+	}
+	return out
+}
+
+// syllables fuels deterministic fake-name generation.
+var syllables = []string{"ar", "bel", "cor", "dan", "el", "fir", "gal", "hom", "ir", "jas", "kel", "lor", "mar", "nor", "or", "pel", "qu", "rin", "sol", "tor", "ul", "ver", "wil", "xan", "yor", "zel"}
+
+func syntheticName(rng *rand.Rand) string {
+	n := 2 + rng.Intn(2)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[rng.Intn(len(syllables))])
+	}
+	return b.String()
+}
+
+// GenerateQueryTable fabricates a query table from a free-text prompt —
+// the stand-in for the paper's GPT-3 integration (Fig. 5). The prompt
+// picks a domain template by keyword ("covid", "vaccine", "weather", else
+// a generic record table); rows and cols bound the result (cols beyond the
+// template are filled with generic numeric attributes). The same
+// (prompt, rows, cols, seed) always yields the same table.
+func GenerateQueryTable(prompt string, rows, cols int, seed int64) (*table.Table, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("synth: rows and cols must be positive (got %d, %d)", rows, cols)
+	}
+	lower := strings.ToLower(prompt)
+	tmpls := templates()
+	chosen := tmpls[len(tmpls)-1]
+	for _, tp := range tmpls[:len(tmpls)-1] {
+		for _, kw := range tp.keywords {
+			if strings.Contains(lower, kw) {
+				chosen = tp
+				break
+			}
+		}
+		if len(chosen.keywords) != 0 {
+			break
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	specs := chosen.columns
+	if cols < len(specs) {
+		specs = specs[:cols]
+	}
+	headers := make([]string, 0, cols)
+	for _, s := range specs {
+		headers = append(headers, s.name)
+	}
+	for i := len(specs); i < cols; i++ {
+		headers = append(headers, fmt.Sprintf("Attribute %d", i+1))
+	}
+	t := table.New(queryTableName(prompt), headers...)
+	for r := 0; r < rows; r++ {
+		row := make([]table.Value, 0, cols)
+		for _, s := range specs {
+			row = append(row, s.gen(rng, r))
+		}
+		for i := len(specs); i < cols; i++ {
+			row = append(row, table.FloatValue(float64(rng.Intn(10000))/100))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func queryTableName(prompt string) string {
+	words := strings.Fields(strings.ToLower(prompt))
+	if len(words) > 3 {
+		words = words[:3]
+	}
+	if len(words) == 0 {
+		return "generated_query"
+	}
+	return "q_" + strings.Join(words, "_")
+}
+
+// titleCase capitalizes the first letter of each space-separated word
+// (strings.Title is deprecated and over-general for ASCII demo vocab).
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}

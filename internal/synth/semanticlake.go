@@ -1,0 +1,129 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/kb"
+	"repro/internal/table"
+)
+
+// SemanticLake scales the paper's Fig. 2 situation: unionable tables whose
+// VALUE sets are disjoint (different cities, different countries) so that
+// only semantics — the KB's city/country types and locatedIn relationships
+// — reveals their unionability. Value-overlap search scores them near
+// zero; SANTOS with the curated KB finds them. The lake contains:
+//
+//   - one (Country, City, Vaccination Rate) table per group of demo
+//     countries, city sets pairwise disjoint (like T1 vs T2);
+//   - joinable companions (City, Total Cases, Death Rate) sampling cities
+//     across groups (like T3);
+//   - off-topic noise tables.
+//
+// Ground truth mirrors synth.Lake's.
+func SemanticLake(seed int64, unionTables, joinTables, noiseTables int) *Lake {
+	rng := rand.New(rand.NewSource(seed))
+	if unionTables <= 0 {
+		unionTables = 7
+	}
+	if joinTables < 0 {
+		joinTables = 0
+	}
+	if noiseTables < 0 {
+		noiseTables = 0
+	}
+	lake := &Lake{
+		Truth: GroundTruth{
+			FamilyOf:      make(map[string]int),
+			UnionableWith: make(map[string][]string),
+			JoinableWith:  make(map[string][]string),
+			AttrLabels:    make(map[string][]string),
+			KeyColumn:     make(map[string]int),
+		},
+	}
+	// Group demo countries; each union table gets the cities of its own
+	// country group, so city AND country values are disjoint across
+	// tables.
+	byCountry := make(map[string][]string)
+	for _, city := range kb.DemoCities() {
+		c := kb.DemoCountryOf(city)
+		byCountry[c] = append(byCountry[c], city)
+	}
+	countries := make([]string, 0, len(byCountry))
+	for c := range byCountry {
+		countries = append(countries, c)
+	}
+	sort.Strings(countries)
+	groups := make([][]string, unionTables)
+	for i, c := range countries {
+		groups[i%unionTables] = append(groups[i%unionTables], c)
+	}
+	var unionNames []string
+	var allCities []string
+	for g, cs := range groups {
+		name := fmt.Sprintf("sem_union%d", g)
+		unionNames = append(unionNames, name)
+		t := table.New(name, "Country", "City", "Vaccination Rate (1+ dose)")
+		for _, country := range cs {
+			for _, city := range byCountry[country] {
+				allCities = append(allCities, city)
+				t.MustAddRow(
+					table.StringValue(titleCase(country)),
+					table.StringValue(titleCase(city)),
+					pctValue(rng, 40, 95),
+				)
+			}
+		}
+		lake.Tables = append(lake.Tables, t)
+		lake.Truth.FamilyOf[name] = 0
+		lake.Truth.KeyColumn[name] = 1
+		lake.Truth.AttrLabels[name] = []string{"country", "city", "rate"}
+	}
+	for _, n := range unionNames {
+		var partners []string
+		for _, m := range unionNames {
+			if m != n {
+				partners = append(partners, m)
+			}
+		}
+		sort.Strings(partners)
+		lake.Truth.UnionableWith[n] = partners
+	}
+	sort.Strings(allCities)
+	for j := 0; j < joinTables; j++ {
+		name := fmt.Sprintf("sem_join%d", j)
+		t := table.New(name, "City", "Total Cases", "Death Rate (per 100k residents)")
+		perm := rng.Perm(len(allCities))
+		n := len(allCities) / 2
+		for _, ci := range perm[:n] {
+			t.MustAddRow(
+				table.StringValue(titleCase(allCities[ci])),
+				table.StringValue(fmt.Sprintf("%.1fM", 0.1+rng.Float64()*3)),
+				table.IntValue(int64(50+rng.Intn(400))),
+			)
+		}
+		lake.Tables = append(lake.Tables, t)
+		lake.Truth.FamilyOf[name] = -1
+		lake.Truth.KeyColumn[name] = 0
+		lake.Truth.AttrLabels[name] = []string{"city", "cases", "deaths"}
+		for _, n2 := range unionNames {
+			lake.Truth.JoinableWith[n2] = append(lake.Truth.JoinableWith[n2], name)
+			lake.Truth.JoinableWith[name] = append(lake.Truth.JoinableWith[name], n2)
+		}
+	}
+	for f := 0; f < noiseTables; f++ {
+		name := fmt.Sprintf("sem_noise%d", f)
+		t := buildNoise(rng, LakeOptions{RowsPerTable: 12}, name)
+		t.Name = name
+		lake.Tables = append(lake.Tables, t)
+		lake.Truth.FamilyOf[name] = -1
+		lake.Truth.KeyColumn[name] = 0
+		lake.Truth.AttrLabels[name] = []string{"item", "batch", "qty", "price"}
+	}
+	for k2 := range lake.Truth.JoinableWith {
+		sort.Strings(lake.Truth.JoinableWith[k2])
+	}
+	sort.Slice(lake.Tables, func(i, j int) bool { return lake.Tables[i].Name < lake.Tables[j].Name })
+	return lake
+}

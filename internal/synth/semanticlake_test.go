@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/tokenize"
+)
+
+func TestSemanticLakeDisjointUnionables(t *testing.T) {
+	lake := SemanticLake(3, 7, 5, 6)
+	if len(lake.Tables) != 7+5+6 {
+		t.Fatalf("tables = %d", len(lake.Tables))
+	}
+	// Unionable tables must have pairwise disjoint city AND country sets —
+	// that is the Fig. 2 property the experiment depends on.
+	var unionTables []int
+	for i, tb := range lake.Tables {
+		if lake.Truth.FamilyOf[tb.Name] == 0 {
+			unionTables = append(unionTables, i)
+		}
+	}
+	if len(unionTables) != 7 {
+		t.Fatalf("union tables = %d", len(unionTables))
+	}
+	for x := 0; x < len(unionTables); x++ {
+		for y := x + 1; y < len(unionTables); y++ {
+			a := lake.Tables[unionTables[x]]
+			b := lake.Tables[unionTables[y]]
+			cities := tokenize.Overlap(
+				tokenize.ValueSet(a.DistinctStrings(1)),
+				tokenize.ValueSet(b.DistinctStrings(1)))
+			countries := tokenize.Overlap(
+				tokenize.ValueSet(a.DistinctStrings(0)),
+				tokenize.ValueSet(b.DistinctStrings(0)))
+			if cities != 0 || countries != 0 {
+				t.Errorf("%s and %s share values (cities=%d countries=%d)", a.Name, b.Name, cities, countries)
+			}
+		}
+	}
+}
+
+func TestSemanticLakeJoinablesOverlap(t *testing.T) {
+	lake := SemanticLake(3, 7, 2, 0)
+	var join, union0 int
+	for i, tb := range lake.Tables {
+		switch tb.Name {
+		case "sem_join0":
+			join = i
+		case "sem_union0":
+			union0 = i
+		}
+	}
+	ov := tokenize.Overlap(
+		tokenize.ValueSet(lake.Tables[join].DistinctStrings(0)),
+		tokenize.ValueSet(lake.Tables[union0].DistinctStrings(1)))
+	if ov == 0 {
+		t.Error("joinable companion must share cities with union tables")
+	}
+	if len(lake.Truth.JoinableWith["sem_union0"]) != 2 {
+		t.Errorf("joinable truth = %v", lake.Truth.JoinableWith["sem_union0"])
+	}
+}
+
+func TestSemanticLakeGroundTruthComplete(t *testing.T) {
+	lake := SemanticLake(1, 4, 2, 2)
+	for _, tb := range lake.Tables {
+		if _, ok := lake.Truth.FamilyOf[tb.Name]; !ok {
+			t.Errorf("%s missing from FamilyOf", tb.Name)
+		}
+		if len(lake.Truth.AttrLabels[tb.Name]) != tb.NumCols() {
+			t.Errorf("%s label arity mismatch", tb.Name)
+		}
+	}
+	if len(lake.Truth.UnionableWith["sem_union0"]) != 3 {
+		t.Errorf("unionable truth = %v", lake.Truth.UnionableWith["sem_union0"])
+	}
+}

@@ -1,0 +1,114 @@
+package table
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "Country,City,Rate\nGermany,Berlin,63\nEngland,Manchester,78\n"
+	tb, err := ReadCSV(strings.NewReader(in), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Name != "q" || tb.NumRows() != 2 || tb.NumCols() != 3 {
+		t.Fatalf("parsed %dx%d name=%q", tb.NumRows(), tb.NumCols(), tb.Name)
+	}
+	if tb.Cell(0, 2).Kind() != Int {
+		t.Errorf("Rate should infer Int, got %v", tb.Cell(0, 2).Kind())
+	}
+}
+
+func TestReadCSVRaggedRowsPadded(t *testing.T) {
+	in := "a,b,c\n1,2\n1,2,3,4\n"
+	tb, err := ReadCSV(strings.NewReader(in), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Cell(0, 2).IsNull() {
+		t.Error("short row must be padded with nulls")
+	}
+	if tb.NumCols() != 3 {
+		t.Error("long rows must be truncated to the header arity")
+	}
+}
+
+func TestReadCSVEmptyInput(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "e"); err == nil {
+		t.Error("empty CSV must error")
+	}
+}
+
+func TestNumericColumnUnification(t *testing.T) {
+	in := "v\n1\n2.5\n3\n"
+	tb, err := ReadCSV(strings.NewReader(in), "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		if tb.Cell(r, 0).Kind() != Float {
+			t.Errorf("row %d kind = %v, want Float after unification", r, tb.Cell(r, 0).Kind())
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := New("rt", "name", "n", "f", "flag", "miss", "prod")
+	tb.MustAddRow(StringValue("Berlin"), IntValue(1), FloatValue(2.5), BoolValue(true), NullValue(), ProducedNull())
+	tb.MustAddRow(StringValue("a,b\"quoted\""), IntValue(-2), FloatValue(0.5), BoolValue(false), NullValue(), ProducedNull())
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Equal(back) {
+		t.Errorf("round trip mismatch:\nin:\n%s\nout:\n%s", tb, back)
+	}
+	if back.Cell(0, 5).Kind() != PNull {
+		t.Error("produced null must survive a round trip")
+	}
+	if back.Cell(0, 4).Kind() != Null {
+		t.Error("missing null must survive a round trip")
+	}
+}
+
+func TestFileAndDirIO(t *testing.T) {
+	dir := t.TempDir()
+	a := New("a", "x")
+	a.MustAddRow(IntValue(1))
+	b := New("b", "y")
+	b.MustAddRow(StringValue("v"))
+	if err := a.WriteCSVFile(filepath.Join(dir, "a.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSVFile(filepath.Join(dir, "b.csv")); err != nil {
+		t.Fatal(err)
+	}
+	// A non-CSV file must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].Name != "a" || tables[1].Name != "b" {
+		t.Fatalf("LoadDir = %v", tables)
+	}
+	one, err := ReadCSVFile(filepath.Join(dir, "a.csv"))
+	if err != nil || one.Name != "a" {
+		t.Fatalf("ReadCSVFile = %v, %v", one, err)
+	}
+	if _, err := LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("LoadDir on missing dir must error")
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("ReadCSVFile on missing file must error")
+	}
+}

@@ -1,0 +1,91 @@
+package table
+
+import "fmt"
+
+// Filter returns a new table containing the rows for which keep returns
+// true, preserving order. The rows are shared (not copied); use Clone
+// first when mutation is intended.
+func (t *Table) Filter(name string, keep func(row []Value) bool) *Table {
+	out := New(name, t.Columns...)
+	for _, row := range t.Rows {
+		if keep(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// SelectByName projects the named columns, in the given order. Unknown
+// names are errors.
+func (t *Table) SelectByName(name string, columns ...string) (*Table, error) {
+	idx := make([]int, len(columns))
+	for i, c := range columns {
+		j, ok := t.ColumnIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("table %q: no column named %q", t.Name, c)
+		}
+		idx[i] = j
+	}
+	return t.Project(name, idx...)
+}
+
+// Head returns a new table with at most n leading rows (shared, not
+// copied).
+func (t *Table) Head(n int) *Table {
+	if n > t.NumRows() {
+		n = t.NumRows()
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := New(t.Name, t.Columns...)
+	out.Rows = append(out.Rows, t.Rows[:n]...)
+	return out
+}
+
+// DropNullRows returns a new table without rows that are null in any of
+// the given columns (all columns when none are given) — the
+// complete-case view analysts take before correlation.
+func (t *Table) DropNullRows(cols ...int) (*Table, error) {
+	if len(cols) == 0 {
+		cols = make([]int, t.NumCols())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	for _, c := range cols {
+		if c < 0 || c >= t.NumCols() {
+			return nil, fmt.Errorf("table %q: column %d out of range", t.Name, c)
+		}
+	}
+	return t.Filter(t.Name, func(row []Value) bool {
+		for _, c := range cols {
+			if row[c].IsNull() {
+				return false
+			}
+		}
+		return true
+	}), nil
+}
+
+// RenameColumn renames the first column with header from to to.
+func (t *Table) RenameColumn(from, to string) error {
+	i, ok := t.ColumnIndex(from)
+	if !ok {
+		return fmt.Errorf("table %q: no column named %q", t.Name, from)
+	}
+	t.Columns[i] = to
+	return nil
+}
+
+// AppendRows appends all rows of other, which must have the same arity.
+// Headers are not checked: integration decides column correspondence, not
+// this helper.
+func (t *Table) AppendRows(other *Table) error {
+	if other.NumCols() != t.NumCols() {
+		return fmt.Errorf("table %q: cannot append rows of %q with %d columns (want %d)",
+			t.Name, other.Name, other.NumCols(), t.NumCols())
+	}
+	t.Rows = append(t.Rows, other.Rows...)
+	return nil
+}

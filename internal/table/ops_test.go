@@ -1,0 +1,99 @@
+package table
+
+import "testing"
+
+func TestFilter(t *testing.T) {
+	tb := sample()
+	got := tb.Filter("rich", func(row []Value) bool {
+		return row[2].IntVal() >= 78
+	})
+	if got.NumRows() != 2 || got.Name != "rich" {
+		t.Errorf("Filter = %d rows", got.NumRows())
+	}
+	none := tb.Filter("none", func([]Value) bool { return false })
+	if none.NumRows() != 0 {
+		t.Error("Filter false must be empty")
+	}
+}
+
+func TestSelectByName(t *testing.T) {
+	tb := sample()
+	got, err := tb.SelectByName("sel", "Rate", "City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Columns[0] != "Rate" || got.Columns[1] != "City" {
+		t.Errorf("SelectByName headers = %v", got.Columns)
+	}
+	if got.Cell(0, 1).Str() != "Berlin" {
+		t.Error("SelectByName cells wrong")
+	}
+	if _, err := tb.SelectByName("bad", "nope"); err == nil {
+		t.Error("unknown column must error")
+	}
+}
+
+func TestHead(t *testing.T) {
+	tb := sample()
+	if got := tb.Head(2); got.NumRows() != 2 {
+		t.Errorf("Head(2) = %d rows", got.NumRows())
+	}
+	if got := tb.Head(99); got.NumRows() != 3 {
+		t.Error("Head beyond size must clamp")
+	}
+	if got := tb.Head(-1); got.NumRows() != 0 {
+		t.Error("negative Head must be empty")
+	}
+}
+
+func TestDropNullRows(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.MustAddRow(IntValue(1), NullValue())
+	tb.MustAddRow(IntValue(2), IntValue(3))
+	tb.MustAddRow(ProducedNull(), IntValue(4))
+	all, err := tb.DropNullRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != 1 {
+		t.Errorf("DropNullRows() = %d rows, want 1", all.NumRows())
+	}
+	colA, err := tb.DropNullRows(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colA.NumRows() != 2 {
+		t.Errorf("DropNullRows(0) = %d rows, want 2", colA.NumRows())
+	}
+	if _, err := tb.DropNullRows(9); err == nil {
+		t.Error("out of range must error")
+	}
+}
+
+func TestRenameColumn(t *testing.T) {
+	tb := sample()
+	if err := tb.RenameColumn("Rate", "Vaccination"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.ColumnIndex("Vaccination"); !ok {
+		t.Error("rename did not apply")
+	}
+	if err := tb.RenameColumn("nope", "x"); err == nil {
+		t.Error("unknown column must error")
+	}
+}
+
+func TestAppendRows(t *testing.T) {
+	a := sample()
+	b := sample()
+	if err := a.AppendRows(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != 6 {
+		t.Errorf("AppendRows = %d rows", a.NumRows())
+	}
+	short := New("s", "x")
+	if err := a.AppendRows(short); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}

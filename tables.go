@@ -1,0 +1,63 @@
+package dialite
+
+import (
+	"io"
+
+	"repro/internal/table"
+)
+
+// Table is an in-memory table: named columns (possibly unreliable, as in
+// data lakes) over typed rows.
+type Table = tableAlias
+
+// Value is a typed cell. Two null kinds are distinguished: missing nulls
+// ("±", present in source data) and produced nulls ("⊥", introduced by
+// integration).
+type Value = table.Value
+
+// Kind enumerates Value types.
+type Kind = table.Kind
+
+// Value kinds, re-exported.
+const (
+	KindNull         = table.Null
+	KindProducedNull = table.PNull
+	KindString       = table.String
+	KindInt          = table.Int
+	KindFloat        = table.Float
+	KindBool         = table.Bool
+)
+
+// NewTable returns an empty table with the given name and headers.
+func NewTable(name string, columns ...string) *Table { return table.New(name, columns...) }
+
+// String returns a string cell.
+func String(s string) Value { return table.StringValue(s) }
+
+// Int returns an integer cell.
+func Int(i int64) Value { return table.IntValue(i) }
+
+// Float returns a floating-point cell.
+func Float(f float64) Value { return table.FloatValue(f) }
+
+// Bool returns a boolean cell.
+func Bool(b bool) Value { return table.BoolValue(b) }
+
+// Null returns a missing null ("±").
+func Null() Value { return table.NullValue() }
+
+// ProducedNull returns a produced null ("⊥").
+func ProducedNull() Value { return table.ProducedNull() }
+
+// ParseValue type-infers a raw string into a Value (nulls, ints, floats,
+// booleans, strings).
+func ParseValue(raw string) Value { return table.Parse(raw) }
+
+// ReadCSV parses CSV (header row first) into a typed table.
+func ReadCSV(r io.Reader, name string) (*Table, error) { return table.ReadCSV(r, name) }
+
+// ReadCSVFile reads one CSV file; the table is named after the file.
+func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }
+
+// LoadDir reads every *.csv in dir, sorted by name.
+func LoadDir(dir string) ([]*Table, error) { return table.LoadDir(dir) }
