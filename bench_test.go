@@ -228,6 +228,20 @@ func BenchmarkX2FDScaling(b *testing.B) {
 	})
 }
 
+// BenchmarkLakeBuild measures offline lake preprocessing (SANTOS
+// annotation, domain extraction, LSH Ensemble and JOSIE index builds) on
+// the 640-domain synthetic lake — the cost DIALITE pays per lake, amortized
+// across every query.
+func BenchmarkLakeBuild(b *testing.B) {
+	sl := experiments.JoinSearchLake(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lake.New(sl.Tables, lake.Options{Knowledge: kb.Demo()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkX3JoinSearch compares LSH Ensemble queries against the exact
 // containment scan on a 640-domain lake.
 func BenchmarkX3JoinSearch(b *testing.B) {

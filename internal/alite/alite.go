@@ -34,6 +34,9 @@ type Options struct {
 	RowIDs RowIDFunc
 	// WithProvenance adds the figures' TIDs column to the rendered table.
 	WithProvenance bool
+	// Dict optionally shares a value dictionary (usually the lake's) with
+	// the FD closure, so cell interning is reused across integrations.
+	Dict *table.Dict
 }
 
 // Result is an integrated table plus the intermediate artifacts a DIALITE
@@ -66,6 +69,7 @@ func Integrate(tables []*table.Table, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	in.Dict = opts.Dict
 	var tuples []fd.Tuple
 	if opts.Workers > 0 {
 		tuples = fd.Parallel(in, opts.Workers)

@@ -189,6 +189,12 @@ func (p *Pipeline) Integrate(req IntegrateRequest) (*IntegrateResponse, error) {
 	if matcher == nil {
 		matcher = schemamatch.Holistic{Knowledge: p.lake.Knowledge()}
 	}
+	// The default FD operator shares the lake-wide value dictionary, so
+	// interning the integration set's cells is a cache hit for lake values.
+	if fdOp, ok := op.(integrate.ALITEFD); ok && fdOp.Dict == nil {
+		fdOp.Dict = p.lake.Dict()
+		op = fdOp
+	}
 	out, tuples, err := integrate.Apply(op, req.Tables, matcher, req.RowIDs, req.WithProvenance)
 	if err != nil {
 		return nil, fmt.Errorf("core: integrate: %w", err)
@@ -203,6 +209,7 @@ func (p *Pipeline) IntegrateALITE(tables []*table.Table, rowIDs alite.RowIDFunc,
 		Knowledge:      p.lake.Knowledge(),
 		RowIDs:         rowIDs,
 		WithProvenance: withProvenance,
+		Dict:           p.lake.Dict(),
 	})
 }
 

@@ -4,38 +4,24 @@ package fd
 // generates candidate pairs by scanning every existing tuple instead of
 // probing the (position, value) inverted index. It exists purely as the
 // ablation baseline for the index — the design choice that makes ALITE's
-// closure practical — and produces identical output.
+// closure practical — and produces identical output. It shares the interned
+// closure machinery, so the comparison isolates candidate generation alone.
 func ALITEUnindexed(in Input) []Tuple {
-	tuples := dedupeTuples(in.Tuples)
-	keys := make(map[string]bool, len(tuples))
-	for _, t := range tuples {
-		keys[t.Key()] = true
-	}
-	work := make([]int, len(tuples))
-	for i := range work {
-		work[i] = i
-	}
+	c := newCloser(in.Dict)
+	work := c.seed(in.Tuples)
+	var idbuf []uint32
 	for len(work) > 0 {
 		i := work[0]
 		work = work[1:]
 		// Ablated candidate generation: every other tuple is a candidate.
-		for j := 0; j < len(tuples); j++ {
+		for j := 0; j < len(c.tuples); j++ {
 			if j == i {
 				continue
 			}
-			a, b := tuples[i], tuples[j]
-			if !Complementable(a.Values, b.Values) {
-				continue
+			if ni := c.tryMerge(i, j, &idbuf); ni >= 0 {
+				work = append(work, ni)
 			}
-			m := Merge(a, b)
-			k := m.Key()
-			if keys[k] {
-				continue
-			}
-			keys[k] = true
-			tuples = append(tuples, m)
-			work = append(work, len(tuples)-1)
 		}
 	}
-	return finalize(tuples)
+	return c.finalize()
 }

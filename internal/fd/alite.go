@@ -1,5 +1,11 @@
 package fd
 
+import (
+	"sort"
+
+	"repro/internal/table"
+)
+
 // ALITE computes the Full Disjunction of the input by complementation
 // closure, the algorithm of the ALITE paper:
 //
@@ -11,10 +17,15 @@ package fd
 //  3. Remove subsumed tuples, leaving the maximal ones.
 //
 // The result is sorted canonically and is deterministic.
+//
+// Internally the closure runs on interned value IDs (table.Dict): bucket
+// keys are pos<<32|id integers, tuple dedup hashes ID slices, and value
+// comparisons are integer equality. in.Dict supplies a shared (lake-wide)
+// dictionary; nil interns privately.
 func ALITE(in Input) []Tuple {
-	c := newCloser(in.Tuples)
-	c.run()
-	return finalize(c.tuples)
+	c := newCloser(in.Dict)
+	c.run(c.seed(in.Tuples))
+	return c.finalize()
 }
 
 // finalize applies subsumption removal and canonical ordering.
@@ -24,116 +35,332 @@ func finalize(tuples []Tuple) []Tuple {
 	return out
 }
 
-// closer holds the shared closure state used by ALITE and Parallel.
+// ctuple is a closure-internal tuple: the aligned values, their interned
+// IDs (NullID for nulls of either kind), and provenance as sorted interned
+// IDs into closer.provs.
+type ctuple struct {
+	vals []table.Value
+	ids  []uint32
+	prov []int32
+}
+
+// closer holds the shared closure state used by ALITE, Parallel and
+// Incremental. All hot-path identity work happens on integers: values are
+// interned once per tuple on entry, and every subsequent lookup, merge and
+// dedup runs on IDs.
 type closer struct {
-	tuples  []Tuple
-	keys    map[string]bool  // value keys present
-	buckets map[string][]int // (pos,value) -> tuple indices
+	dict *table.Dict
+
+	// Provenance interning: prov strings are interned to dense int32 IDs so
+	// provenance sets merge as linear sorted-int merges. IDs are assigned in
+	// first-seen order (sequential), so sorted-by-ID is a deterministic but
+	// non-lexicographic order; conversion back to strings re-sorts.
+	provIDs map[string]int32
+	provs   []string
+
+	tuples []ctuple
+	// byHash indexes tuples by an FNV-1a hash of their ID slice; collisions
+	// are resolved by comparing ID slices, so dedup is exact.
+	byHash map[uint64][]int32
+	// buckets is the (position, value) inverted index: pos<<32|id -> tuple
+	// indices, in insertion order.
+	buckets map[uint64][]int32
+
+	// vs is the sequential paths' candidate scratch; parallel workers carry
+	// their own.
+	vs visitScratch
 }
 
-func newCloser(initial []Tuple) *closer {
-	c := &closer{
-		keys:    make(map[string]bool),
-		buckets: make(map[string][]int),
+func newCloser(dict *table.Dict) *closer {
+	if dict == nil {
+		dict = table.NewDict()
 	}
-	for _, t := range dedupeTuples(initial) {
-		c.add(t)
+	return &closer{
+		dict:    dict,
+		provIDs: make(map[string]int32),
+		byHash:  make(map[uint64][]int32),
+		buckets: make(map[uint64][]int32),
 	}
-	return c
 }
 
-// add registers a tuple known to have a fresh value key.
-func (c *closer) add(t Tuple) int {
+// provID interns a provenance string.
+func (c *closer) provID(s string) int32 {
+	if id, ok := c.provIDs[s]; ok {
+		return id
+	}
+	id := int32(len(c.provs))
+	c.provs = append(c.provs, s)
+	c.provIDs[s] = id
+	return id
+}
+
+// intern converts a public tuple into closure form. Values are shared, not
+// copied.
+func (c *closer) intern(t Tuple) ctuple {
+	ids := make([]uint32, len(t.Values))
+	for i, v := range t.Values {
+		ids[i] = c.dict.Intern(v)
+	}
+	prov := make([]int32, len(t.Prov))
+	for i, p := range t.Prov {
+		prov[i] = c.provID(p)
+	}
+	sort.Slice(prov, func(i, j int) bool { return prov[i] < prov[j] })
+	return ctuple{vals: t.Values, ids: ids, prov: prov}
+}
+
+// hashIDs is FNV-1a over the words of an ID slice.
+func hashIDs(ids []uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= prime64
+	}
+	return h
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the index of the tuple with exactly these value IDs, or -1.
+func (c *closer) lookup(ids []uint32) int {
+	for _, idx := range c.byHash[hashIDs(ids)] {
+		if equalIDs(c.tuples[idx].ids, ids) {
+			return int(idx)
+		}
+	}
+	return -1
+}
+
+// add registers a tuple known to carry fresh value IDs.
+func (c *closer) add(ct ctuple) int {
 	idx := len(c.tuples)
-	c.tuples = append(c.tuples, t)
-	c.keys[t.Key()] = true
-	for pos, v := range t.Values {
-		if v.IsNull() {
+	c.tuples = append(c.tuples, ct)
+	h := hashIDs(ct.ids)
+	c.byHash[h] = append(c.byHash[h], int32(idx))
+	for pos, id := range ct.ids {
+		if id == table.NullID {
 			continue
 		}
-		bk := bucketKey(pos, v)
-		c.buckets[bk] = append(c.buckets[bk], idx)
+		bk := uint64(pos)<<32 | uint64(id)
+		c.buckets[bk] = append(c.buckets[bk], int32(idx))
 	}
 	return idx
 }
 
-// candidates returns the indices of tuples sharing at least one non-null
-// value with tuple idx, excluding idx itself, deduplicated.
-func (c *closer) candidates(idx int) []int {
-	seen := map[int]bool{idx: true}
-	var out []int
-	for pos, v := range c.tuples[idx].Values {
-		if v.IsNull() {
+// seed interns and adds tuples, deduplicating by value (first occurrence —
+// and its provenance — wins). It returns the indices added, the initial
+// worklist.
+func (c *closer) seed(tuples []Tuple) []int {
+	work := make([]int, 0, len(tuples))
+	for _, t := range tuples {
+		ct := c.intern(t)
+		if c.lookup(ct.ids) >= 0 {
 			continue
 		}
-		for _, j := range c.buckets[bucketKey(pos, v)] {
-			if !seen[j] {
-				seen[j] = true
-				out = append(out, j)
+		work = append(work, c.add(ct))
+	}
+	return work
+}
+
+// visitScratch is an epoch-stamped visited set reused across candidates
+// calls, replacing a per-call map allocation. Each caller owns one; the
+// returned slice is valid until the next call on the same scratch.
+type visitScratch struct {
+	stamp []uint32
+	epoch uint32
+	out   []int
+}
+
+// candidates returns the indices of tuples sharing at least one non-null
+// value ID with tuple idx, excluding idx itself, deduplicated, in inverted-
+// index order.
+func (c *closer) candidates(idx int, vs *visitScratch) []int {
+	if n := len(c.tuples); len(vs.stamp) < n {
+		vs.stamp = append(vs.stamp, make([]uint32, n-len(vs.stamp))...)
+	}
+	vs.epoch++
+	if vs.epoch == 0 { // wrapped: clear stale stamps once
+		for i := range vs.stamp {
+			vs.stamp[i] = 0
+		}
+		vs.epoch = 1
+	}
+	vs.stamp[idx] = vs.epoch
+	vs.out = vs.out[:0]
+	for pos, id := range c.tuples[idx].ids {
+		if id == table.NullID {
+			continue
+		}
+		for _, j := range c.buckets[uint64(pos)<<32|uint64(id)] {
+			if vs.stamp[j] != vs.epoch {
+				vs.stamp[j] = vs.epoch
+				vs.out = append(vs.out, int(j))
 			}
 		}
 	}
+	return vs.out
+}
+
+// complementableIDs is Complementable on interned IDs: at least one shared
+// non-null ID, no position where both are non-null and different.
+func complementableIDs(a, b []uint32) bool {
+	shares := false
+	for i := range a {
+		ai, bi := a[i], b[i]
+		if ai == table.NullID || bi == table.NullID {
+			continue
+		}
+		if ai != bi {
+			return false
+		}
+		shares = true
+	}
+	return shares
+}
+
+// mergeIDs writes the merged ID vector of a and b into dst (the non-null
+// side wins; both-null stays NullID).
+func mergeIDs(a, b []uint32, dst []uint32) []uint32 {
+	if cap(dst) < len(a) {
+		dst = make([]uint32, len(a))
+	}
+	dst = dst[:len(a)]
+	for i := range a {
+		if a[i] != table.NullID {
+			dst[i] = a[i]
+		} else {
+			dst[i] = b[i]
+		}
+	}
+	return dst
+}
+
+// mergeProv is the linear sorted-merge of two provenance ID sets.
+func mergeProv(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 
+// materialize builds the merged ctuple for tuples i and j given their
+// merged ID vector. Value semantics match Merge: the non-null side wins;
+// when both sides are null, a missing null (±) survives over a produced
+// null (⊥).
+func (c *closer) materialize(i, j int, ids []uint32) ctuple {
+	a, b := &c.tuples[i], &c.tuples[j]
+	vals := make([]table.Value, len(ids))
+	for p := range ids {
+		switch {
+		case a.ids[p] != table.NullID:
+			vals[p] = a.vals[p]
+		case b.ids[p] != table.NullID:
+			vals[p] = b.vals[p]
+		case a.vals[p].Kind() == table.Null || b.vals[p].Kind() == table.Null:
+			vals[p] = table.NullValue()
+		default:
+			vals[p] = table.ProducedNull()
+		}
+	}
+	return ctuple{vals: vals, ids: append([]uint32(nil), ids...), prov: mergeProv(a.prov, b.prov)}
+}
+
 // tryMerge merges tuples i and j if complementable and the merge carries
-// new values; it returns the new tuple index or -1.
-func (c *closer) tryMerge(i, j int) int {
-	a, b := c.tuples[i], c.tuples[j]
-	if !Complementable(a.Values, b.Values) {
+// new values; it returns the new tuple index or -1. The merged ID vector is
+// computed into a scratch buffer first, so rejected merges (the common case
+// in dense closures) allocate nothing.
+func (c *closer) tryMerge(i, j int, idbuf *[]uint32) int {
+	a, b := &c.tuples[i], &c.tuples[j]
+	if !complementableIDs(a.ids, b.ids) {
 		return -1
 	}
-	m := Merge(a, b)
-	k := m.Key()
+	*idbuf = mergeIDs(a.ids, b.ids, *idbuf)
 	// A merge whose values already exist (including one of its own sides,
 	// which happens exactly when one side subsumes the other) adds nothing;
 	// the existing tuple keeps its (minimal) provenance.
-	if c.keys[k] {
+	if c.lookup(*idbuf) >= 0 {
 		return -1
 	}
-	return c.add(m)
+	return c.add(c.materialize(i, j, *idbuf))
 }
 
 // run drives the sequential closure to fixpoint with a worklist.
-func (c *closer) run() {
-	work := make([]int, len(c.tuples))
-	for i := range work {
-		work[i] = i
-	}
+func (c *closer) run(work []int) {
+	var idbuf []uint32
 	for len(work) > 0 {
 		i := work[0]
 		work = work[1:]
-		for _, j := range c.candidates(i) {
-			if ni := c.tryMerge(i, j); ni >= 0 {
+		for _, j := range c.candidates(i, &c.vs) {
+			if ni := c.tryMerge(i, j, &idbuf); ni >= 0 {
 				work = append(work, ni)
 			}
 		}
 	}
 }
 
-// RemoveSubsumed drops every tuple strictly subsumed by another (its
-// non-null values all appear in a tuple with strictly more information).
-// Value-duplicates are removed first; an all-null tuple is dropped whenever
-// any other tuple exists. The survivors are exactly the maximal tuples.
-func RemoveSubsumed(tuples []Tuple) []Tuple {
-	ts := dedupeTuples(tuples)
-	// Bucket index for candidate subsumers: a subsumer must share every
-	// non-null value of the subsumed tuple, in particular its first one.
-	buckets := make(map[string][]int)
-	for i, t := range ts {
-		for pos, v := range t.Values {
-			if v.IsNull() {
-				continue
-			}
-			bk := bucketKey(pos, v)
-			buckets[bk] = append(buckets[bk], i)
-		}
+// tuple converts closure tuple idx back to public form; provenance strings
+// are rendered and sorted lexicographically, as the paper's figures are.
+func (c *closer) tuple(idx int) Tuple {
+	ct := &c.tuples[idx]
+	prov := make([]string, len(ct.prov))
+	for i, p := range ct.prov {
+		prov[i] = c.provs[p]
 	}
-	removed := make([]bool, len(ts))
-	for i, t := range ts {
+	sort.Strings(prov)
+	return Tuple{Values: ct.vals, Prov: prov}
+}
+
+// finalize removes subsumed closure tuples and returns the survivors in
+// canonical order.
+func (c *closer) finalize() []Tuple {
+	keep := removeSubsumedIDs(c.tuples, c.buckets)
+	out := make([]Tuple, 0, len(keep))
+	for _, idx := range keep {
+		out = append(out, c.tuple(idx))
+	}
+	sortTuples(out)
+	return out
+}
+
+// removeSubsumedIDs returns the indices of subsumption-maximal tuples, in
+// input order. tuples must be value-deduplicated; buckets is their
+// (position, value-ID) inverted index. An all-null tuple is dropped
+// whenever any other tuple exists.
+func removeSubsumedIDs(tuples []ctuple, buckets map[uint64][]int32) []int {
+	removed := make([]bool, len(tuples))
+	for i := range tuples {
+		t := &tuples[i]
 		firstNonNull := -1
-		for pos, v := range t.Values {
-			if !v.IsNull() {
+		for pos, id := range t.ids {
+			if id != table.NullID {
 				firstNonNull = pos
 				break
 			}
@@ -141,27 +368,89 @@ func RemoveSubsumed(tuples []Tuple) []Tuple {
 		if firstNonNull < 0 {
 			// All-null tuple: carries no information; keep only when it is
 			// the entire result.
-			if len(ts) > 1 {
+			if len(tuples) > 1 {
 				removed[i] = true
 			}
 			continue
 		}
-		bk := bucketKey(firstNonNull, t.Values[firstNonNull])
+		// A subsumer must share every non-null value of t, in particular
+		// its first one.
+		bk := uint64(firstNonNull)<<32 | uint64(t.ids[firstNonNull])
 		for _, j := range buckets[bk] {
-			if j == i || removed[j] {
+			if int(j) == i || removed[j] {
 				continue
 			}
-			if Subsumes(ts[j].Values, t.Values) {
+			if subsumesIDs(tuples[j].ids, t.ids) {
 				removed[i] = true
 				break
 			}
 		}
 	}
-	out := make([]Tuple, 0, len(ts))
-	for i, t := range ts {
+	keep := make([]int, 0, len(tuples))
+	for i := range tuples {
 		if !removed[i] {
-			out = append(out, t)
+			keep = append(keep, i)
 		}
+	}
+	return keep
+}
+
+// subsumesIDs is Subsumes on interned IDs: everywhere sub is non-null, sup
+// holds the same ID.
+func subsumesIDs(sup, sub []uint32) bool {
+	for i, s := range sub {
+		if s == table.NullID {
+			continue
+		}
+		if sup[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveSubsumed drops every tuple strictly subsumed by another (its
+// non-null values all appear in a tuple with strictly more information).
+// Value-duplicates are removed first; an all-null tuple is dropped whenever
+// any other tuple exists. The survivors are exactly the maximal tuples,
+// with their original Tuple structs preserved in input order.
+func RemoveSubsumed(tuples []Tuple) []Tuple {
+	dict := table.NewDict()
+	cts := make([]ctuple, 0, len(tuples))
+	orig := make([]Tuple, 0, len(tuples))
+	byHash := make(map[uint64][]int32, len(tuples))
+	buckets := make(map[uint64][]int32)
+	var idbuf []uint32
+	for _, t := range tuples {
+		idbuf = dict.InternRow(t.Values, idbuf)
+		h := hashIDs(idbuf)
+		dup := false
+		for _, idx := range byHash[h] {
+			if equalIDs(cts[idx].ids, idbuf) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		idx := int32(len(cts))
+		ids := append([]uint32(nil), idbuf...)
+		cts = append(cts, ctuple{vals: t.Values, ids: ids})
+		orig = append(orig, t)
+		byHash[h] = append(byHash[h], idx)
+		for pos, id := range ids {
+			if id == table.NullID {
+				continue
+			}
+			bk := uint64(pos)<<32 | uint64(id)
+			buckets[bk] = append(buckets[bk], idx)
+		}
+	}
+	keep := removeSubsumedIDs(cts, buckets)
+	out := make([]Tuple, 0, len(keep))
+	for _, idx := range keep {
+		out = append(out, orig[idx])
 	}
 	return out
 }

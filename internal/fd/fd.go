@@ -57,6 +57,11 @@ func (t Tuple) Key() string { return table.RowKey(t.Values) }
 type Input struct {
 	Schema []string
 	Tuples []Tuple
+	// Dict optionally supplies a shared value dictionary (usually the
+	// lake's), so cell interning is reused across integrations. Nil means
+	// each FD computation interns into a private dictionary. The FD output
+	// is identical either way.
+	Dict *table.Dict
 }
 
 // Relation maps one source table onto the integration schema.
@@ -172,30 +177,26 @@ func Subsumes(sup, sub []table.Value) bool {
 	return true
 }
 
-// unionProv merges two sorted provenance sets.
+// unionProv merges two sorted provenance sets with a linear sorted-merge.
 func unionProv(a, b []string) []string {
 	out := make([]string, 0, len(a)+len(b))
-	out = append(out, a...)
-	for _, x := range b {
-		found := false
-		for _, y := range a {
-			if x == y {
-				found = true
-				break
-			}
-		}
-		if !found {
-			out = append(out, x)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
 		}
 	}
-	sort.Strings(out)
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
-}
-
-// bucketKey identifies an inverted-index bucket for a non-null value at a
-// schema position.
-func bucketKey(pos int, v table.Value) string {
-	return strconv.Itoa(pos) + "\x1f" + v.Key()
 }
 
 // dedupeTuples removes value-duplicate tuples, keeping the first occurrence

@@ -1,5 +1,7 @@
 package fd
 
+import "repro/internal/table"
+
 // Incremental maintains a Full Disjunction as tuples arrive (for example,
 // as the user adds one more discovered table to the integration set). It
 // retains the complementation *closure* — not just the maximal result —
@@ -19,12 +21,16 @@ type Incremental struct {
 // NewIncremental starts an incremental FD over the given integration
 // schema, optionally seeded with initial aligned tuples.
 func NewIncremental(schema []string, initial []Tuple) *Incremental {
+	return NewIncrementalDict(schema, initial, nil)
+}
+
+// NewIncrementalDict is NewIncremental with a shared value dictionary
+// (usually the lake's), so cell interning is reused across integrations.
+// A nil dict interns privately.
+func NewIncrementalDict(schema []string, initial []Tuple, dict *table.Dict) *Incremental {
 	inc := &Incremental{
 		schema: append([]string(nil), schema...),
-		c: &closer{
-			keys:    make(map[string]bool),
-			buckets: make(map[string][]int),
-		},
+		c:      newCloser(dict),
 	}
 	inc.Add(initial)
 	return inc
@@ -33,31 +39,14 @@ func NewIncremental(schema []string, initial []Tuple) *Incremental {
 // Add ingests aligned tuples (padded to the schema, e.g. by OuterUnion)
 // and extends the closure to its new fixpoint.
 func (inc *Incremental) Add(tuples []Tuple) {
-	var work []int
-	for _, t := range dedupeTuples(tuples) {
-		if inc.c.keys[t.Key()] {
-			continue
-		}
-		work = append(work, inc.c.add(t))
-	}
-	for len(work) > 0 {
-		i := work[0]
-		work = work[1:]
-		for _, j := range inc.c.candidates(i) {
-			if ni := inc.c.tryMerge(i, j); ni >= 0 {
-				work = append(work, ni)
-			}
-		}
-	}
+	inc.c.run(inc.c.seed(tuples))
 }
 
 // Result returns the current Full Disjunction: the subsumption-maximal
 // tuples of the closure, canonically ordered. The closure state is not
 // consumed; more tuples can be added afterwards.
 func (inc *Incremental) Result() []Tuple {
-	snapshot := make([]Tuple, len(inc.c.tuples))
-	copy(snapshot, inc.c.tuples)
-	return finalize(snapshot)
+	return inc.c.finalize()
 }
 
 // ClosureSize reports how many distinct tuples (source and merged) the

@@ -3,7 +3,10 @@ package fd
 import (
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+
+	"repro/internal/table"
 )
 
 // Parallel computes the Full Disjunction with a round-synchronous parallel
@@ -13,20 +16,23 @@ import (
 // merges of its frontier tuples against a read-only snapshot of the closure
 // state; proposals are then integrated sequentially in a deterministic
 // order, forming the next frontier. Output is identical to ALITE.
+//
+// Like ALITE, the closure runs on interned value IDs. Workers carry their
+// own epoch-stamped candidate scratch, so proposal generation allocates
+// only for genuinely new merges.
 func Parallel(in Input, workers int) []Tuple {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	c := newCloser(in.Tuples)
-	frontier := make([]int, len(c.tuples))
-	for i := range frontier {
-		frontier[i] = i
-	}
+	c := newCloser(in.Dict)
+	frontier := c.seed(in.Tuples)
 	for len(frontier) > 0 {
 		// Propose merges in parallel against a frozen snapshot.
 		type proposal struct {
-			tuple Tuple
-			key   string
+			tuple ctuple
+			// provKey is the lexicographically sorted provenance rendering,
+			// the deterministic tiebreak among equal-value proposals.
+			provKey string
 		}
 		proposalsPer := make([][]proposal, workers)
 		var wg sync.WaitGroup
@@ -34,44 +40,59 @@ func Parallel(in Input, workers int) []Tuple {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				var vs visitScratch
+				var idbuf []uint32
 				var local []proposal
 				for fi := w; fi < len(frontier); fi += workers {
 					i := frontier[fi]
-					for _, j := range c.candidates(i) {
-						a, b := c.tuples[i], c.tuples[j]
-						if !Complementable(a.Values, b.Values) {
+					for _, j := range c.candidates(i, &vs) {
+						a, b := &c.tuples[i], &c.tuples[j]
+						if !complementableIDs(a.ids, b.ids) {
 							continue
 						}
-						m := Merge(a, b)
-						k := m.Key()
-						if c.keys[k] {
+						idbuf = mergeIDs(a.ids, b.ids, idbuf)
+						if c.lookup(idbuf) >= 0 {
 							continue
 						}
-						local = append(local, proposal{tuple: m, key: k})
+						m := c.materialize(i, j, idbuf)
+						local = append(local, proposal{tuple: m, provKey: c.provKey(m.prov)})
 					}
 				}
 				proposalsPer[w] = local
 			}(w)
 		}
 		wg.Wait()
-		// Integrate sequentially, deterministically.
+		// Integrate sequentially, deterministically: equal-value proposals
+		// are adjacent after sorting and the provenance-smallest one wins,
+		// exactly as the string-keyed integration ordered them.
 		var all []proposal
 		for _, ps := range proposalsPer {
 			all = append(all, ps...)
 		}
 		sort.Slice(all, func(x, y int) bool {
-			if all[x].key != all[y].key {
-				return all[x].key < all[y].key
+			if cmp := table.CompareRows(all[x].tuple.vals, all[y].tuple.vals); cmp != 0 {
+				return cmp < 0
 			}
-			return provLess(all[x].tuple.Prov, all[y].tuple.Prov)
+			return all[x].provKey < all[y].provKey
 		})
 		frontier = frontier[:0]
 		for _, p := range all {
-			if c.keys[p.key] {
+			if c.lookup(p.tuple.ids) >= 0 {
 				continue
 			}
 			frontier = append(frontier, c.add(p.tuple))
 		}
 	}
-	return finalize(c.tuples)
+	return c.finalize()
+}
+
+// provKey renders a provenance ID set as its sorted string form joined with
+// '\x1f', a deterministic order key independent of interning order.
+func (c *closer) provKey(prov []int32) string {
+	ss := make([]string, len(prov))
+	for i, p := range prov {
+		ss[i] = c.provs[p]
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, "\x1f")
 }

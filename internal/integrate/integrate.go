@@ -103,6 +103,9 @@ func Apply(op Operator, tables []*table.Table, matcher schemamatch.Matcher, rowI
 type ALITEFD struct {
 	// Workers > 0 selects the parallel FD algorithm.
 	Workers int
+	// Dict optionally shares a value dictionary (usually the lake's) with
+	// the FD closure, so cell interning is reused across integrations.
+	Dict *table.Dict
 }
 
 // Name implements Operator.
@@ -110,7 +113,7 @@ func (ALITEFD) Name() string { return "alite-fd" }
 
 // Run implements Operator.
 func (o ALITEFD) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
-	in := fd.Input{Schema: schema}
+	in := fd.Input{Schema: schema, Dict: o.Dict}
 	for _, s := range sets {
 		in.Tuples = append(in.Tuples, s.Tuples...)
 	}

@@ -14,8 +14,10 @@ package josie
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/tokenize"
 )
 
@@ -39,22 +41,53 @@ type Index struct {
 // Build constructs the inverted index. Set values are assumed normalized
 // (use tokenize.ValueSet when extracting from tables); Build deduplicates
 // defensively so posting lists never double-count a set.
+//
+// Posting lists are built concurrently: contiguous shards of sets each
+// produce a local postings map, and the shards are merged in shard order,
+// so every posting list stays sorted by ascending set index and the index
+// is identical to a sequential build.
 func Build(sets []Set) *Index {
 	ix := &Index{
 		sets:     append([]Set(nil), sets...),
 		postings: make(map[string][]int32),
 	}
-	for i := range ix.sets {
-		seen := make(map[string]bool, len(ix.sets[i].Values))
-		for _, v := range ix.sets[i].Values {
+	shards := runtime.GOMAXPROCS(0)
+	if shards > len(ix.sets) {
+		shards = len(ix.sets)
+	}
+	if shards <= 1 {
+		buildPostings(ix.sets, 0, ix.postings)
+		return ix
+	}
+	local := make([]map[string][]int32, shards)
+	par.For(shards, func(s int) {
+		lo := s * len(ix.sets) / shards
+		hi := (s + 1) * len(ix.sets) / shards
+		m := make(map[string][]int32)
+		buildPostings(ix.sets[lo:hi], int32(lo), m)
+		local[s] = m
+	})
+	for _, m := range local {
+		for tok, list := range m {
+			ix.postings[tok] = append(ix.postings[tok], list...)
+		}
+	}
+	return ix
+}
+
+// buildPostings adds the postings of sets (whose global indices start at
+// base) into postings.
+func buildPostings(sets []Set, base int32, postings map[string][]int32) {
+	for i := range sets {
+		seen := make(map[string]bool, len(sets[i].Values))
+		for _, v := range sets[i].Values {
 			if v == "" || seen[v] {
 				continue
 			}
 			seen[v] = true
-			ix.postings[v] = append(ix.postings[v], int32(i))
+			postings[v] = append(postings[v], base+int32(i))
 		}
 	}
-	return ix
 }
 
 // NumSets reports how many sets are indexed.

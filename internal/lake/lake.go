@@ -13,6 +13,8 @@ import (
 	"repro/internal/josie"
 	"repro/internal/kb"
 	"repro/internal/lshensemble"
+	"repro/internal/minhash"
+	"repro/internal/par"
 	"repro/internal/santos"
 	"repro/internal/table"
 	"repro/internal/tokenize"
@@ -35,6 +37,7 @@ type Lake struct {
 	tables    []*table.Table
 	byName    map[string]*table.Table
 	knowledge *kb.KB
+	dict      *table.Dict
 	santosIx  *santos.Index
 	joinIx    *lshensemble.Index
 	josieIx   *josie.Index
@@ -43,8 +46,15 @@ type Lake struct {
 
 // New preprocesses the given tables into a queryable lake. Duplicate table
 // names are rejected: discovery results are reported by name.
+//
+// Preprocessing runs on a worker pool: every table's cells are interned
+// into the lake-wide value dictionary and its domains extracted (with
+// MinHash fingerprints computed once per domain) in parallel, then the
+// SANTOS annotation, LSH Ensemble, and JOSIE indexes are built
+// concurrently. All results are collected in table order, so the lake is
+// byte-identical to a sequential build.
 func New(tables []*table.Table, opts Options) (*Lake, error) {
-	l := &Lake{byName: make(map[string]*table.Table, len(tables))}
+	l := &Lake{byName: make(map[string]*table.Table, len(tables)), dict: table.NewDict()}
 	for _, t := range tables {
 		if t == nil {
 			return nil, fmt.Errorf("lake: nil table")
@@ -70,14 +80,21 @@ func New(tables []*table.Table, opts Options) (*Lake, error) {
 	if l.knowledge == nil {
 		l.knowledge = kb.New()
 	}
-	l.santosIx = santos.Build(l.tables, l.knowledge)
-	l.domains = extractDomains(l.tables)
-	l.joinIx = lshensemble.Build(l.domains, opts.LSH)
-	sets := make([]josie.Set, len(l.domains))
-	for i, d := range l.domains {
-		sets[i] = josie.Set{Table: d.Table, Column: d.Column, ColumnName: d.ColumnName, Values: d.Values}
-	}
-	l.josieIx = josie.Build(sets)
+	// Phase 1 (parallel per table): intern every cell into the lake
+	// dictionary and extract the joinable-search domains.
+	l.domains = extractDomains(l.tables, l.dict)
+	// Phase 2: the three indexes read disjoint inputs; build concurrently.
+	par.Do(
+		func() { l.santosIx = santos.Build(l.tables, l.knowledge) },
+		func() { l.joinIx = lshensemble.Build(l.domains, opts.LSH) },
+		func() {
+			sets := make([]josie.Set, len(l.domains))
+			for i, d := range l.domains {
+				sets[i] = josie.Set{Table: d.Table, Column: d.Column, ColumnName: d.ColumnName, Values: d.Values}
+			}
+			l.josieIx = josie.Build(sets)
+		},
+	)
 	return l, nil
 }
 
@@ -93,10 +110,24 @@ func FromDir(dir string, opts Options) (*Lake, error) {
 	return New(tables, opts)
 }
 
-// extractDomains pulls the normalized value set of every textual column.
-func extractDomains(tables []*table.Table) []lshensemble.Domain {
-	var out []lshensemble.Domain
-	for _, t := range tables {
+// extractDomains pulls the normalized value set of every textual column,
+// one worker per table, interning every cell into dict along the way.
+// Per-table results land in slot order, so the flattened domain list —
+// and every index built from it — is identical to a sequential extraction.
+// Domain fingerprints are precomputed here, once per lake: index builds
+// (and rebuilds, e.g. experiments re-indexing under different LSH
+// parameters) reuse them instead of re-hashing every value.
+func extractDomains(tables []*table.Table, dict *table.Dict) []lshensemble.Domain {
+	perTable := make([][]lshensemble.Domain, len(tables))
+	par.For(len(tables), func(i int) {
+		t := tables[i]
+		if dict != nil {
+			var idbuf []uint32
+			for _, row := range t.Rows {
+				idbuf = dict.InternRow(row, idbuf)
+			}
+		}
+		var out []lshensemble.Domain
 		for c := 0; c < t.NumCols(); c++ {
 			if !kb.MostlyTextual(t, c) {
 				continue
@@ -106,12 +137,18 @@ func extractDomains(tables []*table.Table) []lshensemble.Domain {
 				continue
 			}
 			out = append(out, lshensemble.Domain{
-				Table:      t.Name,
-				Column:     c,
-				ColumnName: t.Columns[c],
-				Values:     vals,
+				Table:        t.Name,
+				Column:       c,
+				ColumnName:   t.Columns[c],
+				Values:       vals,
+				Fingerprints: minhash.Fingerprints(vals),
 			})
 		}
+		perTable[i] = out
+	})
+	var out []lshensemble.Domain
+	for _, ds := range perTable {
+		out = append(out, ds...)
 	}
 	return out
 }
@@ -131,6 +168,11 @@ func (l *Lake) Size() int { return len(l.tables) }
 // Knowledge returns the (possibly merged) knowledge base the lake was
 // annotated with.
 func (l *Lake) Knowledge() *kb.KB { return l.knowledge }
+
+// Dict returns the lake-wide value dictionary: every cell of every lake
+// table is interned in it, and integration over this lake shares it so the
+// FD closure's interning is a cache hit for lake values.
+func (l *Lake) Dict() *table.Dict { return l.dict }
 
 // Santos returns the prebuilt semantic union-search index.
 func (l *Lake) Santos() *santos.Index { return l.santosIx }

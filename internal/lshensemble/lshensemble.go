@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/minhash"
+	"repro/internal/par"
 	"repro/internal/tokenize"
 )
 
@@ -30,6 +31,13 @@ type Domain struct {
 	Column     int      // column index within the table
 	ColumnName string   // column header (may be empty/unreliable)
 	Values     []string // normalized, deduplicated value set
+	// Fingerprints optionally caches minhash.Fingerprints(Values), so each
+	// value is FNV-hashed once per lake rather than once per index build.
+	// Callers that index the same domains more than once (rebuilds under
+	// different LSH parameters) should precompute it, as lake extraction
+	// does; Build computes missing fingerprints only into its own private
+	// copy of the domain slice.
+	Fingerprints []uint64
 }
 
 // Key identifies the domain as "table[col]".
@@ -94,10 +102,17 @@ func Build(domains []Domain, opts Options) *Index {
 		family:  minhash.NewFamily(opts.NumHashes, opts.Seed),
 		domains: append([]Domain(nil), domains...),
 	}
+	// Sign domains in parallel: each signature depends only on its own
+	// domain, so the result is deterministic regardless of scheduling.
+	// Fingerprints are computed once per domain and cached on it.
 	ix.signatures = make([]minhash.Signature, len(ix.domains))
-	for i := range ix.domains {
-		ix.signatures[i] = ix.family.Sign(ix.domains[i].Values)
-	}
+	par.For(len(ix.domains), func(i int) {
+		d := &ix.domains[i]
+		if d.Fingerprints == nil {
+			d.Fingerprints = minhash.Fingerprints(d.Values)
+		}
+		ix.signatures[i] = ix.family.SignFingerprints(d.Fingerprints)
+	})
 	// Equi-depth partitioning by domain size.
 	order := make([]int, len(ix.domains))
 	for i := range order {
@@ -113,11 +128,14 @@ func Build(domains []Domain, opts Options) *Index {
 	if nparts > len(order) && len(order) > 0 {
 		nparts = len(order)
 	}
-	for p := 0; p < nparts; p++ {
+	// Partitions band independently; build them in parallel and collect in
+	// partition order, so the index layout stays deterministic.
+	parts := make([]partition, nparts)
+	par.For(nparts, func(p int) {
 		lo := p * len(order) / nparts
 		hi := (p + 1) * len(order) / nparts
 		if lo >= hi {
-			continue
+			return
 		}
 		part := partition{}
 		for _, di := range order[lo:hi] {
@@ -138,7 +156,12 @@ func Build(domains []Domain, opts Options) *Index {
 			}
 			part.tables = append(part.tables, bt)
 		}
-		ix.parts = append(ix.parts, part)
+		parts[p] = part
+	})
+	for _, part := range parts {
+		if len(part.domains) > 0 {
+			ix.parts = append(ix.parts, part)
+		}
 	}
 	return ix
 }

@@ -6,6 +6,7 @@ package minhash
 
 import (
 	"hash/fnv"
+	"math/bits"
 	"math/rand"
 )
 
@@ -51,7 +52,7 @@ func fingerprint(s string) uint64 {
 
 // mulmod computes (a*x + b) mod 2^61-1 using 128-bit intermediate math.
 func mulmod(a, x, b uint64) uint64 {
-	hi, lo := mul64(a, x%mersennePrime)
+	hi, lo := bits.Mul64(a, x%mersennePrime)
 	// Fold the 128-bit product modulo 2^61-1: since 2^61 ≡ 1 (mod p),
 	// value = hi*2^64 + lo = hi*8*2^61 + lo ≡ hi*8 + lo (mod p), applied
 	// iteratively to keep within range.
@@ -66,19 +67,16 @@ func mulmod(a, x, b uint64) uint64 {
 	return v
 }
 
-// mul64 returns the 128-bit product of x and y as (hi, lo).
-func mul64(x, y uint64) (hi, lo uint64) {
-	const mask = 1<<32 - 1
-	x0, x1 := x&mask, x>>32
-	y0, y1 := y&mask, y>>32
-	w0 := x0 * y0
-	t := x1*y0 + w0>>32
-	w1 := t & mask
-	w2 := t >> 32
-	w1 += x0 * y1
-	hi = x1*y1 + w2 + w1>>32
-	lo = x * y
-	return
+// Fingerprints hashes every set member to its 64-bit FNV fingerprint. The
+// result is family-independent, so callers that sign the same set under
+// several families — or rebuild an index with different parameters — can
+// compute fingerprints once per lake and reuse them via SignFingerprints.
+func Fingerprints(set []string) []uint64 {
+	out := make([]uint64, len(set))
+	for i, s := range set {
+		out[i] = fingerprint(s)
+	}
+	return out
 }
 
 // Sign computes the MinHash signature of a string set. Duplicates are
@@ -86,12 +84,18 @@ func mul64(x, y uint64) (hi, lo uint64) {
 // MaxUint64, which estimates Jaccard 1 only against another empty set
 // signed by the same family.
 func (f *Family) Sign(set []string) Signature {
+	return f.SignFingerprints(Fingerprints(set))
+}
+
+// SignFingerprints computes the MinHash signature from precomputed member
+// fingerprints, skipping the per-member FNV pass. Sign(set) is exactly
+// SignFingerprints(Fingerprints(set)).
+func (f *Family) SignFingerprints(fps []uint64) Signature {
 	sig := make(Signature, f.k)
 	for i := range sig {
 		sig[i] = ^uint64(0)
 	}
-	for _, s := range set {
-		fp := fingerprint(s)
+	for _, fp := range fps {
 		for i := 0; i < f.k; i++ {
 			if h := mulmod(f.a[i], fp, f.b[i]); h < sig[i] {
 				sig[i] = h

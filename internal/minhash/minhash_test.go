@@ -147,16 +147,24 @@ func TestJaccardForContainmentMonotoneInThreshold(t *testing.T) {
 	}
 }
 
-func TestMul64(t *testing.T) {
-	// Spot-check 128-bit multiplication against known values.
-	hi, lo := mul64(^uint64(0), ^uint64(0))
-	// (2^64-1)^2 = 2^128 - 2^65 + 1 -> hi = 2^64-2, lo = 1.
-	if hi != ^uint64(0)-1 || lo != 1 {
-		t.Errorf("mul64 max = (%d,%d)", hi, lo)
+func TestSignFingerprintsMatchesSign(t *testing.T) {
+	f := NewFamily(64, 7)
+	set := []string{"boston", "chicago", "austin", "miami", ""}
+	fps := Fingerprints(set)
+	a, b := f.Sign(set), f.SignFingerprints(fps)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("component %d: Sign=%d SignFingerprints=%d", i, a[i], b[i])
+		}
 	}
-	hi, lo = mul64(1<<32, 1<<32)
-	if hi != 1 || lo != 0 {
-		t.Errorf("mul64 2^32*2^32 = (%d,%d), want (1,0)", hi, lo)
+	// Fingerprints are family-independent: a second family signs the same
+	// fingerprints to the same result as signing the raw set.
+	g := NewFamily(64, 99)
+	c, d := g.Sign(set), g.SignFingerprints(fps)
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatalf("family 2 component %d: Sign=%d SignFingerprints=%d", i, c[i], d[i])
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+// Package par holds the small parallel-execution helpers the lake
+// preprocessing pipeline is built from. Every helper preserves determinism
+// by construction: work item i always writes result slot i, so output order
+// is independent of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(0..n-1) across up to GOMAXPROCS workers and returns when all
+// calls have finished. fn must be safe to call concurrently; calls are
+// distributed dynamically, so uneven item costs still balance.
+func For(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and returns when all have
+// finished.
+func Do(fns ...func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}

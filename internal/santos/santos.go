@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/kb"
+	"repro/internal/par"
 	"repro/internal/table"
 )
 
@@ -50,11 +51,14 @@ type Index struct {
 
 // Build annotates every lake table against the knowledge base. Tables
 // without any annotated column are indexed but can never match.
+// Annotation is per-table pure work over a read-only KB, so tables are
+// annotated in parallel; slot-indexed results keep the index order — and
+// therefore query results — identical to a sequential build.
 func Build(lakeTables []*table.Table, knowledge *kb.KB) *Index {
-	ix := &Index{knowledge: knowledge}
-	for _, t := range lakeTables {
-		ix.tables = append(ix.tables, annotate(t, knowledge))
-	}
+	ix := &Index{knowledge: knowledge, tables: make([]tableSemantics, len(lakeTables))}
+	par.For(len(lakeTables), func(i int) {
+		ix.tables[i] = annotate(lakeTables[i], knowledge)
+	})
 	return ix
 }
 

@@ -206,20 +206,49 @@ func (v Value) Key() string {
 	}
 }
 
+// intRepr reports whether the numeric value is exactly representable as an
+// int64 — Int kind, or an integral Float — and that representation. The
+// integrality test is the same expression Key uses, so intRepr-equality is
+// exactly Key collision for int-like numerics.
+func (v Value) intRepr() (int64, bool) {
+	switch v.kind {
+	case Int:
+		return v.i, true
+	case Float:
+		if v.f == float64(int64(v.f)) {
+			return int64(v.f), true
+		}
+	}
+	return 0, false
+}
+
 // Equal reports value equality under join semantics: both-null is equal
 // (regardless of null kind), numeric values compare across Int/Float, and
 // otherwise kind and payload must agree. Note that under SQL semantics
 // null != null; DIALITE's integration layer never *joins* on nulls (callers
 // check IsNull first) but needs deterministic tuple equality for set
 // operations, which this provides.
+//
+// Equal agrees exactly with Key collision (and therefore with Dict ID
+// equality): int-like numerics compare as exact int64s — so Int(2^53+1)
+// does not equal Float(2^53) despite rounding to the same float64 — and
+// NaN equals NaN, keeping set semantics deterministic.
 func (v Value) Equal(o Value) bool {
 	if v.IsNull() || o.IsNull() {
 		return v.IsNull() && o.IsNull()
 	}
 	if (v.kind == Int || v.kind == Float) && (o.kind == Int || o.kind == Float) {
-		vf, _ := v.AsFloat()
-		of, _ := o.AsFloat()
-		return vf == of
+		vi, vIsInt := v.intRepr()
+		oi, oIsInt := o.intRepr()
+		if vIsInt || oIsInt {
+			return vIsInt && oIsInt && vi == oi
+		}
+		// Both non-integral floats; NaNs collide under Key, so they are
+		// equal here too.
+		if v.f != v.f || o.f != o.f {
+			return v.f != v.f && o.f != o.f
+		}
+		return v.f == o.f
 	}
 	if v.kind != o.kind {
 		return false
@@ -269,8 +298,37 @@ func (v Value) Compare(o Value) int {
 		}
 		return 1
 	case 2:
+		// Int-like pairs compare as exact int64s, so values float64
+		// rounding cannot distinguish (e.g. 2^53 vs 2^53+1) still order
+		// consistently with Equal.
+		vi, vIsInt := v.intRepr()
+		oi, oIsInt := o.intRepr()
+		if vIsInt && oIsInt {
+			switch {
+			case vi < oi:
+				return -1
+			case vi > oi:
+				return 1
+			default:
+				return 0
+			}
+		}
 		vf, _ := v.AsFloat()
 		of, _ := o.AsFloat()
+		// NaN orders before every other numeric (and equal to itself);
+		// plain float comparison would report 0 against everything, making
+		// canonical row order nondeterministic.
+		vn, on := vf != vf, of != of
+		if vn || on {
+			switch {
+			case vn && on:
+				return 0
+			case vn:
+				return -1
+			default:
+				return 1
+			}
+		}
 		switch {
 		case vf < of:
 			return -1

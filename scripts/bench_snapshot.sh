@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — run the repository benchmarks and emit BENCH_<N>.json,
+# a machine-readable snapshot of the perf trajectory, one file per PR.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [PR_NUMBER]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1x: smoke-speed; use e.g.
+#              2s for stable numbers)
+#   BENCH      benchmark regex passed to -bench (default '.')
+#
+# Output schema (one object per benchmark):
+#   {"name": "BenchmarkFig1Pipeline", "iterations": 4897,
+#    "ns_per_op": 217861, "bytes_per_op": 111525, "allocs_per_op": 1791}
+# B/op and allocs/op fields are omitted when -benchmem reports none.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${1:-1}"
+OUT="BENCH_${PR}.json"
+BENCHTIME="${BENCHTIME:-1x}"
+BENCH="${BENCH:-.}"
+
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . |
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+		entry = sprintf("{\"name\": \"%s\", \"iterations\": %s", name, $2)
+		for (i = 3; i < NF; i++) {
+			if ($(i+1) == "ns/op")     entry = entry sprintf(", \"ns_per_op\": %s", $i)
+			if ($(i+1) == "B/op")      entry = entry sprintf(", \"bytes_per_op\": %s", $i)
+			if ($(i+1) == "allocs/op") entry = entry sprintf(", \"allocs_per_op\": %s", $i)
+		}
+		entries[n++] = entry "}"
+	}
+	END {
+		printf "[\n"
+		for (i = 0; i < n; i++) printf "  %s%s\n", entries[i], (i < n-1 ? "," : "")
+		printf "]\n"
+	}
+	' >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
