@@ -260,6 +260,33 @@ func BenchmarkX3JoinSearch(b *testing.B) {
 			l.Join().Query(domain, 0.5, 0)
 		}
 	})
+	b.Run("LSHEnsembleCached", func(b *testing.B) {
+		// The lake-domain fast path: pre-interned token IDs and cached
+		// MinHash fingerprints, no per-query re-tokenization or hashing.
+		d := l.DomainFor("family0_part0", 0)
+		if d == nil {
+			b.Fatal("no cached domain for query column")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Join().QueryDomain(d, 0.5, 0)
+		}
+	})
+	b.Run("JOSIE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.Josie().TopK(domain, 10)
+		}
+	})
+	b.Run("JOSIECached", func(b *testing.B) {
+		d := l.DomainFor("family0_part0", 0)
+		if d == nil {
+			b.Fatal("no cached domain for query column")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Josie().TopKIDs(d.IDs, 10)
+		}
+	})
 	b.Run("ExactScan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			lshensemble.ExactQuery(l.Domains(), domain, 0.5, 0)

@@ -108,9 +108,12 @@ func cmdDiscover(args []string) error {
 	if err != nil {
 		return err
 	}
-	for method, results := range resp.PerMethod {
+	if len(ms) == 0 {
+		ms = core.DefaultMethods
+	}
+	for _, method := range ms {
 		fmt.Printf("-- %s --\n", method)
-		for i, r := range results {
+		for i, r := range resp.PerMethod[method] {
 			fmt.Printf("%2d. %-30s score=%.3f\n", i+1, r.Table.Name, r.Score)
 		}
 	}

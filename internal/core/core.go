@@ -115,7 +115,10 @@ type DiscoverResponse struct {
 	IntegrationSet []*table.Table
 }
 
-// Discover runs stage 1.
+// Discover runs stage 1. The configured discoverers fan out concurrently
+// (discovery.RunAll), so a multi-method query costs as much as its slowest
+// method; the merged response is deterministic and identical to running the
+// methods one by one.
 func (p *Pipeline) Discover(req DiscoverRequest) (*DiscoverResponse, error) {
 	if req.Query == nil {
 		return nil, fmt.Errorf("core: discover: nil query table")
@@ -128,22 +131,11 @@ func (p *Pipeline) Discover(req DiscoverRequest) (*DiscoverResponse, error) {
 	if k == 0 {
 		k = 10
 	}
-	resp := &DiscoverResponse{PerMethod: make(map[string][]discovery.Result, len(methods))}
-	var all [][]discovery.Result
-	for _, m := range methods {
-		d, ok := p.discoverers.Get(m)
-		if !ok {
-			return nil, fmt.Errorf("core: discover: unknown method %q (have %v)", m, p.discoverers.Names())
-		}
-		rs, err := d.Discover(p.lake, req.Query, req.QueryColumn, k)
-		if err != nil {
-			return nil, fmt.Errorf("core: discover: %w", err)
-		}
-		resp.PerMethod[m] = rs
-		all = append(all, rs)
+	perMethod, set, err := discovery.Discover(p.discoverers, p.lake, req.Query, req.QueryColumn, k, methods)
+	if err != nil {
+		return nil, fmt.Errorf("core: discover: %w", err)
 	}
-	resp.IntegrationSet = discovery.IntegrationSet(req.Query, all...)
-	return resp, nil
+	return &DiscoverResponse{PerMethod: perMethod, IntegrationSet: set}, nil
 }
 
 // IntegrateRequest configures the align-and-integrate stage.

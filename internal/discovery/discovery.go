@@ -12,9 +12,30 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/josie"
 	"repro/internal/lake"
+	"repro/internal/lshensemble"
 	"repro/internal/table"
 )
+
+// queryColumnDomain resolves the query column's value set for the joinable
+// discoverers. When the query table is the lake's own table (pointer
+// identity — a renamed or modified copy never matches), the lake's cached
+// domain is returned with its precomputed token IDs and MinHash
+// fingerprints, skipping per-query re-extraction and re-hashing entirely;
+// otherwise the domain is extracted with the same normalization the lake
+// indexes use (lake.QueryDomain, which also validates the column range —
+// an out-of-range column never hits the cache, so it always reaches that
+// check).
+func queryColumnDomain(l *lake.Lake, q *table.Table, queryCol int) (*lshensemble.Domain, []string, error) {
+	if lt, ok := l.Get(q.Name); ok && lt == q {
+		if d := l.DomainFor(q.Name, queryCol); d != nil {
+			return d, nil, nil
+		}
+	}
+	domain, err := lake.QueryDomain(q, queryCol)
+	return nil, domain, err
+}
 
 // Result is one discovered table.
 type Result struct {
@@ -73,11 +94,16 @@ func (d LSHJoin) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Resu
 	if th == 0 {
 		th = 0.5
 	}
-	domain, err := lake.QueryDomain(q, queryCol)
+	cached, domain, err := queryColumnDomain(l, q, queryCol)
 	if err != nil {
 		return nil, fmt.Errorf("discovery: lsh-join: %w", err)
 	}
-	hits := l.Join().Query(domain, th, 0)
+	var hits []lshensemble.Result
+	if cached != nil {
+		hits = l.Join().QueryDomain(cached, th, 0)
+	} else {
+		hits = l.Join().Query(domain, th, 0)
+	}
 	best := make(map[string]Result)
 	for _, h := range hits {
 		t, ok := l.Get(h.Domain.Table)
@@ -99,11 +125,16 @@ func (JosieJoin) Name() string { return "josie-join" }
 
 // Discover implements Discoverer.
 func (JosieJoin) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
-	domain, err := lake.QueryDomain(q, queryCol)
+	cached, domain, err := queryColumnDomain(l, q, queryCol)
 	if err != nil {
 		return nil, fmt.Errorf("discovery: josie-join: %w", err)
 	}
-	hits := l.Josie().TopK(domain, 0)
+	var hits []josie.Result
+	if cached != nil {
+		hits = l.Josie().TopKIDs(cached.IDs, 0)
+	} else {
+		hits = l.Josie().TopK(domain, 0)
+	}
 	best := make(map[string]Result)
 	for _, h := range hits {
 		t, ok := l.Get(h.Set.Table)

@@ -1,0 +1,78 @@
+package discovery
+
+import (
+	"fmt"
+
+	"repro/internal/lake"
+	"repro/internal/par"
+	"repro/internal/table"
+)
+
+// RunAll executes the given discoverers concurrently over one query and
+// returns their result lists slot-indexed: out[i] is ds[i]'s ranked
+// results, so a multi-method DIALITE query costs max(discoverer) instead of
+// sum(discoverer) while the merged output stays byte-identical to running
+// the methods sequentially. The lake's indexes are immutable and every
+// shared interner is lock-protected, so discoverers — including
+// user-defined similarity hooks (Fig. 4), which must be safe to call
+// concurrently — run without coordination. If any discoverer fails, the
+// first error in slot order is returned (deterministic regardless of which
+// worker finished first).
+func RunAll(l *lake.Lake, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, error) {
+	out := make([][]Result, len(ds))
+	errs := make([]error, len(ds))
+	par.For(len(ds), func(i int) {
+		// Discoverers ran on the caller's goroutine before the fan-out, where
+		// a server could recover a misbehaving user hook; on a worker
+		// goroutine a panic would kill the process, so contain it here and
+		// surface it as that slot's error.
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("discovery: %q panicked: %v", ds[i].Name(), r)
+			}
+		}()
+		out[i], errs[i] = ds[i].Discover(l, q, queryCol, k)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Resolve maps method names to registered discoverers, in input order.
+// Unknown names fail with the available set, before any discoverer runs.
+func (r *Registry) Resolve(names []string) ([]Discoverer, error) {
+	ds := make([]Discoverer, len(names))
+	for i, name := range names {
+		d, ok := r.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("discovery: unknown method %q (have %v)", name, r.Names())
+		}
+		ds[i] = d
+	}
+	return ds, nil
+}
+
+// Discover is the full discovery stage in one call: resolve the named
+// methods against the registry, fan them out concurrently with RunAll, and
+// merge the per-method rankings into the integration set ("we persist the
+// set of tables found by all techniques"). perMethod is keyed by method
+// name; the integration set lists the query table first, then discovered
+// tables deduplicated in method order then rank order.
+func Discover(r *Registry, l *lake.Lake, q *table.Table, queryCol, k int, methods []string) (perMethod map[string][]Result, integrationSet []*table.Table, err error) {
+	ds, err := r.Resolve(methods)
+	if err != nil {
+		return nil, nil, err
+	}
+	all, err := RunAll(l, q, queryCol, k, ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	perMethod = make(map[string][]Result, len(methods))
+	for i, m := range methods {
+		perMethod[m] = all[i]
+	}
+	return perMethod, IntegrationSet(q, all...), nil
+}

@@ -4,20 +4,27 @@
 // Ensemble (approximate, threshold-based), JOSIE answers exact top-k
 // queries: the k indexed column domains with the largest overlap |Q∩X|.
 //
-// The implementation uses an inverted index from token to posting list and
-// merges posting lists in ascending-frequency order with a prefix-filter
-// style early termination: once fewer unread query tokens remain than the
-// current k-th best overlap, no unseen candidate can reach the top k, so
-// only already-seen candidates are updated. This mirrors JOSIE's core
-// insight (adaptively stop creating new candidates) without its cost model.
+// The index lives entirely in an integer token universe: set members intern
+// into a table.TokenDict (shared lake-wide when built through lake.New), and
+// the inverted index maps dense token IDs to posting lists stored as one
+// contiguous []int32 arena with per-token offsets (CSR layout) — no
+// string-keyed map, no per-token slice headers. Queries process tokens in
+// ascending global-frequency order with a prefix-filter early termination:
+// once fewer unread query tokens remain than the current k-th best overlap,
+// no unseen candidate can reach the top k, so only already-seen candidates
+// are updated. Candidate counts accumulate in a flat slice indexed by set,
+// and the running k-th best overlap is maintained with a count histogram
+// instead of re-sorting. This mirrors JOSIE's core insight (adaptively stop
+// creating new candidates) without its cost model.
 package josie
 
 import (
 	"fmt"
-	"runtime"
+	"math"
 	"sort"
 
 	"repro/internal/par"
+	"repro/internal/table"
 	"repro/internal/tokenize"
 )
 
@@ -27,68 +34,134 @@ type Set struct {
 	Column     int
 	ColumnName string
 	Values     []string // normalized, deduplicated value set
+	// IDs optionally carries Values interned into the dictionary the index
+	// is built with (lake extraction precomputes it). When set it must be
+	// deduplicated and parallel to the distinct members of Values; when nil,
+	// Build interns Values itself.
+	IDs []uint32
+
+	key string // precomputed "table[col]", set by Build
 }
 
-// Key identifies the set as "table[col]".
-func (s *Set) Key() string { return fmt.Sprintf("%s[%d]", s.Table, s.Column) }
+// Key identifies the set as "table[col]". Sets that went through Build
+// return a precomputed key; detached sets format one on the fly.
+func (s *Set) Key() string {
+	if s.key != "" {
+		return s.key
+	}
+	return fmt.Sprintf("%s[%d]", s.Table, s.Column)
+}
 
-// Index is an immutable inverted index over set members.
+// Index is an immutable inverted index over set members, laid out as a CSR
+// arena: the posting list of token id is posts[postStart[id]:postStart[id+1]],
+// always sorted by ascending set index.
 type Index struct {
-	sets     []Set
-	postings map[string][]int32
+	sets      []Set
+	dict      *table.TokenDict
+	numTokens int      // dict size at build time; larger IDs have no postings
+	postStart []uint32 // len numTokens+2; postStart[0] and [1] cover the unused ID 0
+	posts     []int32
 }
 
-// Build constructs the inverted index. Set values are assumed normalized
-// (use tokenize.ValueSet when extracting from tables); Build deduplicates
-// defensively so posting lists never double-count a set.
+// Build constructs the inverted index over a private token dictionary. Set
+// values are assumed normalized (use tokenize.ValueSet when extracting from
+// tables); interning deduplicates defensively so posting lists never
+// double-count a set.
+func Build(sets []Set) *Index { return BuildWithDict(sets, nil) }
+
+// BuildWithDict constructs the inverted index, interning set members into
+// dict (nil means a fresh private dictionary). Sharing one dictionary
+// across indexes — as lake preprocessing does — makes query-side token
+// lookups and cached fingerprints agree lake-wide. Precomputed Set.IDs are
+// only meaningful relative to the dictionary they were interned in, so
+// they are trusted exactly when the caller supplies that dictionary; under
+// a private dictionary every set is re-interned from Values, which keeps
+// Build(lakeDomains) safe for index rebuilds (the IDs cached by a lake
+// would otherwise be read against the wrong dictionary).
 //
-// Posting lists are built concurrently: contiguous shards of sets each
-// produce a local postings map, and the shards are merged in shard order,
-// so every posting list stays sorted by ascending set index and the index
-// is identical to a sequential build.
-func Build(sets []Set) *Index {
+// Interning runs one worker per set; the CSR fill afterwards is a cheap
+// integer counting pass. Posting lists are filled in set order, so the
+// index is identical to a sequential build regardless of scheduling.
+func BuildWithDict(sets []Set, dict *table.TokenDict) *Index {
+	trustIDs := dict != nil
+	if dict == nil {
+		dict = table.NewTokenDict()
+	}
 	ix := &Index{
-		sets:     append([]Set(nil), sets...),
-		postings: make(map[string][]int32),
+		sets: append([]Set(nil), sets...),
+		dict: dict,
 	}
-	shards := runtime.GOMAXPROCS(0)
-	if shards > len(ix.sets) {
-		shards = len(ix.sets)
-	}
-	if shards <= 1 {
-		buildPostings(ix.sets, 0, ix.postings)
-		return ix
-	}
-	local := make([]map[string][]int32, shards)
-	par.For(shards, func(s int) {
-		lo := s * len(ix.sets) / shards
-		hi := (s + 1) * len(ix.sets) / shards
-		m := make(map[string][]int32)
-		buildPostings(ix.sets[lo:hi], int32(lo), m)
-		local[s] = m
+	// Phase 1 (parallel per set): intern members to token IDs and precompute
+	// result keys.
+	par.For(len(ix.sets), func(i int) {
+		s := &ix.sets[i]
+		s.key = fmt.Sprintf("%s[%d]", s.Table, s.Column)
+		if s.IDs == nil || !trustIDs {
+			s.IDs = internDedup(dict, s.Values)
+		}
 	})
-	for _, m := range local {
-		for tok, list := range m {
-			ix.postings[tok] = append(ix.postings[tok], list...)
+	// Phase 2: count token frequencies, prefix-sum into offsets, and fill
+	// the arena in set order so every posting list stays sorted by set index.
+	ix.numTokens = dict.Len()
+	counts := make([]uint32, ix.numTokens+1)
+	total := 0
+	for i := range ix.sets {
+		for _, id := range ix.sets[i].IDs {
+			counts[id]++
+		}
+		total += len(ix.sets[i].IDs)
+	}
+	// The CSR offsets are uint32; like the dictionaries' ID guards, refuse
+	// to wrap rather than silently corrupt the index (tokens repeat across
+	// sets, so total postings can exceed the distinct-token count).
+	if uint64(total) > math.MaxUint32 {
+		panic("josie: index full: more than ~4B total postings (uint32 offset space exhausted)")
+	}
+	ix.postStart = make([]uint32, ix.numTokens+2)
+	for id := 1; id <= ix.numTokens; id++ {
+		ix.postStart[id+1] = ix.postStart[id] + counts[id]
+	}
+	cursor := counts // reuse as fill cursors
+	copy(cursor, ix.postStart[:ix.numTokens+1])
+	ix.posts = make([]int32, total)
+	for i := range ix.sets {
+		for _, id := range ix.sets[i].IDs {
+			ix.posts[cursor[id]] = int32(i)
+			cursor[id]++
 		}
 	}
 	return ix
 }
 
-// buildPostings adds the postings of sets (whose global indices start at
-// base) into postings.
-func buildPostings(sets []Set, base int32, postings map[string][]int32) {
-	for i := range sets {
-		seen := make(map[string]bool, len(sets[i].Values))
-		for _, v := range sets[i].Values {
-			if v == "" || seen[v] {
-				continue
-			}
-			seen[v] = true
-			postings[v] = append(postings[v], base+int32(i))
+// internDedup interns values into dict, skipping empties and duplicates
+// (first occurrence wins), preserving order.
+func internDedup(dict *table.TokenDict, values []string) []uint32 {
+	ids := make([]uint32, 0, len(values))
+	seen := make(map[uint32]struct{}, len(values))
+	for _, v := range values {
+		if v == "" {
+			continue
 		}
+		id := dict.Intern(v)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		ids = append(ids, id)
 	}
+	return ids
 }
+
+// postings returns the posting list of token id (empty for unknown IDs).
+func (ix *Index) postings(id uint32) []int32 {
+	if id == 0 || int(id) > ix.numTokens {
+		return nil
+	}
+	return ix.posts[ix.postStart[id]:ix.postStart[id+1]]
+}
+
+// Dict returns the token dictionary the index interns through.
+func (ix *Index) Dict() *table.TokenDict { return ix.dict }
 
 // NumSets reports how many sets are indexed.
 func (ix *Index) NumSets() int { return len(ix.sets) }
@@ -99,62 +172,111 @@ type Result struct {
 	Overlap int // exact |Q∩X|
 }
 
+// queryToken is one query token with postings, carried through the
+// frequency sort with its string form for deterministic tie-breaking.
+type queryToken struct {
+	id   uint32
+	freq int
+	tok  string
+}
+
 // TopK returns the k sets with the largest exact overlap with the query
 // (after normalization), ranked by overlap descending with deterministic
 // tie-breaking by key. Sets with zero overlap are never returned. k<=0
-// returns all sets with positive overlap.
+// returns all sets with positive overlap. Query tokens are looked up, not
+// interned: transient queries never grow the dictionary.
 func (ix *Index) TopK(rawQuery []string, k int) []Result {
 	query := tokenize.ValueSet(rawQuery)
 	if len(query) == 0 || len(ix.sets) == 0 {
 		return nil
 	}
-	// Keep only tokens with postings, processed shortest-list first: rare
-	// tokens discriminate candidates early, making the prefix filter bite
-	// sooner.
-	tokens := query[:0:0]
+	tokens := make([]queryToken, 0, len(query))
 	for _, tok := range query {
-		if len(ix.postings[tok]) > 0 {
-			tokens = append(tokens, tok)
+		id := ix.dict.Lookup(tok)
+		if f := len(ix.postings(id)); f > 0 {
+			tokens = append(tokens, queryToken{id: id, freq: f, tok: tok})
 		}
 	}
-	sort.SliceStable(tokens, func(a, b int) bool {
-		la, lb := len(ix.postings[tokens[a]]), len(ix.postings[tokens[b]])
-		if la != lb {
-			return la < lb
+	return ix.topKTokens(tokens, k)
+}
+
+// TopKIDs answers a query given directly as deduplicated token IDs from the
+// index's dictionary — the fast path for query columns that are themselves
+// lake domains, whose IDs were interned at extraction.
+func (ix *Index) TopKIDs(ids []uint32, k int) []Result {
+	if len(ids) == 0 || len(ix.sets) == 0 {
+		return nil
+	}
+	tokens := make([]queryToken, 0, len(ids))
+	for _, id := range ids {
+		if f := len(ix.postings(id)); f > 0 {
+			tok, _ := ix.dict.Token(id)
+			tokens = append(tokens, queryToken{id: id, freq: f, tok: tok})
 		}
-		return tokens[a] < tokens[b]
+	}
+	return ix.topKTokens(tokens, k)
+}
+
+// topKTokens runs the frequency-ordered prefix-filtered merge. Tokens are
+// processed rarest-first (ties broken by token string, keeping the merge
+// order — and therefore the admitted candidate set — independent of ID
+// assignment order): rare tokens discriminate candidates early, making the
+// prefix filter bite sooner.
+func (ix *Index) topKTokens(tokens []queryToken, k int) []Result {
+	if len(tokens) == 0 {
+		return nil
+	}
+	sort.Slice(tokens, func(a, b int) bool {
+		if tokens[a].freq != tokens[b].freq {
+			return tokens[a].freq < tokens[b].freq
+		}
+		return tokens[a].tok < tokens[b].tok
 	})
-	counts := make(map[int32]int)
-	for i, tok := range tokens {
-		remaining := len(tokens) - i // including tok itself
+	// cnt[si] is the running overlap of set si (0 = not a candidate; admitted
+	// candidates always count at least 1). hist[c] counts candidates whose
+	// running overlap is exactly c, so the k-th best overlap is read off the
+	// histogram's suffix instead of re-sorting candidate counts.
+	cnt := make([]int32, len(ix.sets))
+	touched := make([]int32, 0, 64)
+	hist := make([]int32, len(tokens)+1)
+	maxCount := 0
+	for i, qt := range tokens {
+		remaining := len(tokens) - i // including qt itself
 		admitNew := true
-		if k > 0 && len(counts) >= k {
-			// kth returns the k-th largest current count; a brand-new
-			// candidate can reach at most `remaining`, so skip admission
-			// when it cannot displace the incumbent top k.
-			if kthLargest(counts, k) >= remaining {
+		if k > 0 && len(touched) >= k {
+			// A brand-new candidate can reach at most `remaining`, so skip
+			// admission when it cannot displace the incumbent top k.
+			if kthFromHist(hist, maxCount, k) >= remaining {
 				admitNew = false
 			}
 		}
-		for _, si := range ix.postings[tok] {
-			if _, seen := counts[si]; seen {
-				counts[si]++
+		for _, si := range ix.postings(qt.id) {
+			if c := cnt[si]; c > 0 {
+				hist[c]--
+				cnt[si] = c + 1
+				hist[c+1]++
+				if int(c+1) > maxCount {
+					maxCount = int(c + 1)
+				}
 			} else if admitNew {
-				counts[si] = 1
+				cnt[si] = 1
+				hist[1]++
+				if maxCount < 1 {
+					maxCount = 1
+				}
+				touched = append(touched, si)
 			}
 		}
 	}
-	var results []Result
-	for si, c := range counts {
-		if c > 0 {
-			results = append(results, Result{Set: &ix.sets[si], Overlap: c})
-		}
+	results := make([]Result, 0, len(touched))
+	for _, si := range touched {
+		results = append(results, Result{Set: &ix.sets[si], Overlap: int(cnt[si])})
 	}
 	sort.Slice(results, func(a, b int) bool {
 		if results[a].Overlap != results[b].Overlap {
 			return results[a].Overlap > results[b].Overlap
 		}
-		return results[a].Set.Key() < results[b].Set.Key()
+		return results[a].Set.key < results[b].Set.key
 	})
 	if k > 0 && len(results) > k {
 		results = results[:k]
@@ -162,16 +284,16 @@ func (ix *Index) TopK(rawQuery []string, k int) []Result {
 	return results
 }
 
-// kthLargest returns the k-th largest value in counts (1-based); if counts
-// has fewer than k entries it returns 0.
-func kthLargest(counts map[int32]int, k int) int {
-	if len(counts) < k {
-		return 0
+// kthFromHist returns the k-th largest running overlap recorded in the
+// count histogram (1-based); 0 when fewer than k candidates exist. The scan
+// walks at most maxCount buckets — bounded by the query length.
+func kthFromHist(hist []int32, maxCount, k int) int {
+	cum := 0
+	for c := maxCount; c >= 1; c-- {
+		cum += int(hist[c])
+		if cum >= k {
+			return c
+		}
 	}
-	vals := make([]int, 0, len(counts))
-	for _, c := range counts {
-		vals = append(vals, c)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(vals)))
-	return vals[k-1]
+	return 0
 }

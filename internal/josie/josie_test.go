@@ -144,12 +144,20 @@ func bruteForce(sets []Set, query []string, k int) []Result {
 	return out
 }
 
-func TestKthLargest(t *testing.T) {
-	counts := map[int32]int{0: 5, 1: 3, 2: 8}
-	if kthLargest(counts, 1) != 8 || kthLargest(counts, 2) != 5 || kthLargest(counts, 3) != 3 {
-		t.Error("kthLargest ordering broken")
+func TestKthFromHist(t *testing.T) {
+	// Candidates with running overlaps {5, 3, 8} as a count histogram.
+	hist := make([]int32, 10)
+	hist[5], hist[3], hist[8] = 1, 1, 1
+	if kthFromHist(hist, 8, 1) != 8 || kthFromHist(hist, 8, 2) != 5 || kthFromHist(hist, 8, 3) != 3 {
+		t.Error("kthFromHist ordering broken")
 	}
-	if kthLargest(counts, 4) != 0 {
-		t.Error("kth beyond size must be 0")
+	if kthFromHist(hist, 8, 4) != 0 {
+		t.Error("kth beyond candidate count must be 0")
+	}
+	// Multiple candidates sharing a count occupy one bucket.
+	hist = make([]int32, 10)
+	hist[4] = 3
+	if kthFromHist(hist, 4, 2) != 4 {
+		t.Error("shared counts must satisfy k within one bucket")
 	}
 }

@@ -13,7 +13,6 @@ import (
 	"repro/internal/josie"
 	"repro/internal/kb"
 	"repro/internal/lshensemble"
-	"repro/internal/minhash"
 	"repro/internal/par"
 	"repro/internal/santos"
 	"repro/internal/table"
@@ -38,10 +37,18 @@ type Lake struct {
 	byName    map[string]*table.Table
 	knowledge *kb.KB
 	dict      *table.Dict
+	tokens    *table.TokenDict
 	santosIx  *santos.Index
 	joinIx    *lshensemble.Index
 	josieIx   *josie.Index
 	domains   []lshensemble.Domain
+	domainIdx map[colRef]int // (table, column) -> index into domains
+}
+
+// colRef addresses one column of one lake table.
+type colRef struct {
+	table  string
+	column int
 }
 
 // New preprocesses the given tables into a queryable lake. Duplicate table
@@ -54,7 +61,11 @@ type Lake struct {
 // concurrently. All results are collected in table order, so the lake is
 // byte-identical to a sequential build.
 func New(tables []*table.Table, opts Options) (*Lake, error) {
-	l := &Lake{byName: make(map[string]*table.Table, len(tables)), dict: table.NewDict()}
+	l := &Lake{
+		byName: make(map[string]*table.Table, len(tables)),
+		dict:   table.NewDict(),
+		tokens: table.NewTokenDict(),
+	}
 	for _, t := range tables {
 		if t == nil {
 			return nil, fmt.Errorf("lake: nil table")
@@ -80,19 +91,26 @@ func New(tables []*table.Table, opts Options) (*Lake, error) {
 	if l.knowledge == nil {
 		l.knowledge = kb.New()
 	}
-	// Phase 1 (parallel per table): intern every cell into the lake
-	// dictionary and extract the joinable-search domains.
-	l.domains = extractDomains(l.tables, l.dict)
-	// Phase 2: the three indexes read disjoint inputs; build concurrently.
+	// Phase 1 (parallel per table): intern every cell into the lake value
+	// dictionary, every domain member into the lake token dictionary, and
+	// extract the joinable-search domains.
+	l.domains = extractDomains(l.tables, l.dict, l.tokens)
+	l.domainIdx = make(map[colRef]int, len(l.domains))
+	for i, d := range l.domains {
+		l.domainIdx[colRef{d.Table, d.Column}] = i
+	}
+	// Phase 2: the three indexes read disjoint inputs; build concurrently,
+	// all over the shared token dictionary (complete after phase 1, so the
+	// builds only read it).
 	par.Do(
 		func() { l.santosIx = santos.Build(l.tables, l.knowledge) },
-		func() { l.joinIx = lshensemble.Build(l.domains, opts.LSH) },
+		func() { l.joinIx = lshensemble.BuildWithDict(l.domains, opts.LSH, l.tokens) },
 		func() {
 			sets := make([]josie.Set, len(l.domains))
 			for i, d := range l.domains {
-				sets[i] = josie.Set{Table: d.Table, Column: d.Column, ColumnName: d.ColumnName, Values: d.Values}
+				sets[i] = josie.Set{Table: d.Table, Column: d.Column, ColumnName: d.ColumnName, Values: d.Values, IDs: d.IDs}
 			}
-			l.josieIx = josie.Build(sets)
+			l.josieIx = josie.BuildWithDict(sets, l.tokens)
 		},
 	)
 	return l, nil
@@ -111,13 +129,16 @@ func FromDir(dir string, opts Options) (*Lake, error) {
 }
 
 // extractDomains pulls the normalized value set of every textual column,
-// one worker per table, interning every cell into dict along the way.
-// Per-table results land in slot order, so the flattened domain list —
-// and every index built from it — is identical to a sequential extraction.
-// Domain fingerprints are precomputed here, once per lake: index builds
-// (and rebuilds, e.g. experiments re-indexing under different LSH
-// parameters) reuse them instead of re-hashing every value.
-func extractDomains(tables []*table.Table, dict *table.Dict) []lshensemble.Domain {
+// one worker per table, interning every cell into dict and every domain
+// member into tokens along the way. Per-table results land in slot order,
+// so the flattened domain list — and every index built from it — is
+// identical to a sequential extraction. Domain token IDs and MinHash
+// fingerprints are precomputed here, once per lake: index builds (and
+// rebuilds, e.g. experiments re-indexing under different LSH parameters)
+// and query-side fast paths reuse them instead of re-hashing every value.
+// Fingerprints come from the token dictionary's cache, so each distinct
+// token in the lake is FNV-hashed exactly once.
+func extractDomains(tables []*table.Table, dict *table.Dict, tokens *table.TokenDict) []lshensemble.Domain {
 	perTable := make([][]lshensemble.Domain, len(tables))
 	par.For(len(tables), func(i int) {
 		t := tables[i]
@@ -136,12 +157,14 @@ func extractDomains(tables []*table.Table, dict *table.Dict) []lshensemble.Domai
 			if len(vals) == 0 {
 				continue
 			}
+			ids := tokens.InternAll(vals, nil)
 			out = append(out, lshensemble.Domain{
 				Table:        t.Name,
 				Column:       c,
 				ColumnName:   t.Columns[c],
 				Values:       vals,
-				Fingerprints: minhash.Fingerprints(vals),
+				IDs:          ids,
+				Fingerprints: tokens.Fingerprints(ids, nil),
 			})
 		}
 		perTable[i] = out
@@ -173,6 +196,24 @@ func (l *Lake) Knowledge() *kb.KB { return l.knowledge }
 // table is interned in it, and integration over this lake shares it so the
 // FD closure's interning is a cache hit for lake values.
 func (l *Lake) Dict() *table.Dict { return l.dict }
+
+// Tokens returns the lake-wide token dictionary: every domain member of
+// every lake table is interned in it, and the discovery indexes are built
+// on its IDs, so query-side token lookups and cached fingerprints agree
+// lake-wide.
+func (l *Lake) Tokens() *table.TokenDict { return l.tokens }
+
+// DomainFor returns the extracted domain of one lake table column — with
+// its cached token IDs and MinHash fingerprints — or nil when the column
+// produced no domain (non-textual or empty). Discovery uses it to skip
+// re-extraction and re-hashing when the query table is itself a lake table.
+func (l *Lake) DomainFor(tableName string, col int) *lshensemble.Domain {
+	i, ok := l.domainIdx[colRef{tableName, col}]
+	if !ok {
+		return nil
+	}
+	return &l.domains[i]
+}
 
 // Santos returns the prebuilt semantic union-search index.
 func (l *Lake) Santos() *santos.Index { return l.santosIx }

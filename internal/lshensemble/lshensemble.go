@@ -11,16 +11,24 @@
 // probed with a banding configuration tuned to that converted threshold.
 // Candidates are verified and ranked by exact containment, so the index has
 // no false positives — only (rare) false negatives from the sketch.
+//
+// The index lives in an integer token universe: domain members intern into
+// a table.TokenDict (shared lake-wide when built through lake.New), exact
+// containment verification intersects uint32 token-ID sets instead of
+// string sets, band keys are computed with an inline FNV-1a loop (no
+// hash.Hash allocation per band), and query-side token fingerprints come
+// from the dictionary's cache whenever the token belongs to the lake
+// vocabulary.
 package lshensemble
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 
 	"repro/internal/minhash"
 	"repro/internal/par"
+	"repro/internal/table"
 	"repro/internal/tokenize"
 )
 
@@ -38,10 +46,22 @@ type Domain struct {
 	// does; Build computes missing fingerprints only into its own private
 	// copy of the domain slice.
 	Fingerprints []uint64
+	// IDs optionally carries Values interned into the token dictionary the
+	// index is built with, parallel to Values (lake extraction precomputes
+	// it). When nil, Build interns Values itself.
+	IDs []uint32
+
+	key string // precomputed "table[col]", set by Build
 }
 
-// Key identifies the domain as "table[col]".
-func (d *Domain) Key() string { return fmt.Sprintf("%s[%d]", d.Table, d.Column) }
+// Key identifies the domain as "table[col]". Domains that went through
+// Build return a precomputed key; detached domains format one on the fly.
+func (d *Domain) Key() string {
+	if d.key != "" {
+		return d.key
+	}
+	return fmt.Sprintf("%s[%d]", d.Table, d.Column)
+}
 
 // Options configures index construction.
 type Options struct {
@@ -88,28 +108,54 @@ type bandTable struct {
 type Index struct {
 	opts       Options
 	family     *minhash.Family
+	dict       *table.TokenDict
 	domains    []Domain
 	signatures []minhash.Signature
 	parts      []partition
 }
 
-// Build constructs the ensemble. Domains with empty value sets are indexed
-// but can never be returned (containment verification removes them).
+// Build constructs the ensemble over a private token dictionary. Domains
+// with empty value sets are indexed but can never be returned (containment
+// verification removes them).
 func Build(domains []Domain, opts Options) *Index {
+	return BuildWithDict(domains, opts, nil)
+}
+
+// BuildWithDict constructs the ensemble, interning domain members into dict
+// (nil means a fresh private dictionary). Sharing one dictionary across
+// indexes — as lake preprocessing does — makes query-side token lookups and
+// cached fingerprints agree lake-wide. Precomputed Domain.IDs are only
+// meaningful relative to the dictionary they were interned in, so they are
+// trusted exactly when the caller supplies that dictionary; under a private
+// dictionary every domain is re-interned from Values, which keeps
+// Build(lake.Domains(), otherOpts) rebuilds safe. Fingerprints are
+// dictionary-independent (pure FNV-1a of the value) and always reusable.
+func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index {
 	opts = opts.withDefaults()
+	trustIDs := dict != nil
+	if dict == nil {
+		dict = table.NewTokenDict()
+	}
 	ix := &Index{
 		opts:    opts,
 		family:  minhash.NewFamily(opts.NumHashes, opts.Seed),
+		dict:    dict,
 		domains: append([]Domain(nil), domains...),
 	}
 	// Sign domains in parallel: each signature depends only on its own
 	// domain, so the result is deterministic regardless of scheduling.
-	// Fingerprints are computed once per domain and cached on it.
+	// Token IDs and fingerprints are computed once per domain and cached on
+	// it; fingerprints of freshly interned domains come from the
+	// dictionary's cache rather than re-hashing the strings.
 	ix.signatures = make([]minhash.Signature, len(ix.domains))
 	par.For(len(ix.domains), func(i int) {
 		d := &ix.domains[i]
+		d.key = fmt.Sprintf("%s[%d]", d.Table, d.Column)
+		if d.IDs == nil || !trustIDs {
+			d.IDs = dict.InternAll(d.Values, nil)
+		}
 		if d.Fingerprints == nil {
-			d.Fingerprints = minhash.Fingerprints(d.Values)
+			d.Fingerprints = dict.Fingerprints(d.IDs, nil)
 		}
 		ix.signatures[i] = ix.family.SignFingerprints(d.Fingerprints)
 	})
@@ -122,7 +168,7 @@ func Build(domains []Domain, opts Options) *Index {
 		if la, lb := len(ix.domains[order[a]].Values), len(ix.domains[order[b]].Values); la != lb {
 			return la < lb
 		}
-		return ix.domains[order[a]].Key() < ix.domains[order[b]].Key()
+		return ix.domains[order[a]].key < ix.domains[order[b]].key
 	})
 	nparts := opts.NumPartitions
 	if nparts > len(order) && len(order) > 0 {
@@ -144,13 +190,15 @@ func Build(domains []Domain, opts Options) *Index {
 				part.upper = n
 			}
 		}
+		var keys []uint64
 		for _, r := range rChoices {
 			if r > opts.NumHashes {
 				continue
 			}
 			bt := bandTable{r: r, buckets: make(map[uint64][]int32)}
 			for _, di := range part.domains {
-				for _, key := range bandKeys(ix.signatures[di], r) {
+				keys = bandKeys(ix.signatures[di], r, keys[:0])
+				for _, key := range keys {
 					bt.buckets[key] = append(bt.buckets[key], int32(di))
 				}
 			}
@@ -166,27 +214,35 @@ func Build(domains []Domain, opts Options) *Index {
 	return ix
 }
 
-// bandKeys hashes a signature into bands of r rows; the band index is mixed
-// into the key so buckets from different bands never collide by accident.
-func bandKeys(sig minhash.Signature, r int) []uint64 {
+// bandKeys hashes a signature into bands of r rows, appending the per-band
+// keys to dst; the band index is mixed into the key so buckets from
+// different bands never collide by accident. The hash is a flat inline
+// FNV-1a loop, byte-identical to feeding hash/fnv.New64a the band index as
+// two little-endian bytes followed by each signature word as eight — but
+// with no hash.Hash allocation per band.
+func bandKeys(sig minhash.Signature, r int, dst []uint64) []uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
 	nb := len(sig) / r
-	keys := make([]uint64, 0, nb)
-	var buf [8]byte
+	if cap(dst) < nb {
+		dst = make([]uint64, 0, nb)
+	}
+	dst = dst[:0]
 	for b := 0; b < nb; b++ {
-		h := fnv.New64a()
-		buf[0] = byte(b)
-		buf[1] = byte(b >> 8)
-		h.Write(buf[:2])
+		h := uint64(offset64)
+		h = (h ^ uint64(byte(b))) * prime64
+		h = (h ^ uint64(byte(b>>8))) * prime64
 		for i := b * r; i < (b+1)*r; i++ {
 			v := sig[i]
-			for j := 0; j < 8; j++ {
-				buf[j] = byte(v >> (8 * j))
+			for j := 0; j < 64; j += 8 {
+				h = (h ^ (v >> j & 0xff)) * prime64
 			}
-			h.Write(buf[:8])
 		}
-		keys = append(keys, h.Sum64())
+		dst = append(dst, h)
 	}
-	return keys
+	return dst
 }
 
 // minRecallAtThreshold is the collision probability a banding must achieve
@@ -225,41 +281,99 @@ type Result struct {
 // normalized query value set is at least threshold, ranked by containment
 // descending (ties broken by domain key), truncated to k (k<=0 means all).
 // rawQuery is normalized with tokenize.ValueSet, matching how domains are
-// extracted from tables.
+// extracted from tables. Query tokens are looked up in the token
+// dictionary, never interned: fingerprints of lake-vocabulary tokens come
+// from the cache, and tokens outside the lake vocabulary (which can never
+// intersect an indexed domain, though they still count toward |Q|) are
+// hashed on the fly.
 func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
 	query := tokenize.ValueSet(rawQuery)
 	if len(query) == 0 {
 		return nil
 	}
-	candidates := make(map[int32]bool)
-	qsig := ix.family.Sign(query)
+	fps := make([]uint64, len(query))
+	qids := make(map[uint32]struct{}, len(query))
+	for i, tok := range query {
+		if id := ix.dict.Lookup(tok); id != 0 {
+			fps[i] = ix.dict.Fingerprint(id)
+			qids[id] = struct{}{}
+		} else {
+			fps[i] = minhash.Fingerprint(tok)
+		}
+	}
+	return ix.query(ix.family.SignFingerprints(fps), qids, len(query), threshold, k)
+}
+
+// QueryDomain answers a containment query for an already-extracted domain —
+// the fast path for query columns that are themselves lake domains, whose
+// token IDs and MinHash fingerprints were computed once at extraction. The
+// domain's Values must be normalized and deduplicated (lake domains are);
+// missing IDs or fingerprints are derived on the fly.
+func (ix *Index) QueryDomain(d *Domain, threshold float64, k int) []Result {
+	if d == nil || len(d.Values) == 0 {
+		return nil
+	}
+	ids := d.IDs
+	if ids == nil {
+		ids = make([]uint32, len(d.Values))
+		for i, tok := range d.Values {
+			ids[i] = ix.dict.Lookup(tok)
+		}
+	}
+	fps := d.Fingerprints
+	if fps == nil {
+		fps = make([]uint64, len(d.Values))
+		for i, tok := range d.Values {
+			if ids[i] != 0 {
+				fps[i] = ix.dict.Fingerprint(ids[i])
+			} else {
+				fps[i] = minhash.Fingerprint(tok)
+			}
+		}
+	}
+	qids := make(map[uint32]struct{}, len(ids))
+	for _, id := range ids {
+		if id != 0 {
+			qids[id] = struct{}{}
+		}
+	}
+	return ix.query(ix.family.SignFingerprints(fps), qids, len(d.Values), threshold, k)
+}
+
+// query probes every partition with the query signature, then verifies the
+// candidates by exact token-ID intersection. qsize is |Q| (including tokens
+// outside the lake vocabulary, which count toward the denominator).
+func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize int, threshold float64, k int) []Result {
+	seen := make([]bool, len(ix.domains))
+	var candidates []int32
+	var keys []uint64
 	for pi := range ix.parts {
 		p := &ix.parts[pi]
 		if len(p.tables) == 0 {
 			continue
 		}
-		j := minhash.JaccardForContainment(threshold, len(query), p.upper)
+		j := minhash.JaccardForContainment(threshold, qsize, p.upper)
 		bt := p.chooseTable(j, ix.opts.NumHashes)
-		for _, key := range bandKeys(qsig, bt.r) {
+		keys = bandKeys(qsig, bt.r, keys[:0])
+		for _, key := range keys {
 			for _, di := range bt.buckets[key] {
-				candidates[di] = true
+				if !seen[di] {
+					seen[di] = true
+					candidates = append(candidates, di)
+				}
 			}
 		}
 	}
-	qset := make(map[string]bool, len(query))
-	for _, v := range query {
-		qset[v] = true
-	}
 	var results []Result
-	for di := range candidates {
+	for _, di := range candidates {
 		d := &ix.domains[di]
 		inter := 0
-		for _, v := range d.Values {
-			if qset[v] {
+		for _, id := range d.IDs {
+			if _, ok := qids[id]; ok {
 				inter++
 			}
 		}
-		c := float64(inter) / float64(len(query))
+		c := float64(inter) / float64(qsize)
 		if c >= threshold && c > 0 {
 			results = append(results, Result{Domain: d, Containment: c})
 		}
@@ -268,7 +382,7 @@ func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
 		if results[a].Containment != results[b].Containment {
 			return results[a].Containment > results[b].Containment
 		}
-		return results[a].Domain.Key() < results[b].Domain.Key()
+		return results[a].Domain.key < results[b].Domain.key
 	})
 	if k > 0 && len(results) > k {
 		results = results[:k]
@@ -276,12 +390,16 @@ func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
 	return results
 }
 
+// Dict returns the token dictionary the index interns through.
+func (ix *Index) Dict() *table.TokenDict { return ix.dict }
+
 // NumDomains reports how many domains are indexed.
 func (ix *Index) NumDomains() int { return len(ix.domains) }
 
 // ExactQuery is the brute-force baseline: it scans every domain and computes
 // exact containment. It is the ground truth against which the ensemble's
-// recall and speedup are measured (experiment X3).
+// recall and speedup are measured (experiment X3). It works over raw
+// strings on purpose — the baseline shares nothing with the index layout.
 func ExactQuery(domains []Domain, rawQuery []string, threshold float64, k int) []Result {
 	query := tokenize.ValueSet(rawQuery)
 	if len(query) == 0 {

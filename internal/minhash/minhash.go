@@ -5,7 +5,6 @@
 package minhash
 
 import (
-	"hash/fnv"
 	"math/bits"
 	"math/rand"
 )
@@ -43,11 +42,22 @@ func NewFamily(k int, seed int64) *Family {
 // K reports the number of hash functions (the signature length).
 func (f *Family) K() int { return f.k }
 
-// fingerprint hashes a set member to 64 bits.
-func fingerprint(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+// Fingerprint hashes a set member to 64 bits with FNV-1a, byte-identical
+// to hash/fnv.New64a over the same bytes but without the hash.Hash
+// allocation. Every discovery-side token hash (MinHash signatures, the
+// TokenDict fingerprint cache) goes through this one function, so cached
+// and freshly computed fingerprints always agree.
+func Fingerprint(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
 // mulmod computes (a*x + b) mod 2^61-1 using 128-bit intermediate math.
@@ -74,7 +84,7 @@ func mulmod(a, x, b uint64) uint64 {
 func Fingerprints(set []string) []uint64 {
 	out := make([]uint64, len(set))
 	for i, s := range set {
-		out[i] = fingerprint(s)
+		out[i] = Fingerprint(s)
 	}
 	return out
 }

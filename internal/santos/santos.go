@@ -14,26 +14,76 @@ package santos
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/kb"
 	"repro/internal/par"
 	"repro/internal/table"
 )
 
-// edge is one relationship incident to a column, direction-normalized:
-// "out:" edges leave the column, "in:" edges arrive at it, and the far
-// endpoint is identified by its semantic type only (column positions are
-// meaningless across lake tables).
-type edge struct {
-	key        string // "out:<label>:<otherType>" or "in:<label>:<otherType>"
-	confidence float64
+// symtab interns the relationship labels and semantic-type names edges are
+// built from into dense uint32 IDs, so edge identity is integer comparison
+// instead of string concatenation and hashing. One symtab is shared by a
+// SANTOS index's build-time and query-time annotation, keeping IDs — and
+// therefore packed edge keys — comparable across both. Safe for concurrent
+// use (tables annotate in parallel).
+type symtab struct {
+	mu  sync.RWMutex
+	ids map[string]uint32
 }
 
-// columnSemantics is the annotation of one column of one table.
+func newSymtab() *symtab { return &symtab{ids: make(map[string]uint32)} }
+
+// intern returns the dense ID of s, assigning one on first sight. IDs stay
+// below 2^31 so packed edge keys keep the direction bit and the label/type
+// split collision-free; a lake would need billions of distinct labels or
+// types to trip the guard.
+func (st *symtab) intern(s string) uint32 {
+	st.mu.RLock()
+	id, ok := st.ids[s]
+	st.mu.RUnlock()
+	if ok {
+		return id
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	if uint64(len(st.ids)) >= 1<<31 {
+		panic("santos: symbol table full: more than 2^31 distinct labels/types")
+	}
+	id = uint32(len(st.ids))
+	st.ids[s] = id
+	return id
+}
+
+// edgeIn is the direction bit of a packed edge key: set for edges arriving
+// at the column, clear for edges leaving it.
+const edgeIn = uint64(1) << 63
+
+// edgeKey packs one relationship incident to a column, direction-normalized
+// — the far endpoint is identified by its semantic type only (column
+// positions are meaningless across lake tables). Layout: bit 63 is the
+// direction, bits 62..32 the label ID, bits 31..0 the other endpoint's type
+// ID. Distinct (direction, label, type) triples always pack to distinct
+// keys — unlike the string form "out:<label>:<type>", which could collide
+// on labels containing the delimiter.
+func edgeKey(st *symtab, in bool, label, otherType string) uint64 {
+	k := uint64(st.intern(label))<<32 | uint64(st.intern(otherType))
+	if in {
+		k |= edgeIn
+	}
+	return k
+}
+
+// columnSemantics is the annotation of one column of one table. edges is
+// the column's incident relationship set as sorted, deduplicated packed
+// keys.
 type columnSemantics struct {
 	col   int
 	ann   kb.ColumnAnnotation
-	edges []edge
+	edges []uint64
 }
 
 // tableSemantics is the semantic graph of one table.
@@ -46,6 +96,7 @@ type tableSemantics struct {
 // semantic graph, precomputed offline as the demo's preprocessing step.
 type Index struct {
 	knowledge *kb.KB
+	syms      *symtab
 	tables    []tableSemantics
 }
 
@@ -53,11 +104,13 @@ type Index struct {
 // without any annotated column are indexed but can never match.
 // Annotation is per-table pure work over a read-only KB, so tables are
 // annotated in parallel; slot-indexed results keep the index order — and
-// therefore query results — identical to a sequential build.
+// therefore query results — identical to a sequential build. (Symbol IDs
+// are scheduling-dependent; edge comparison depends only on ID equality,
+// never ID order.)
 func Build(lakeTables []*table.Table, knowledge *kb.KB) *Index {
-	ix := &Index{knowledge: knowledge, tables: make([]tableSemantics, len(lakeTables))}
+	ix := &Index{knowledge: knowledge, syms: newSymtab(), tables: make([]tableSemantics, len(lakeTables))}
 	par.For(len(lakeTables), func(i int) {
-		ix.tables[i] = annotate(lakeTables[i], knowledge)
+		ix.tables[i] = annotate(lakeTables[i], knowledge, ix.syms)
 	})
 	return ix
 }
@@ -66,7 +119,7 @@ func Build(lakeTables []*table.Table, knowledge *kb.KB) *Index {
 func (ix *Index) NumTables() int { return len(ix.tables) }
 
 // annotate computes the semantic graph of a table.
-func annotate(t *table.Table, knowledge *kb.KB) tableSemantics {
+func annotate(t *table.Table, knowledge *kb.KB, syms *symtab) tableSemantics {
 	ts := tableSemantics{t: t}
 	anns := make([]kb.ColumnAnnotation, t.NumCols())
 	textual := make([]bool, t.NumCols())
@@ -77,7 +130,7 @@ func annotate(t *table.Table, knowledge *kb.KB) tableSemantics {
 		textual[c] = true
 		anns[c] = knowledge.AnnotateColumn(t.DistinctStrings(c))
 	}
-	edgesByCol := make(map[int][]edge)
+	edgesByCol := make(map[int][]uint64)
 	for a := 0; a < t.NumCols(); a++ {
 		if !textual[a] || anns[a].Type == "" {
 			continue
@@ -97,23 +150,33 @@ func annotate(t *table.Table, knowledge *kb.KB) tableSemantics {
 			if pa.Inverse {
 				from, to = b, a
 			}
-			edgesByCol[from] = append(edgesByCol[from], edge{
-				key:        fmt.Sprintf("out:%s:%s", pa.Label, anns[to].Type),
-				confidence: pa.Confidence,
-			})
-			edgesByCol[to] = append(edgesByCol[to], edge{
-				key:        fmt.Sprintf("in:%s:%s", pa.Label, anns[from].Type),
-				confidence: pa.Confidence,
-			})
+			edgesByCol[from] = append(edgesByCol[from], edgeKey(syms, false, pa.Label, anns[to].Type))
+			edgesByCol[to] = append(edgesByCol[to], edgeKey(syms, true, pa.Label, anns[from].Type))
 		}
 	}
 	for c := 0; c < t.NumCols(); c++ {
 		if anns[c].Type == "" {
 			continue
 		}
-		ts.cols = append(ts.cols, columnSemantics{col: c, ann: anns[c], edges: edgesByCol[c]})
+		ts.cols = append(ts.cols, columnSemantics{col: c, ann: anns[c], edges: sortedUnique(edgesByCol[c])})
 	}
 	return ts
+}
+
+// sortedUnique sorts keys ascending and removes duplicates in place,
+// turning an edge list into the canonical set form edgeJaccard merges.
+func sortedUnique(keys []uint64) []uint64 {
+	if len(keys) < 2 {
+		return keys
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	out := keys[:1]
+	for _, k := range keys[1:] {
+		if k != out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // rowPairs extracts row-aligned (a,b) string pairs where both cells are
@@ -155,26 +218,27 @@ func typeMatchScore(knowledge *kb.KB, qt, ct string) float64 {
 	return 0
 }
 
-// edgeJaccard computes the Jaccard similarity of two edge sets by key.
-func edgeJaccard(a, b []edge) float64 {
+// edgeJaccard computes the Jaccard similarity of two edge-key sets, both
+// already in canonical sorted-unique form, with an allocation-free linear
+// merge.
+func edgeJaccard(a, b []uint64) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 0
 	}
-	as := make(map[string]bool, len(a))
-	for _, e := range a {
-		as[e.key] = true
-	}
-	bs := make(map[string]bool, len(b))
-	for _, e := range b {
-		bs[e.key] = true
-	}
-	inter := 0
-	for k := range as {
-		if bs[k] {
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
 			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
-	union := len(as) + len(bs) - inter
+	union := len(a) + len(b) - inter
 	if union == 0 {
 		return 0
 	}
@@ -201,7 +265,7 @@ func (ix *Index) Query(q *table.Table, intentCol int, k int) ([]Result, error) {
 	if intentCol < 0 || intentCol >= q.NumCols() {
 		return nil, fmt.Errorf("santos: intent column %d out of range for table %q with %d columns", intentCol, q.Name, q.NumCols())
 	}
-	qs := annotate(q, ix.knowledge)
+	qs := annotate(q, ix.knowledge, ix.syms)
 	var qcs *columnSemantics
 	for i := range qs.cols {
 		if qs.cols[i].col == intentCol {

@@ -111,8 +111,12 @@ func TestSupertypeMatching(t *testing.T) {
 }
 
 func TestEdgeJaccard(t *testing.T) {
-	a := []edge{{key: "out:locatedIn:country"}, {key: "in:capitalOf:country"}}
-	b := []edge{{key: "out:locatedIn:country"}}
+	st := newSymtab()
+	a := sortedUnique([]uint64{
+		edgeKey(st, false, "locatedIn", "country"),
+		edgeKey(st, true, "capitalOf", "country"),
+	})
+	b := sortedUnique([]uint64{edgeKey(st, false, "locatedIn", "country")})
 	if got := edgeJaccard(a, b); got != 0.5 {
 		t.Errorf("edgeJaccard = %v, want 0.5", got)
 	}
@@ -121,6 +125,34 @@ func TestEdgeJaccard(t *testing.T) {
 	}
 	if edgeJaccard(a, a) != 1 {
 		t.Error("identical edge sets must score 1")
+	}
+}
+
+func TestEdgeKeyPacking(t *testing.T) {
+	st := newSymtab()
+	out := edgeKey(st, false, "locatedIn", "country")
+	in := edgeKey(st, true, "locatedIn", "country")
+	if out == in {
+		t.Error("direction must distinguish edge keys")
+	}
+	if edgeKey(st, false, "locatedIn", "country") != out {
+		t.Error("edge keys must be stable across calls")
+	}
+	if edgeKey(st, false, "locatedIn", "city") == out {
+		t.Error("other-endpoint type must distinguish edge keys")
+	}
+	if edgeKey(st, false, "capitalOf", "country") == out {
+		t.Error("label must distinguish edge keys")
+	}
+	// The delimiter ambiguity of the old string keys ("a:b"+"c" vs
+	// "a"+"b:c") cannot collide in the packed form.
+	if edgeKey(st, false, "a:b", "c") == edgeKey(st, false, "a", "b:c") {
+		t.Error("packed keys must not inherit string-delimiter collisions")
+	}
+	// sortedUnique canonicalizes: duplicates collapse, order ascending.
+	ks := sortedUnique([]uint64{out, in, out})
+	if len(ks) != 2 || ks[0] > ks[1] {
+		t.Errorf("sortedUnique = %v", ks)
 	}
 }
 

@@ -24,6 +24,11 @@ const NullID uint32 = 0
 // The assignment order — and therefore the concrete IDs — is not
 // deterministic under concurrent interning; nothing may depend on ID order,
 // only on ID equality.
+//
+// IDs are uint32 with 0 reserved for nulls, so a Dict holds at most
+// 2^32-1 distinct non-null values (~4.3B). Interning past that limit
+// panics rather than silently recycling IDs; open-data corpora that large
+// need a wider ID type first.
 type Dict struct {
 	mu     sync.RWMutex
 	strs   map[string]uint32
@@ -69,8 +74,19 @@ func (d *Dict) lookupLocked(v Value) uint32 {
 	}
 }
 
+// idCapacityExceeded reports whether a dictionary already holding n values
+// has exhausted the uint32 ID space (0 is reserved, so the last usable ID
+// is MaxUint32 and the dictionary is full once n values are interned with
+// n+1 > MaxUint32).
+func idCapacityExceeded(n int) bool {
+	return uint64(n) >= 1<<32-1
+}
+
 // assignLocked registers v under a fresh ID; the write lock must be held.
 func (d *Dict) assignLocked(v Value) uint32 {
+	if idCapacityExceeded(len(d.vals)) {
+		panic("table: Dict full: more than ~4B distinct values (uint32 ID space exhausted)")
+	}
 	d.vals = append(d.vals, v)
 	id := uint32(len(d.vals))
 	switch v.kind {

@@ -1,0 +1,118 @@
+package table
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTokenDictInternLookup(t *testing.T) {
+	d := NewTokenDict()
+	if d.Len() != 0 {
+		t.Fatal("new dict not empty")
+	}
+	a := d.Intern("berlin")
+	b := d.Intern("boston")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("ids: a=%d b=%d", a, b)
+	}
+	if d.Intern("berlin") != a {
+		t.Error("re-intern must return the same ID")
+	}
+	if d.Lookup("berlin") != a {
+		t.Error("Lookup must find interned token")
+	}
+	if d.Lookup("never-seen") != 0 {
+		t.Error("Lookup of unknown token must be 0")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if tok, ok := d.Token(a); !ok || tok != "berlin" {
+		t.Errorf("Token(%d) = %q,%v", a, tok, ok)
+	}
+	if _, ok := d.Token(0); ok {
+		t.Error("Token(0) must be unknown")
+	}
+	if _, ok := d.Token(99); ok {
+		t.Error("Token of unassigned ID must be unknown")
+	}
+}
+
+func TestTokenDictInternAll(t *testing.T) {
+	d := NewTokenDict()
+	first := d.InternAll([]string{"x", "y", "x"}, nil)
+	if len(first) != 3 || first[0] != first[2] || first[0] == first[1] {
+		t.Fatalf("InternAll ids = %v", first)
+	}
+	yID := first[1]
+	again := d.InternAll([]string{"y", "z"}, first[:0])
+	if again[0] != yID {
+		t.Error("InternAll must reuse existing IDs")
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d, want 3", d.Len())
+	}
+}
+
+// TestTokenDictFingerprintMatchesFNV pins the inline FNV-1a loop to
+// hash/fnv — and therefore to minhash.Fingerprints, which MinHash
+// signatures are computed from. If this drifts, cached query fingerprints
+// would disagree with index signatures.
+func TestTokenDictFingerprintMatchesFNV(t *testing.T) {
+	d := NewTokenDict()
+	for _, s := range []string{"", "a", "berlin", "new delhi", "v00042", "日本"} {
+		id := d.Intern(s)
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := d.Fingerprint(id), h.Sum64(); got != want {
+			t.Errorf("fingerprint(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+	ids := d.InternAll([]string{"berlin", "a"}, nil)
+	fps := d.Fingerprints(ids, nil)
+	if fps[0] != d.Fingerprint(ids[0]) || fps[1] != d.Fingerprint(ids[1]) {
+		t.Error("Fingerprints must gather per-ID fingerprints in order")
+	}
+}
+
+func TestTokenDictConcurrentIntern(t *testing.T) {
+	d := NewTokenDict()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []uint32
+			for i := 0; i < 200; i++ {
+				tok := fmt.Sprintf("tok%03d", i)
+				if d.Intern(tok) != d.Lookup(tok) {
+					t.Errorf("worker %d: Intern/Lookup disagree on %s", w, tok)
+					return
+				}
+				buf = d.InternAll([]string{tok, fmt.Sprintf("extra%03d", i)}, buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != 400 {
+		t.Errorf("Len = %d, want 400", d.Len())
+	}
+}
+
+// TestIDCapacityGuard exercises the shared overflow predicate; actually
+// interning 4B values is infeasible in a unit test, so the guard condition
+// is pinned directly.
+func TestIDCapacityGuard(t *testing.T) {
+	if idCapacityExceeded(0) || idCapacityExceeded(1<<20) {
+		t.Error("small dictionaries must not trip the guard")
+	}
+	if !idCapacityExceeded(math.MaxUint32) {
+		t.Error("a full uint32 ID space must trip the guard")
+	}
+	if idCapacityExceeded(math.MaxUint32 - 1) {
+		t.Error("the last assignable ID must still be allowed")
+	}
+}

@@ -43,3 +43,36 @@ go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . |
 	' >"$OUT"
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+
+# Delta section: compare against the previous snapshot (the highest
+# version-sorted BENCH_*.json other than the one just written) so CI logs
+# and PR descriptions can quote the perf trajectory. Informational only —
+# the single-CPU CI container is noisy, so there is no hard gate.
+prev=""
+for f in $(ls BENCH_*.json 2>/dev/null | sort -V); do
+	[ "$f" = "$OUT" ] && continue
+	prev="$f"
+done
+if [ -n "$prev" ]; then
+	echo ""
+	echo "delta vs $prev (negative % = improvement):"
+	awk -v prevfile="$prev" '
+	/"name"/ {
+		match($0, /"name": "[^"]+"/)
+		name = substr($0, RSTART + 9, RLENGTH - 10)
+		ns = ""; al = ""
+		if (match($0, /"ns_per_op": [0-9.]+/))     ns = substr($0, RSTART + 13, RLENGTH - 13)
+		if (match($0, /"allocs_per_op": [0-9.]+/)) al = substr($0, RSTART + 17, RLENGTH - 17)
+		if (FILENAME == prevfile) {
+			pns[name] = ns; pal[name] = al
+		} else if (name in pns) {
+			line = sprintf("  %-50s", name)
+			if (ns != "" && pns[name] > 0)
+				line = line sprintf("  ns/op %12.1f -> %12.1f (%+7.1f%%)", pns[name], ns, (ns - pns[name]) * 100.0 / pns[name])
+			if (al != "" && pal[name] > 0)
+				line = line sprintf("  allocs/op %8d -> %8d (%+7.1f%%)", pal[name], al, (al - pal[name]) * 100.0 / pal[name])
+			print line
+		}
+	}
+	' "$prev" "$OUT"
+fi
