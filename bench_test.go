@@ -242,6 +242,81 @@ func BenchmarkLakeBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkLakeBuildStages reports the per-stage breakdown of lake
+// preprocessing (KB compile, domain extraction, SANTOS annotation, LSH
+// Ensemble, JOSIE) as custom metrics, so "which stage dominates the build"
+// is a measured claim tracked across PRs.
+func BenchmarkLakeBuildStages(b *testing.B) {
+	sl := experiments.JoinSearchLake(17)
+	var sum lake.BuildStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := lake.New(sl.Tables, lake.Options{Knowledge: kb.Demo()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := l.Stats()
+		sum.KBPrep += st.KBPrep
+		sum.DomainExtraction += st.DomainExtraction
+		sum.Santos += st.Santos
+		sum.LSH += st.LSH
+		sum.Josie += st.Josie
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(sum.KBPrep.Nanoseconds())/n, "kbprep-ns/op")
+	b.ReportMetric(float64(sum.DomainExtraction.Nanoseconds())/n, "extract-ns/op")
+	b.ReportMetric(float64(sum.Santos.Nanoseconds())/n, "santos-ns/op")
+	b.ReportMetric(float64(sum.LSH.Nanoseconds())/n, "lsh-ns/op")
+	b.ReportMetric(float64(sum.Josie.Nanoseconds())/n, "josie-ns/op")
+}
+
+// BenchmarkKBAnnotate isolates the SANTOS annotation engine: the compiled
+// integer-ID vote path (entity codes resolved through the annotation cache,
+// flattened vote programs, packed relation keys) against the retained
+// string reference that re-normalizes and re-walks the hierarchy per value.
+func BenchmarkKBAnnotate(b *testing.B) {
+	know := kb.Demo()
+	var colVals, subjVals, objVals []string
+	for _, city := range kb.DemoCities() {
+		colVals = append(colVals, city, city+" x") // known + near-miss unknown
+		subjVals = append(subjVals, city)
+		objVals = append(objVals, kb.DemoCountryOf(city))
+	}
+	pairs := make([][2]string, len(subjVals))
+	for i := range subjVals {
+		pairs[i] = [2]string{subjVals[i], objVals[i]}
+	}
+	ck := know.Compiled()
+	ann := kb.NewAnnotator(ck, nil)
+	s := ck.NewScratch()
+	colCodes := ann.CodeStrings(colVals, nil)
+	subjCodes := ann.CodeStrings(subjVals, nil)
+	objCodes := ann.CodeStrings(objVals, nil)
+	b.Run("ColumnCompiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ann.CodeStrings(colVals, colCodes) // steady state: cache hits
+			ck.AnnotateColumnCodes(colCodes, s)
+		}
+	})
+	b.Run("ColumnString", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			know.AnnotateColumn(colVals)
+		}
+	})
+	b.Run("PairCompiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ann.CodeStrings(subjVals, subjCodes)
+			ann.CodeStrings(objVals, objCodes)
+			ck.AnnotatePairCodes(subjCodes, objCodes, s)
+		}
+	})
+	b.Run("PairString", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			know.AnnotateColumnPair(pairs)
+		}
+	})
+}
+
 // BenchmarkX3JoinSearch compares LSH Ensemble queries against the exact
 // containment scan on a 640-domain lake.
 func BenchmarkX3JoinSearch(b *testing.B) {

@@ -221,9 +221,29 @@ func (p *Pipeline) Correlate(t *table.Table, colA, colB string) (float64, int, e
 
 // ResolveEntities runs entity resolution over an integrated table with the
 // pipeline's knowledge base (stage 3, Example 5).
+//
+// Cells that are lake values (the usual case — integrated tables are built
+// from lake tables) resolve through the lake's bounded annotation cache.
+// Values outside the lake vocabulary are cached in the shared annotator
+// too, so resolving many unrelated user-supplied tables through one
+// pipeline grows its memory with their distinct strings; pass your own
+// er.Options.Annotator (or Knowledge) to keep such resolutions per-call.
 func (p *Pipeline) ResolveEntities(t *table.Table, opts er.Options) (*er.Resolution, error) {
 	if opts.Knowledge == nil {
 		opts.Knowledge = p.lake.Knowledge()
+		if opts.Annotator == nil {
+			// Resolving with the lake's own KB: share the lake-wide
+			// annotation cache, so cells that are lake values resolve
+			// without re-canonicalization — but only while the KB is
+			// unchanged since the lake was built (Compiled() is memoized
+			// per mutation, so pointer equality detects staleness). A
+			// mutated KB falls back to a fresh per-call cache over the
+			// recompiled engine, honoring the mutation as the string path
+			// always did.
+			if ann := p.lake.Annotator(); ann.Compiled() == opts.Knowledge.Compiled() {
+				opts.Annotator = ann
+			}
+		}
 	}
 	return er.Resolve(t, opts)
 }

@@ -255,3 +255,32 @@ func TestFromDir(t *testing.T) {
 		t.Error("missing dir must error")
 	}
 }
+
+// TestResolveEntitiesHonorsKBMutation pins the annotation-cache staleness
+// guard: mutating the lake's KB after the build must be honored by entity
+// resolution (the lake-wide cache compiled at build time is bypassed once
+// the KB version moves).
+func TestResolveEntitiesHonorsKBMutation(t *testing.T) {
+	p, err := New(paperdata.CovidLake(), Config{Knowledge: kb.Demo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := table.New("m", "org")
+	tb.MustAddRow(table.StringValue("Globex Corp"))
+	tb.MustAddRow(table.StringValue("GBX"))
+	res, err := p.ResolveEntities(tb, er.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("before alias: %d clusters, want 2", len(res.Clusters))
+	}
+	p.Lake().Knowledge().AddAlias("GBX", "Globex Corp")
+	res, err = p.ResolveEntities(tb, er.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("after alias: %d clusters, want 1 (mutation must be honored)", len(res.Clusters))
+	}
+}

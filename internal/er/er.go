@@ -30,11 +30,43 @@ type Options struct {
 	// Knowledge supplies aliases for equality features and blocking; nil
 	// disables alias awareness.
 	Knowledge *kb.KB
+	// Annotator optionally supplies a prebuilt entity-resolution cache over
+	// Knowledge's compiled form (e.g. the lake's dict-backed cache, so lake
+	// values resolve without re-canonicalization). Nil builds a transient
+	// cache from Knowledge.
+	Annotator *kb.Annotator
 	// Threshold is the minimum average similarity for a match. Default 0.6.
 	Threshold float64
 	// Veto rejects a pair outright when a column filled on both sides has
 	// similarity below it. Default 0.25.
 	Veto float64
+}
+
+// annotator returns the entity-resolution cache to resolve through: the
+// supplied one, or a transient cache over the (memoized) compiled KB. With
+// nil Knowledge the cache still canonicalizes by normalization alone, which
+// is exactly the knowledge-free blocking and similarity semantics.
+func (o Options) annotator() *kb.Annotator {
+	if o.Annotator != nil {
+		return o.Annotator
+	}
+	return kb.NewAnnotator(o.Knowledge.Compiled(), nil)
+}
+
+// cellCodes resolves every cell of t through the cache once; codes[r][c] is
+// the annotation code of row r, column c (kb.CodeEmpty for nulls and
+// empty-canonical values).
+func cellCodes(t *table.Table, ann *kb.Annotator) [][]uint32 {
+	codes := make([][]uint32, len(t.Rows))
+	flat := make([]uint32, len(t.Rows)*t.NumCols())
+	for r, row := range t.Rows {
+		cr := flat[r*t.NumCols() : (r+1)*t.NumCols() : (r+1)*t.NumCols()]
+		for c, v := range row {
+			cr[c] = ann.Code(v)
+		}
+		codes[r] = cr
+	}
+	return codes
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +106,23 @@ type Resolution struct {
 // the conflict veto.
 func Similarity(a, b []table.Value, opts Options) (score float64, comparable bool) {
 	opts = opts.withDefaults()
+	return similarityWith(a, b, opts, func(i int) float64 {
+		return cellSimilarity(a[i], b[i], opts.Knowledge)
+	})
+}
+
+// similarityCodes is Similarity over pre-resolved annotation codes: the
+// entity-identity shortcut is an integer comparison instead of two
+// canonicalizations per compared cell. opts must already have defaults.
+func similarityCodes(a, b []table.Value, ca, cb []uint32, opts Options) (float64, bool) {
+	return similarityWith(a, b, opts, func(i int) float64 {
+		return cellSimilarityCodes(a[i], b[i], ca[i], cb[i])
+	})
+}
+
+// similarityWith is the shared row-scoring core: sim(i) scores column i's
+// two (non-null) cells.
+func similarityWith(a, b []table.Value, opts Options, sim func(i int) float64) (score float64, comparable bool) {
 	considered := 0
 	bothFilled := 0
 	total := 0.0
@@ -81,7 +130,7 @@ func Similarity(a, b []table.Value, opts Options) (score float64, comparable boo
 		an, bn := !a[i].IsNull(), !b[i].IsNull()
 		switch {
 		case an && bn:
-			s := cellSimilarity(a[i], b[i], opts.Knowledge)
+			s := sim(i)
 			if s < opts.Veto {
 				return 0, false // conflicting values: hard reject
 			}
@@ -102,7 +151,8 @@ func Similarity(a, b []table.Value, opts Options) (score float64, comparable boo
 	return total / float64(considered), true
 }
 
-// cellSimilarity scores two non-null cells in [0,1].
+// cellSimilarity scores two non-null cells in [0,1]. Reference
+// implementation; the resolution hot path uses cellSimilarityCodes.
 func cellSimilarity(a, b table.Value, knowledge *kb.KB) float64 {
 	if a.Equal(b) {
 		return 1
@@ -110,23 +160,56 @@ func cellSimilarity(a, b table.Value, knowledge *kb.KB) float64 {
 	af, aok := a.AsFloat()
 	bf, bok := b.AsFloat()
 	if aok && bok {
-		den := maxAbs(af, bf)
-		if den == 0 {
-			return 1
-		}
-		d := af - bf
-		if d < 0 {
-			d = -d
-		}
-		if d >= den {
-			return 0
-		}
-		return 1 - d/den
+		return numericSimilarity(af, bf)
 	}
 	as, bs := a.String(), b.String()
 	if knowledge != nil && knowledge.SameEntity(as, bs) {
 		return 1
 	}
+	return textSimilarity(as, bs)
+}
+
+// cellSimilarityCodes is cellSimilarity with the entity-identity check over
+// annotation codes. Equal non-empty codes mean equal canonical forms, which
+// scores 1 both with knowledge (SameEntity) and without (equal normalized
+// strings make the Levenshtein ratio exactly 1). The numeric comparison
+// stays ahead of the code check, exactly as in the reference — distinct
+// numbers may share a canonical form ("-5" and "5" both normalize to "5")
+// and must keep their numeric score.
+func cellSimilarityCodes(a, b table.Value, ca, cb uint32) float64 {
+	if a.Equal(b) {
+		return 1
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if aok && bok {
+		return numericSimilarity(af, bf)
+	}
+	if kb.SameCode(ca, cb) {
+		return 1
+	}
+	return textSimilarity(a.String(), b.String())
+}
+
+// numericSimilarity scores two numeric cells by relative closeness.
+func numericSimilarity(af, bf float64) float64 {
+	den := maxAbs(af, bf)
+	if den == 0 {
+		return 1
+	}
+	d := af - bf
+	if d < 0 {
+		d = -d
+	}
+	if d >= den {
+		return 0
+	}
+	return 1 - d/den
+}
+
+// textSimilarity is the string fallback: the better of the Levenshtein
+// ratio over normalized forms and the token Jaccard.
+func textSimilarity(as, bs string) float64 {
 	lev := levenshteinRatio(tokenize.Normalize(as), tokenize.Normalize(bs))
 	jac := tokenize.Jaccard(tokenize.Words(as), tokenize.Words(bs))
 	if jac > lev {
@@ -186,13 +269,18 @@ func levenshteinRatio(a, b string) float64 {
 	return 1 - float64(dist)/float64(maxLen)
 }
 
-// Resolve performs entity resolution over the rows of t.
+// Resolve performs entity resolution over the rows of t. Every cell is
+// canonicalized once through the knowledge base's compiled annotation cache
+// (see kb.Annotator); blocking, the alias-aware similarity shortcut, and
+// clustering then run on integer annotation codes. Output is byte-identical
+// to the retained string reference path (pinned by crosscheck_test.go).
 func Resolve(t *table.Table, opts Options) (*Resolution, error) {
 	if t == nil || t.NumCols() == 0 {
 		return nil, fmt.Errorf("er: nil or zero-column table")
 	}
 	opts = opts.withDefaults()
-	candidates := blockPairs(t, opts.Knowledge)
+	codes := cellCodes(t, opts.annotator())
+	candidates := blockPairsCodes(codes)
 	parent := make([]int, t.NumRows())
 	for i := range parent {
 		parent[i] = i
@@ -207,7 +295,7 @@ func Resolve(t *table.Table, opts Options) (*Resolution, error) {
 	}
 	res := &Resolution{Input: t}
 	for _, p := range candidates {
-		score, comparable := Similarity(t.Rows[p[0]], t.Rows[p[1]], opts)
+		score, comparable := similarityCodes(t.Rows[p[0]], t.Rows[p[1]], codes[p[0]], codes[p[1]], opts)
 		if !comparable {
 			continue
 		}
@@ -241,8 +329,49 @@ func Resolve(t *table.Table, opts Options) (*Resolution, error) {
 	return res, nil
 }
 
+// blockPairsCodes generates candidate pairs from annotation codes: rows
+// sharing a non-empty code in the same column block together. Each pair is
+// emitted once (a<b) and the output is sorted by (A,B) — identical to the
+// string-keyed reference blockPairs, whose sorted-key iteration the final
+// pair sort already canonicalizes away.
+func blockPairsCodes(codes [][]uint32) [][2]int {
+	blocks := make(map[uint64][]int32)
+	for r, row := range codes {
+		for c, code := range row {
+			if code <= kb.CodeEmpty {
+				continue
+			}
+			key := uint64(c)<<32 | uint64(code)
+			blocks[key] = append(blocks[key], int32(r))
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	for _, rows := range blocks {
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				p := [2]int{int(rows[i]), int(rows[j])}
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
 // blockPairs generates candidate pairs: rows sharing a canonicalized cell
 // value in the same column. Each pair is emitted once (a<b), ordered.
+// Reference implementation retained for the cross-check suite; Resolve uses
+// blockPairsCodes.
 func blockPairs(t *table.Table, knowledge *kb.KB) [][2]int {
 	blocks := make(map[string][]int)
 	for r, row := range t.Rows {

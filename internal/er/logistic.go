@@ -22,6 +22,22 @@ var FeatureNames = []string{
 // The second result is false when the rows share no both-filled column
 // (such pairs are never matchable, mirroring the rule matcher).
 func Features(a, b []table.Value, knowledge *kb.KB) ([]float64, bool) {
+	return featuresWith(a, b, func(i int) float64 {
+		return cellSimilarity(a[i], b[i], knowledge)
+	})
+}
+
+// featuresCodes is Features over pre-resolved annotation codes, the
+// ResolveLearned hot path.
+func featuresCodes(a, b []table.Value, ca, cb []uint32) ([]float64, bool) {
+	return featuresWith(a, b, func(i int) float64 {
+		return cellSimilarityCodes(a[i], b[i], ca[i], cb[i])
+	})
+}
+
+// featuresWith is the shared feature-extraction core: sim(i) scores column
+// i's two (non-null) cells.
+func featuresWith(a, b []table.Value, sim func(i int) float64) ([]float64, bool) {
 	n := len(a)
 	if n == 0 {
 		return nil, false
@@ -34,7 +50,7 @@ func Features(a, b []table.Value, knowledge *kb.KB) ([]float64, bool) {
 		an, bn := !a[i].IsNull(), !b[i].IsNull()
 		switch {
 		case an && bn:
-			s := cellSimilarity(a[i], b[i], knowledge)
+			s := sim(i)
 			bothFilled++
 			considered++
 			simSum += s
@@ -176,7 +192,8 @@ func ResolveLearned(t *table.Table, model *LogisticModel, knowledge *kb.KB, thre
 	if threshold <= 0 {
 		threshold = 0.5
 	}
-	candidates := blockPairs(t, knowledge)
+	codes := cellCodes(t, Options{Knowledge: knowledge}.annotator())
+	candidates := blockPairsCodes(codes)
 	parent := make([]int, t.NumRows())
 	for i := range parent {
 		parent[i] = i
@@ -191,7 +208,7 @@ func ResolveLearned(t *table.Table, model *LogisticModel, knowledge *kb.KB, thre
 	}
 	res := &Resolution{Input: t}
 	for _, p := range candidates {
-		x, ok := Features(t.Rows[p[0]], t.Rows[p[1]], knowledge)
+		x, ok := featuresCodes(t.Rows[p[0]], t.Rows[p[1]], codes[p[0]], codes[p[1]])
 		if !ok {
 			continue
 		}

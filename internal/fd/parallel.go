@@ -24,6 +24,13 @@ func Parallel(in Input, workers int) []Tuple {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers <= 1 {
+		// A single worker cannot overlap proposal generation with anything;
+		// the round machinery (per-round snapshot, proposal collection and
+		// sort) would only add allocations on top of the serial closure. The
+		// output is identical by construction, so fall back to ALITE.
+		return ALITE(in)
+	}
 	c := newCloser(in.Dict)
 	frontier := c.seed(in.Tuples)
 	for len(frontier) > 0 {

@@ -10,6 +10,7 @@ package kb
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/tokenize"
 )
@@ -22,6 +23,11 @@ type KB struct {
 	entityTypes map[string][]string // entity -> declared types
 	alias       map[string]string   // alias -> canonical entity
 	relations   map[string][]string // "subj\x1fobj" -> labels
+
+	// version counts mutations; Compiled() memoizes the compiled engine per
+	// version (see compile.go).
+	version  uint64
+	compiled atomic.Pointer[compiledMemo]
 }
 
 // New returns an empty knowledge base.
@@ -36,12 +42,14 @@ func New() *KB {
 
 // AddType declares a type with an optional parent ("" for a root type).
 func (k *KB) AddType(typ, parent string) {
+	atomic.AddUint64(&k.version, 1)
 	k.parent[typ] = parent
 }
 
 // AddEntity declares an entity with one or more types. Repeated calls
 // accumulate types.
 func (k *KB) AddEntity(entity string, types ...string) {
+	atomic.AddUint64(&k.version, 1)
 	e := tokenize.Normalize(entity)
 	if e == "" {
 		return
@@ -61,6 +69,7 @@ func (k *KB) AddEntity(entity string, types ...string) {
 // AddAlias maps an alias to a canonical entity; lookups and relationship
 // queries resolve aliases first. ("J&J" → "jnj", "USA" → "united states".)
 func (k *KB) AddAlias(aliasName, canonical string) {
+	atomic.AddUint64(&k.version, 1)
 	a := tokenize.Normalize(aliasName)
 	c := tokenize.Normalize(canonical)
 	if a == "" || c == "" || a == c {
@@ -71,6 +80,7 @@ func (k *KB) AddAlias(aliasName, canonical string) {
 
 // AddRelation records a directed relationship subject --label--> object.
 func (k *KB) AddRelation(subject, label, object string) {
+	atomic.AddUint64(&k.version, 1)
 	s := k.Canonical(subject)
 	o := k.Canonical(object)
 	if s == "" || o == "" {

@@ -9,6 +9,7 @@ package lake
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/josie"
 	"repro/internal/kb"
@@ -36,6 +37,7 @@ type Lake struct {
 	tables    []*table.Table
 	byName    map[string]*table.Table
 	knowledge *kb.KB
+	annotator *kb.Annotator
 	dict      *table.Dict
 	tokens    *table.TokenDict
 	santosIx  *santos.Index
@@ -43,6 +45,25 @@ type Lake struct {
 	josieIx   *josie.Index
 	domains   []lshensemble.Domain
 	domainIdx map[colRef]int // (table, column) -> index into domains
+	stats     BuildStats
+}
+
+// BuildStats breaks lake preprocessing down per stage, so "which stage
+// dominates the build" is a measured claim rather than a profiling session.
+// The three index stages run concurrently; each duration is that stage's
+// own wall time, and their sum can exceed the build's wall time on
+// multi-core machines.
+type BuildStats struct {
+	// KBPrep covers KB synthesis/merging (when enabled) plus compiling the
+	// knowledge base into its integer-ID annotation engine.
+	KBPrep time.Duration
+	// DomainExtraction covers cell/token interning, domain extraction, and
+	// MinHash fingerprinting.
+	DomainExtraction time.Duration
+	// Santos, LSH and Josie cover the respective index builds.
+	Santos time.Duration
+	LSH    time.Duration
+	Josie  time.Duration
 }
 
 // colRef addresses one column of one lake table.
@@ -79,6 +100,7 @@ func New(tables []*table.Table, opts Options) (*Lake, error) {
 		l.byName[t.Name] = t
 		l.tables = append(l.tables, t)
 	}
+	t0 := time.Now()
 	l.knowledge = opts.Knowledge
 	if opts.SynthesizeKB {
 		syn := kb.Synthesize(l.tables, kb.SynthesizeOptions{})
@@ -91,26 +113,44 @@ func New(tables []*table.Table, opts Options) (*Lake, error) {
 	if l.knowledge == nil {
 		l.knowledge = kb.New()
 	}
+	compiled := l.knowledge.Compiled()
+	l.stats.KBPrep = time.Since(t0)
 	// Phase 1 (parallel per table): intern every cell into the lake value
 	// dictionary, every domain member into the lake token dictionary, and
 	// extract the joinable-search domains.
+	t0 = time.Now()
 	l.domains = extractDomains(l.tables, l.dict, l.tokens)
 	l.domainIdx = make(map[colRef]int, len(l.domains))
 	for i, d := range l.domains {
 		l.domainIdx[colRef{d.Table, d.Column}] = i
 	}
+	l.stats.DomainExtraction = time.Since(t0)
+	// The lake-wide annotation cache: every KB canonicalization — SANTOS
+	// build and query annotation, entity resolution over lake-derived
+	// tables — resolves each distinct lake value (interned above) once.
+	l.annotator = kb.NewAnnotator(compiled, l.dict)
 	// Phase 2: the three indexes read disjoint inputs; build concurrently,
 	// all over the shared token dictionary (complete after phase 1, so the
-	// builds only read it).
+	// builds only read it). Each stage clocks itself for BuildStats.
 	par.Do(
-		func() { l.santosIx = santos.Build(l.tables, l.knowledge) },
-		func() { l.joinIx = lshensemble.BuildWithDict(l.domains, opts.LSH, l.tokens) },
 		func() {
+			t := time.Now()
+			l.santosIx = santos.BuildWithAnnotator(l.tables, l.annotator)
+			l.stats.Santos = time.Since(t)
+		},
+		func() {
+			t := time.Now()
+			l.joinIx = lshensemble.BuildWithDict(l.domains, opts.LSH, l.tokens)
+			l.stats.LSH = time.Since(t)
+		},
+		func() {
+			t := time.Now()
 			sets := make([]josie.Set, len(l.domains))
 			for i, d := range l.domains {
 				sets[i] = josie.Set{Table: d.Table, Column: d.Column, ColumnName: d.ColumnName, Values: d.Values, IDs: d.IDs}
 			}
 			l.josieIx = josie.BuildWithDict(sets, l.tokens)
+			l.stats.Josie = time.Since(t)
 		},
 	)
 	return l, nil
@@ -153,7 +193,7 @@ func extractDomains(tables []*table.Table, dict *table.Dict, tokens *table.Token
 			if !kb.MostlyTextual(t, c) {
 				continue
 			}
-			vals := tokenize.ValueSet(t.DistinctStrings(c))
+			vals := columnValueSet(t, c)
 			if len(vals) == 0 {
 				continue
 			}
@@ -176,6 +216,38 @@ func extractDomains(tables []*table.Table, dict *table.Dict, tokens *table.Token
 	return out
 }
 
+// columnValueSet extracts the normalized value set of a column in one pass:
+// it is tokenize.ValueSet(t.DistinctStrings(c)) — same output, same order —
+// without materializing the intermediate distinct-string slice or scanning
+// the rows twice. Raw renderings dedupe first (so each distinct cell string
+// normalizes once), then normalized forms dedupe, both in first-seen order.
+func columnValueSet(t *table.Table, c int) []string {
+	seenRaw := make(map[string]struct{})
+	seenNorm := make(map[string]struct{})
+	var out []string
+	for _, row := range t.Rows {
+		v := row[c]
+		if v.IsNull() {
+			continue
+		}
+		s := v.String()
+		if _, dup := seenRaw[s]; dup {
+			continue
+		}
+		seenRaw[s] = struct{}{}
+		n := tokenize.Normalize(s)
+		if n == "" {
+			continue
+		}
+		if _, dup := seenNorm[n]; dup {
+			continue
+		}
+		seenNorm[n] = struct{}{}
+		out = append(out, n)
+	}
+	return out
+}
+
 // Tables returns the lake's tables in name order.
 func (l *Lake) Tables() []*table.Table { return l.tables }
 
@@ -191,6 +263,14 @@ func (l *Lake) Size() int { return len(l.tables) }
 // Knowledge returns the (possibly merged) knowledge base the lake was
 // annotated with.
 func (l *Lake) Knowledge() *kb.KB { return l.knowledge }
+
+// Annotator returns the lake-wide KB annotation cache: every distinct lake
+// value's canonical entity is resolved at most once, and SANTOS queries and
+// entity resolution over lake-derived tables share the cached codes.
+func (l *Lake) Annotator() *kb.Annotator { return l.annotator }
+
+// Stats returns the per-stage preprocessing timing breakdown.
+func (l *Lake) Stats() BuildStats { return l.stats }
 
 // Dict returns the lake-wide value dictionary: every cell of every lake
 // table is interned in it, and integration over this lake shares it so the

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/minhash"
 	"repro/internal/par"
@@ -112,6 +113,49 @@ type Index struct {
 	domains    []Domain
 	signatures []minhash.Signature
 	parts      []partition
+	scratch    sync.Pool // *queryScratch
+}
+
+// queryScratch is the reusable per-query working memory: the normalized
+// value set (map + slice), fingerprint and signature buffers, the query
+// token-ID set, and the candidate-dedup scratch. Pooled per index so the
+// non-cached Query path stops paying these allocations per call; query
+// results never alias scratch memory.
+type queryScratch struct {
+	vals    []string
+	seenTok map[string]struct{}
+	fps     []uint64
+	qids    map[uint32]struct{}
+	sig     minhash.Signature
+	seen    []uint32 // per domain index: epoch stamp
+	epoch   uint32
+	cands   []int32
+	keys    []uint64
+}
+
+// valueSet normalizes and deduplicates raw values into the scratch buffers,
+// byte-identical to tokenize.ValueSet.
+func (s *queryScratch) valueSet(raw []string) []string {
+	clear(s.seenTok)
+	out := s.vals[:0]
+	for _, v := range raw {
+		n := tokenize.Normalize(v)
+		if n == "" {
+			continue
+		}
+		if _, dup := s.seenTok[n]; dup {
+			continue
+		}
+		s.seenTok[n] = struct{}{}
+		out = append(out, n)
+	}
+	s.vals = out
+	return out
+}
+
+func (ix *Index) getScratch() *queryScratch {
+	s := ix.scratch.Get().(*queryScratch)
+	return s
 }
 
 // Build constructs the ensemble over a private token dictionary. Domains
@@ -142,12 +186,22 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 		dict:    dict,
 		domains: append([]Domain(nil), domains...),
 	}
+	ix.scratch.New = func() any {
+		return &queryScratch{
+			seenTok: make(map[string]struct{}),
+			qids:    make(map[uint32]struct{}),
+			seen:    make([]uint32, len(ix.domains)),
+		}
+	}
 	// Sign domains in parallel: each signature depends only on its own
 	// domain, so the result is deterministic regardless of scheduling.
 	// Token IDs and fingerprints are computed once per domain and cached on
 	// it; fingerprints of freshly interned domains come from the
-	// dictionary's cache rather than re-hashing the strings.
+	// dictionary's cache rather than re-hashing the strings. Signatures
+	// live in one contiguous arena (workers write disjoint ranges) instead
+	// of one allocation per domain.
 	ix.signatures = make([]minhash.Signature, len(ix.domains))
+	sigArena := make([]uint64, len(ix.domains)*opts.NumHashes)
 	par.For(len(ix.domains), func(i int) {
 		d := &ix.domains[i]
 		d.key = fmt.Sprintf("%s[%d]", d.Table, d.Column)
@@ -157,7 +211,8 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 		if d.Fingerprints == nil {
 			d.Fingerprints = dict.Fingerprints(d.IDs, nil)
 		}
-		ix.signatures[i] = ix.family.SignFingerprints(d.Fingerprints)
+		slot := sigArena[i*opts.NumHashes : (i+1)*opts.NumHashes : (i+1)*opts.NumHashes]
+		ix.signatures[i] = ix.family.SignFingerprintsInto(d.Fingerprints, slot)
 	})
 	// Equi-depth partitioning by domain size.
 	order := make([]int, len(ix.domains))
@@ -287,21 +342,28 @@ type Result struct {
 // intersect an indexed domain, though they still count toward |Q|) are
 // hashed on the fly.
 func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
-	query := tokenize.ValueSet(rawQuery)
+	s := ix.getScratch()
+	defer ix.scratch.Put(s)
+	query := s.valueSet(rawQuery)
 	if len(query) == 0 {
 		return nil
 	}
-	fps := make([]uint64, len(query))
-	qids := make(map[uint32]struct{}, len(query))
+	if cap(s.fps) < len(query) {
+		s.fps = make([]uint64, len(query))
+	}
+	fps := s.fps[:len(query)]
+	s.fps = fps
+	clear(s.qids)
 	for i, tok := range query {
 		if id := ix.dict.Lookup(tok); id != 0 {
 			fps[i] = ix.dict.Fingerprint(id)
-			qids[id] = struct{}{}
+			s.qids[id] = struct{}{}
 		} else {
 			fps[i] = minhash.Fingerprint(tok)
 		}
 	}
-	return ix.query(ix.family.SignFingerprints(fps), qids, len(query), threshold, k)
+	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
+	return ix.query(s.sig, s.qids, len(query), threshold, k, s)
 }
 
 // QueryDomain answers a containment query for an already-extracted domain —
@@ -313,6 +375,8 @@ func (ix *Index) QueryDomain(d *Domain, threshold float64, k int) []Result {
 	if d == nil || len(d.Values) == 0 {
 		return nil
 	}
+	s := ix.getScratch()
+	defer ix.scratch.Put(s)
 	ids := d.IDs
 	if ids == nil {
 		ids = make([]uint32, len(d.Values))
@@ -331,22 +395,29 @@ func (ix *Index) QueryDomain(d *Domain, threshold float64, k int) []Result {
 			}
 		}
 	}
-	qids := make(map[uint32]struct{}, len(ids))
+	clear(s.qids)
 	for _, id := range ids {
 		if id != 0 {
-			qids[id] = struct{}{}
+			s.qids[id] = struct{}{}
 		}
 	}
-	return ix.query(ix.family.SignFingerprints(fps), qids, len(d.Values), threshold, k)
+	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
+	return ix.query(s.sig, s.qids, len(d.Values), threshold, k, s)
 }
 
 // query probes every partition with the query signature, then verifies the
 // candidates by exact token-ID intersection. qsize is |Q| (including tokens
 // outside the lake vocabulary, which count toward the denominator).
-func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize int, threshold float64, k int) []Result {
-	seen := make([]bool, len(ix.domains))
-	var candidates []int32
-	var keys []uint64
+func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize int, threshold float64, k int, s *queryScratch) []Result {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.seen {
+			s.seen[i] = 0
+		}
+		s.epoch = 1
+	}
+	candidates := s.cands[:0]
+	keys := s.keys
 	for pi := range ix.parts {
 		p := &ix.parts[pi]
 		if len(p.tables) == 0 {
@@ -357,13 +428,15 @@ func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize i
 		keys = bandKeys(qsig, bt.r, keys[:0])
 		for _, key := range keys {
 			for _, di := range bt.buckets[key] {
-				if !seen[di] {
-					seen[di] = true
+				if s.seen[di] != s.epoch {
+					s.seen[di] = s.epoch
 					candidates = append(candidates, di)
 				}
 			}
 		}
 	}
+	s.cands = candidates
+	s.keys = keys
 	var results []Result
 	for _, di := range candidates {
 		d := &ix.domains[di]

@@ -101,14 +101,42 @@ func (f *Family) Sign(set []string) Signature {
 // fingerprints, skipping the per-member FNV pass. Sign(set) is exactly
 // SignFingerprints(Fingerprints(set)).
 func (f *Family) SignFingerprints(fps []uint64) Signature {
-	sig := make(Signature, f.k)
+	return f.SignFingerprintsInto(fps, nil)
+}
+
+// SignFingerprintsInto is SignFingerprints writing into dst (reused when it
+// has capacity, discarding its previous contents), the allocation-free form
+// query-scratch pools and index builds use.
+//
+// The inner loop is mulmod with the loop-invariant reductions hoisted: the
+// fingerprint is reduced modulo 2^61-1 once per member instead of once per
+// hash function, and the b_i are already below the modulus by construction
+// (NewFamily draws them from [0, p)). Bit-identical to calling mulmod per
+// (member, hash) pair — pinned by TestSignMatchesMulmod.
+func (f *Family) SignFingerprintsInto(fps []uint64, dst Signature) Signature {
+	sig := dst
+	if cap(sig) < f.k {
+		sig = make(Signature, f.k)
+	}
+	sig = sig[:f.k]
 	for i := range sig {
 		sig[i] = ^uint64(0)
 	}
+	a, b := f.a, f.b
 	for _, fp := range fps {
+		x := fp % mersennePrime
 		for i := 0; i < f.k; i++ {
-			if h := mulmod(f.a[i], fp, f.b[i]); h < sig[i] {
-				sig[i] = h
+			hi, lo := bits.Mul64(a[i], x)
+			v := (hi<<3 | lo>>61) + (lo & mersennePrime)
+			for v >= mersennePrime {
+				v -= mersennePrime
+			}
+			v += b[i]
+			if v >= mersennePrime {
+				v -= mersennePrime
+			}
+			if v < sig[i] {
+				sig[i] = v
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package minhash
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -174,5 +175,35 @@ func TestMulmodInRange(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSignMatchesMulmod pins the hoisted-reduction signing loop to the
+// generic mulmod definition: signatures must be bit-identical to the naive
+// per-(member, hash) mulmod evaluation.
+func TestSignMatchesMulmod(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := NewFamily(96, 7)
+	fps := make([]uint64, 300)
+	for i := range fps {
+		fps[i] = rng.Uint64() // includes values at and above the modulus
+	}
+	fps = append(fps, 0, mersennePrime-1, mersennePrime, mersennePrime+1, ^uint64(0))
+	got := f.SignFingerprints(fps)
+	want := make(Signature, f.k)
+	for i := range want {
+		want[i] = ^uint64(0)
+	}
+	for _, fp := range fps {
+		for i := 0; i < f.k; i++ {
+			if h := mulmod(f.a[i], fp, f.b[i]); h < want[i] {
+				want[i] = h
+			}
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("component %d: got %d, want %d", i, got[i], want[i])
+		}
 	}
 }

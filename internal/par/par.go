@@ -43,8 +43,17 @@ func For(n int, fn func(i int)) {
 }
 
 // Do runs the given functions concurrently and returns when all have
-// finished.
+// finished. On a single-CPU machine (GOMAXPROCS=1) concurrency cannot help
+// independent CPU-bound work, so the functions run sequentially instead of
+// paying goroutine and scheduling overhead; callers must not rely on the
+// functions making progress concurrently.
 func Do(fns ...func()) {
+	if len(fns) <= 1 || runtime.GOMAXPROCS(0) <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	for _, fn := range fns {
 		wg.Add(1)

@@ -180,6 +180,73 @@ func TestCrossCheckDemoLake(t *testing.T) {
 	}
 }
 
+// TestCrossCheckMixedKindLakes builds randomized lakes whose textual
+// columns carry a minority of numeric/bool cells — exercising the compiled
+// path's rendered-string dedupe (cross-kind collisions like the string "12"
+// versus the int 12 must collapse exactly as DistinctStrings collapses
+// them) — plus demo-KB alias spellings, whose distinct raw forms must keep
+// voting separately. Both the detached annotator (santos.Build) and a
+// dict-backed annotator mimicking the lake cache are checked.
+func TestCrossCheckMixedKindLakes(t *testing.T) {
+	know := kb.Demo()
+	for _, seed := range []int64{11, 12, 13} {
+		rng := rand.New(rand.NewSource(seed))
+		cities := []string{"Berlin", "berlin", "Boston", "Tokyo", "Lyon", "Madrid"}
+		countries := []string{"Germany", "USA", "U.S.A.", "United States", "Japan", "France", "Spain"}
+		mixed := []table.Value{
+			table.IntValue(12), table.StringValue("12"), table.FloatValue(3.5),
+			table.BoolValue(true), table.NullValue(), table.ProducedNull(),
+		}
+		mk := func(name string, rows int) *table.Table {
+			tb := table.New(name, "city", "country", "noise")
+			for r := 0; r < rows; r++ {
+				city := table.Value(table.StringValue(cities[rng.Intn(len(cities))]))
+				country := table.Value(table.StringValue(countries[rng.Intn(len(countries))]))
+				// A minority of non-string cells keeps columns mostly
+				// textual while forcing the string-dedupe fallback.
+				if rng.Intn(4) == 0 {
+					city = mixed[rng.Intn(len(mixed))]
+				}
+				if rng.Intn(4) == 0 {
+					country = mixed[rng.Intn(len(mixed))]
+				}
+				tb.MustAddRow(city, country, mixed[rng.Intn(len(mixed))])
+			}
+			return tb
+		}
+		var lakeTables []*table.Table
+		for i := 0; i < 5+rng.Intn(5); i++ {
+			lakeTables = append(lakeTables, mk(fmt.Sprintf("m%02d", i), 6+rng.Intn(10)))
+		}
+		q := mk("query", 8)
+
+		dict := table.NewDict()
+		var buf []uint32
+		for _, tb := range lakeTables {
+			for _, row := range tb.Rows {
+				buf = dict.InternRow(row, buf)
+			}
+		}
+		indexes := map[string]*Index{
+			"detached": Build(lakeTables, know),
+			"dict":     BuildWithAnnotator(lakeTables, kb.NewAnnotator(know.Compiled(), dict)),
+		}
+		for variant, ix := range indexes {
+			for col := 0; col < q.NumCols(); col++ {
+				got, gerr := ix.Query(q, col, 0)
+				want, werr := refQuery(lakeTables, know, q, col, 0)
+				if (gerr == nil) != (werr == nil) {
+					t.Fatalf("%s seed=%d col=%d: error mismatch: %v vs %v", variant, seed, col, gerr, werr)
+				}
+				if gerr != nil {
+					continue
+				}
+				assertSameRanking(t, fmt.Sprintf("%s seed=%d col=%d", variant, seed, col), got, want)
+			}
+		}
+	}
+}
+
 // TestCrossCheckRandomizedLakes builds randomized two-column entity lakes,
 // synthesizes a KB from each (the SANTOS fallback), and asserts the
 // packed-edge index ranks identically to the string-keyed reference.

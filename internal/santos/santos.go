@@ -9,6 +9,13 @@
 // KB plays the role SANTOS assigns to YAGO, and a KB synthesized from the
 // lake itself covers domains without curated entries. The two are merged by
 // the caller (kb.Merge) or used individually.
+//
+// Annotation runs on the compiled KB (kb.Compile): cell values resolve to
+// integer annotation codes through a kb.Annotator — shared lake-wide when
+// built through lake.New, so each distinct lake value is canonicalized
+// exactly once — and column/pair votes run over dense type and label IDs
+// with pooled scratch, never re-walking the type hierarchy or building
+// string keys per row pair.
 package santos
 
 import (
@@ -21,56 +28,21 @@ import (
 	"repro/internal/table"
 )
 
-// symtab interns the relationship labels and semantic-type names edges are
-// built from into dense uint32 IDs, so edge identity is integer comparison
-// instead of string concatenation and hashing. One symtab is shared by a
-// SANTOS index's build-time and query-time annotation, keeping IDs — and
-// therefore packed edge keys — comparable across both. Safe for concurrent
-// use (tables annotate in parallel).
-type symtab struct {
-	mu  sync.RWMutex
-	ids map[string]uint32
-}
-
-func newSymtab() *symtab { return &symtab{ids: make(map[string]uint32)} }
-
-// intern returns the dense ID of s, assigning one on first sight. IDs stay
-// below 2^31 so packed edge keys keep the direction bit and the label/type
-// split collision-free; a lake would need billions of distinct labels or
-// types to trip the guard.
-func (st *symtab) intern(s string) uint32 {
-	st.mu.RLock()
-	id, ok := st.ids[s]
-	st.mu.RUnlock()
-	if ok {
-		return id
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if id, ok := st.ids[s]; ok {
-		return id
-	}
-	if uint64(len(st.ids)) >= 1<<31 {
-		panic("santos: symbol table full: more than 2^31 distinct labels/types")
-	}
-	id = uint32(len(st.ids))
-	st.ids[s] = id
-	return id
-}
-
 // edgeIn is the direction bit of a packed edge key: set for edges arriving
 // at the column, clear for edges leaving it.
 const edgeIn = uint64(1) << 63
 
-// edgeKey packs one relationship incident to a column, direction-normalized
-// — the far endpoint is identified by its semantic type only (column
-// positions are meaningless across lake tables). Layout: bit 63 is the
-// direction, bits 62..32 the label ID, bits 31..0 the other endpoint's type
-// ID. Distinct (direction, label, type) triples always pack to distinct
-// keys — unlike the string form "out:<label>:<type>", which could collide
-// on labels containing the delimiter.
-func edgeKey(st *symtab, in bool, label, otherType string) uint64 {
-	k := uint64(st.intern(label))<<32 | uint64(st.intern(otherType))
+// edgeKeyID packs one relationship incident to a column, direction-
+// normalized — the far endpoint is identified by its semantic type only
+// (column positions are meaningless across lake tables). Layout: bit 63 is
+// the direction, bits 62..32 the compiled label ID, bits 31..0 the other
+// endpoint's compiled type ID (kb.Compile guards both below 2^31). Distinct
+// (direction, label, type) triples always pack to distinct keys — unlike
+// the string form "out:<label>:<type>", which could collide on labels
+// containing the delimiter — and compiled IDs are deterministic, so keys
+// are stable across runs.
+func edgeKeyID(in bool, label, otherType uint32) uint64 {
+	k := uint64(label)<<32 | uint64(otherType)
 	if in {
 		k |= edgeIn
 	}
@@ -81,9 +53,10 @@ func edgeKey(st *symtab, in bool, label, otherType string) uint64 {
 // the column's incident relationship set as sorted, deduplicated packed
 // keys.
 type columnSemantics struct {
-	col   int
-	ann   kb.ColumnAnnotation
-	edges []uint64
+	col    int
+	ann    kb.ColumnAnnotation
+	typeID uint32
+	edges  []uint64
 }
 
 // tableSemantics is the semantic graph of one table.
@@ -95,22 +68,39 @@ type tableSemantics struct {
 // Index is an immutable SANTOS index over a data lake: every table's
 // semantic graph, precomputed offline as the demo's preprocessing step.
 type Index struct {
-	knowledge *kb.KB
-	syms      *symtab
-	tables    []tableSemantics
+	ann     *kb.Annotator
+	scratch sync.Pool // *kb.Scratch
+	tables  []tableSemantics
 }
 
-// Build annotates every lake table against the knowledge base. Tables
-// without any annotated column are indexed but can never match.
-// Annotation is per-table pure work over a read-only KB, so tables are
-// annotated in parallel; slot-indexed results keep the index order — and
-// therefore query results — identical to a sequential build. (Symbol IDs
-// are scheduling-dependent; edge comparison depends only on ID equality,
-// never ID order.)
+// Build annotates every lake table against the knowledge base through a
+// private annotation cache. Lake preprocessing uses BuildWithAnnotator to
+// share the lake-wide cache instead.
 func Build(lakeTables []*table.Table, knowledge *kb.KB) *Index {
-	ix := &Index{knowledge: knowledge, syms: newSymtab(), tables: make([]tableSemantics, len(lakeTables))}
+	if knowledge == nil {
+		knowledge = kb.New()
+	}
+	return BuildWithAnnotator(lakeTables, kb.NewAnnotator(knowledge.Compiled(), nil))
+}
+
+// BuildWithAnnotator annotates every lake table through the given
+// annotation cache (the lake's dict-backed cache, when built through
+// lake.New). Tables without any annotated column are indexed but can never
+// match. Annotation is per-table pure work over the immutable compiled KB,
+// so tables are annotated in parallel; slot-indexed results keep the index
+// order — and therefore query results — identical to a sequential build.
+//
+// The index snapshots the KB as compiled at build time: queries and the
+// indexed semantic graphs always share one KB state. Mutating the source
+// KB after Build does not affect this index (it never re-annotated the
+// indexed tables anyway); rebuild to pick up KB changes.
+func BuildWithAnnotator(lakeTables []*table.Table, ann *kb.Annotator) *Index {
+	ix := &Index{ann: ann, tables: make([]tableSemantics, len(lakeTables))}
+	ix.scratch.New = func() any { return ann.Compiled().NewScratch() }
 	par.For(len(lakeTables), func(i int) {
-		ix.tables[i] = annotate(lakeTables[i], knowledge, ix.syms)
+		s := ix.scratch.Get().(*kb.Scratch)
+		ix.tables[i] = annotate(lakeTables[i], ann, s)
+		ix.scratch.Put(s)
 	})
 	return ix
 }
@@ -118,29 +108,32 @@ func Build(lakeTables []*table.Table, knowledge *kb.KB) *Index {
 // NumTables reports how many tables are indexed.
 func (ix *Index) NumTables() int { return len(ix.tables) }
 
-// annotate computes the semantic graph of a table.
-func annotate(t *table.Table, knowledge *kb.KB, syms *symtab) tableSemantics {
+// annotate computes the semantic graph of a table over annotation codes.
+func annotate(t *table.Table, ann *kb.Annotator, s *kb.Scratch) tableSemantics {
+	ck := ann.Compiled()
 	ts := tableSemantics{t: t}
-	anns := make([]kb.ColumnAnnotation, t.NumCols())
-	textual := make([]bool, t.NumCols())
-	for c := 0; c < t.NumCols(); c++ {
-		if !kb.MostlyTextual(t, c) {
-			continue
+	nc := t.NumCols()
+	anns := make([]kb.ColumnAnnotation, nc)
+	typeIDs := make([]uint32, nc)
+	rowCodes := make([][]uint32, nc)
+	for c := 0; c < nc; c++ {
+		cc := ann.ColumnCodes(t, c, s)
+		if cc.Rows == nil {
+			continue // not mostly textual: no entity semantics
 		}
-		textual[c] = true
-		anns[c] = knowledge.AnnotateColumn(t.DistinctStrings(c))
+		rowCodes[c] = cc.Rows
+		anns[c], typeIDs[c] = ck.AnnotateColumnCodes(cc.Distinct, s)
 	}
 	edgesByCol := make(map[int][]uint64)
-	for a := 0; a < t.NumCols(); a++ {
-		if !textual[a] || anns[a].Type == "" {
+	for a := 0; a < nc; a++ {
+		if rowCodes[a] == nil || anns[a].Type == "" {
 			continue
 		}
-		for b := a + 1; b < t.NumCols(); b++ {
-			if !textual[b] || anns[b].Type == "" {
+		for b := a + 1; b < nc; b++ {
+			if rowCodes[b] == nil || anns[b].Type == "" {
 				continue
 			}
-			pairs := rowPairs(t, a, b)
-			pa := knowledge.AnnotateColumnPair(pairs)
+			pa, labelID := ck.AnnotatePairCodes(rowCodes[a], rowCodes[b], s)
 			if pa.Label == "" {
 				continue
 			}
@@ -150,15 +143,20 @@ func annotate(t *table.Table, knowledge *kb.KB, syms *symtab) tableSemantics {
 			if pa.Inverse {
 				from, to = b, a
 			}
-			edgesByCol[from] = append(edgesByCol[from], edgeKey(syms, false, pa.Label, anns[to].Type))
-			edgesByCol[to] = append(edgesByCol[to], edgeKey(syms, true, pa.Label, anns[from].Type))
+			edgesByCol[from] = append(edgesByCol[from], edgeKeyID(false, labelID, typeIDs[to]))
+			edgesByCol[to] = append(edgesByCol[to], edgeKeyID(true, labelID, typeIDs[from]))
 		}
 	}
-	for c := 0; c < t.NumCols(); c++ {
+	for c := 0; c < nc; c++ {
 		if anns[c].Type == "" {
 			continue
 		}
-		ts.cols = append(ts.cols, columnSemantics{col: c, ann: anns[c], edges: sortedUnique(edgesByCol[c])})
+		ts.cols = append(ts.cols, columnSemantics{
+			col:    c,
+			ann:    anns[c],
+			typeID: typeIDs[c],
+			edges:  sortedUnique(edgesByCol[c]),
+		})
 	}
 	return ts
 }
@@ -180,7 +178,8 @@ func sortedUnique(keys []uint64) []uint64 {
 }
 
 // rowPairs extracts row-aligned (a,b) string pairs where both cells are
-// non-null.
+// non-null. It is retained as part of the string reference path the
+// cross-check suite pins the compiled engine against.
 func rowPairs(t *table.Table, a, b int) [][2]string {
 	var out [][2]string
 	for _, row := range t.Rows {
@@ -196,7 +195,9 @@ func rowPairs(t *table.Table, a, b int) [][2]string {
 // the query and candidate column types differ but one subsumes the other.
 const supertypeDecay = 0.5
 
-// typeMatchScore scores how well candidate type ct matches query type qt.
+// typeMatchScore scores how well candidate type ct matches query type qt,
+// walking the string hierarchy. Reference implementation for the
+// cross-check suite; queries use typeMatchScoreID.
 func typeMatchScore(knowledge *kb.KB, qt, ct string) float64 {
 	if qt == ct {
 		return 1
@@ -210,6 +211,30 @@ func typeMatchScore(knowledge *kb.KB, qt, ct string) float64 {
 	}
 	w = 1.0
 	for _, anc := range knowledge.Ancestors(qt) {
+		w *= supertypeDecay
+		if anc == ct {
+			return w
+		}
+	}
+	return 0
+}
+
+// typeMatchScoreID is typeMatchScore over compiled type IDs (type IDs are
+// unique per type name, and compiled ancestor chains replicate the string
+// walk, so the score is identical).
+func typeMatchScoreID(ck *kb.Compiled, qt, ct uint32) float64 {
+	if qt == ct {
+		return 1
+	}
+	w := 1.0
+	for _, anc := range ck.AncestorIDs(ct) {
+		w *= supertypeDecay
+		if anc == qt {
+			return w
+		}
+	}
+	w = 1.0
+	for _, anc := range ck.AncestorIDs(qt) {
 		w *= supertypeDecay
 		if anc == ct {
 			return w
@@ -261,11 +286,21 @@ type Result struct {
 //
 // and a table scores the maximum over its columns. Tables scoring zero
 // (no type-compatible column) are omitted. k<=0 returns all matches.
+//
+// The query table is annotated through a transient scope of the index's
+// shared annotation cache: lake tables resolve entirely from cached codes,
+// while foreign query values are canonicalized per query and reclaimed, so
+// query traffic never grows the shared cache.
 func (ix *Index) Query(q *table.Table, intentCol int, k int) ([]Result, error) {
 	if intentCol < 0 || intentCol >= q.NumCols() {
 		return nil, fmt.Errorf("santos: intent column %d out of range for table %q with %d columns", intentCol, q.Name, q.NumCols())
 	}
-	qs := annotate(q, ix.knowledge, ix.syms)
+	// Query values resolve through a per-query scope: lake values hit the
+	// shared bounded cache, foreign query strings are reclaimed with the
+	// scope instead of accumulating in the lake-wide annotator.
+	s := ix.scratch.Get().(*kb.Scratch)
+	qs := annotate(q, ix.ann.QueryScope(), s)
+	ix.scratch.Put(s)
 	var qcs *columnSemantics
 	for i := range qs.cols {
 		if qs.cols[i].col == intentCol {
@@ -275,6 +310,7 @@ func (ix *Index) Query(q *table.Table, intentCol int, k int) ([]Result, error) {
 	if qcs == nil {
 		return nil, fmt.Errorf("santos: intent column %d of table %q has no semantic annotation (textual KB-covered column required)", intentCol, q.Name)
 	}
+	ck := ix.ann.Compiled()
 	var results []Result
 	for i := range ix.tables {
 		cand := &ix.tables[i]
@@ -285,7 +321,7 @@ func (ix *Index) Query(q *table.Table, intentCol int, k int) ([]Result, error) {
 		bestCol := -1
 		for j := range cand.cols {
 			cc := &cand.cols[j]
-			tm := typeMatchScore(ix.knowledge, qcs.ann.Type, cc.ann.Type)
+			tm := typeMatchScoreID(ck, qcs.typeID, cc.typeID)
 			if tm == 0 {
 				continue
 			}

@@ -111,12 +111,11 @@ func TestSupertypeMatching(t *testing.T) {
 }
 
 func TestEdgeJaccard(t *testing.T) {
-	st := newSymtab()
 	a := sortedUnique([]uint64{
-		edgeKey(st, false, "locatedIn", "country"),
-		edgeKey(st, true, "capitalOf", "country"),
+		edgeKeyID(false, 0, 1),
+		edgeKeyID(true, 1, 1),
 	})
-	b := sortedUnique([]uint64{edgeKey(st, false, "locatedIn", "country")})
+	b := sortedUnique([]uint64{edgeKeyID(false, 0, 1)})
 	if got := edgeJaccard(a, b); got != 0.5 {
 		t.Errorf("edgeJaccard = %v, want 0.5", got)
 	}
@@ -129,25 +128,24 @@ func TestEdgeJaccard(t *testing.T) {
 }
 
 func TestEdgeKeyPacking(t *testing.T) {
-	st := newSymtab()
-	out := edgeKey(st, false, "locatedIn", "country")
-	in := edgeKey(st, true, "locatedIn", "country")
+	out := edgeKeyID(false, 3, 7)
+	in := edgeKeyID(true, 3, 7)
 	if out == in {
 		t.Error("direction must distinguish edge keys")
 	}
-	if edgeKey(st, false, "locatedIn", "country") != out {
+	if edgeKeyID(false, 3, 7) != out {
 		t.Error("edge keys must be stable across calls")
 	}
-	if edgeKey(st, false, "locatedIn", "city") == out {
+	if edgeKeyID(false, 3, 8) == out {
 		t.Error("other-endpoint type must distinguish edge keys")
 	}
-	if edgeKey(st, false, "capitalOf", "country") == out {
+	if edgeKeyID(false, 4, 7) == out {
 		t.Error("label must distinguish edge keys")
 	}
-	// The delimiter ambiguity of the old string keys ("a:b"+"c" vs
-	// "a"+"b:c") cannot collide in the packed form.
-	if edgeKey(st, false, "a:b", "c") == edgeKey(st, false, "a", "b:c") {
-		t.Error("packed keys must not inherit string-delimiter collisions")
+	// Distinct (label, type) ID pairs can never collide in the packed form,
+	// unlike the old delimiter-joined string keys.
+	if edgeKeyID(false, 1, 2) == edgeKeyID(false, 2, 1) {
+		t.Error("packed keys must not collide across the label/type split")
 	}
 	// sortedUnique canonicalizes: duplicates collapse, order ascending.
 	ks := sortedUnique([]uint64{out, in, out})

@@ -12,12 +12,15 @@ import (
 
 // Normalize lowercases s, maps punctuation to spaces, and collapses runs of
 // whitespace, yielding the canonical form used throughout discovery and ER.
-// "J&J" normalizes to "j j", "United  States" to "united states".
+// "J&J" normalizes to "j j", "United  States" to "united states". Runes are
+// lowered one at a time (the same per-rune mapping strings.ToLower applies),
+// so no intermediate lowered string is allocated on this hot path.
 func Normalize(s string) string {
 	var b strings.Builder
 	b.Grow(len(s))
 	lastSpace := true
-	for _, r := range strings.ToLower(s) {
+	for _, r := range s {
+		r = unicode.ToLower(r)
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
 			b.WriteRune(r)
 			lastSpace = false
