@@ -270,6 +270,78 @@ func BenchmarkLakeBuildStages(b *testing.B) {
 	b.ReportMetric(float64(sum.Josie.Nanoseconds())/n, "josie-ns/op")
 }
 
+// mutationFixture builds the 360-table X3 lake plus one extra table (a
+// renamed clone of a family partition, so its domains overlap the lake) for
+// the incremental-maintenance benchmarks.
+func mutationFixture(b *testing.B) (*lake.Lake, *table.Table) {
+	b.Helper()
+	sl := experiments.JoinSearchLake(17)
+	l, err := lake.New(sl.Tables, lake.Options{Knowledge: kb.Demo()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := sl.Tables[0]
+	extra := table.New("bench_extra", src.Columns...)
+	extra.Rows = src.Rows
+	return l, extra
+}
+
+// BenchmarkLakeAdd measures adding one table to the 360-table lake with
+// incremental index maintenance — the serving-path alternative to the full
+// rebuild measured by BenchmarkLakeRebuild (and the per-table amortized
+// cost of BenchmarkLakeBuild).
+func BenchmarkLakeAdd(b *testing.B) {
+	l, extra := mutationFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Add(extra); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := l.Remove(extra.Name); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkLakeRemove measures removing one table from the 360-table lake
+// (SANTOS eviction, LSH re-shard, JOSIE tombstoning, catalog rebuild).
+func BenchmarkLakeRemove(b *testing.B) {
+	l, extra := mutationFixture(b)
+	if err := l.Add(extra); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Remove(extra.Name); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := l.Add(extra); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkLakeRebuild is the baseline BenchmarkLakeAdd displaces: reaching
+// the same 361-table state via a from-scratch lake.New — what adding one
+// table cost before the lake was mutable.
+func BenchmarkLakeRebuild(b *testing.B) {
+	sl := experiments.JoinSearchLake(17)
+	src := sl.Tables[0]
+	extra := table.New("bench_extra", src.Columns...)
+	extra.Rows = src.Rows
+	all := append(append([]*table.Table(nil), sl.Tables...), extra)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lake.New(all, lake.Options{Knowledge: kb.Demo()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkKBAnnotate isolates the SANTOS annotation engine: the compiled
 // integer-ID vote path (entity codes resolved through the annotation cache,
 // flattened vote programs, packed relation keys) against the retained

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K]
+//	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K] [-grow DIR] [-drop t1,t2]
 //	dialite integrate -lake DIR -tables a,b,c [-op alite-fd|outer-join|inner-join|union] [-prov]
 //	dialite pipeline  -lake DIR -query Q.csv -col N [-op OP] [-prov]
 //	dialite analyze   -table T.csv -corr colA,colB | -groupby key,val,agg | -profile
@@ -81,6 +81,33 @@ func newPipeline(lakeDir string, synthKB bool) (*core.Pipeline, error) {
 	return core.FromDir(lakeDir, core.Config{Knowledge: kb.Demo(), SynthesizeKB: synthKB})
 }
 
+// mutateLake applies the -grow / -drop lake mutations: growDir's CSVs are
+// added to the already-built lake incrementally (no index rebuild), and the
+// drop list is removed — the CLI face of lake.Lake.Add / Remove.
+func mutateLake(p *core.Pipeline, growDir, drop string) error {
+	if growDir != "" {
+		tables, err := table.LoadDir(growDir)
+		if err != nil {
+			return err
+		}
+		if err := p.AddTables(tables...); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "added %d tables from %s (lake now %d tables)\n", len(tables), growDir, p.Lake().Size())
+	}
+	if drop != "" {
+		names := strings.Split(drop, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		if err := p.RemoveTables(names...); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "removed %d tables (lake now %d tables)\n", len(names), p.Lake().Size())
+	}
+	return nil
+}
+
 func cmdDiscover(args []string) error {
 	fs := flag.NewFlagSet("discover", flag.ExitOnError)
 	lakeDir := fs.String("lake", "", "directory of lake CSVs")
@@ -89,11 +116,16 @@ func cmdDiscover(args []string) error {
 	methods := fs.String("methods", "", "comma-separated discovery methods (default santos-union,lsh-join)")
 	k := fs.Int("k", 10, "results per method")
 	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
+	growDir := fs.String("grow", "", "directory of CSVs to add to the lake incrementally after the build")
+	drop := fs.String("drop", "", "comma-separated table names to remove from the lake before querying")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	p, err := newPipeline(*lakeDir, *synthKB)
 	if err != nil {
+		return err
+	}
+	if err := mutateLake(p, *growDir, *drop); err != nil {
 		return err
 	}
 	q, err := table.ReadCSVFile(*queryPath)

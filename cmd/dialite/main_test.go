@@ -172,3 +172,30 @@ func TestParseAgg(t *testing.T) {
 		t.Error("unknown aggregate must error")
 	}
 }
+
+func TestCmdDiscoverGrowDrop(t *testing.T) {
+	lakeDir, queryPath := writeDemoLake(t)
+	// A second directory to grow the lake from, containing a T1-overlapping
+	// table, plus dropping T3 — the incremental-mutation CLI path.
+	growDir := filepath.Join(t.TempDir(), "grow")
+	extra := table.New("T9", "City", "Cases")
+	extra.MustAddRow(table.StringValue("Berlin"), table.IntValue(10))
+	extra.MustAddRow(table.StringValue("Manchester"), table.IntValue(20))
+	if err := extra.WriteCSVFile(filepath.Join(growDir, "T9.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-grow", growDir, "-drop", "T3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Errors propagate: growing with a duplicate name, dropping an unknown.
+	dupDir := filepath.Join(t.TempDir(), "dup")
+	if err := paperdata.T2().WriteCSVFile(filepath.Join(dupDir, "T2.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-grow", dupDir}); err == nil {
+		t.Error("growing a duplicate table must error")
+	}
+	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-drop", "nope"}); err == nil {
+		t.Error("dropping an unknown table must error")
+	}
+}

@@ -74,8 +74,30 @@ func FromDir(dir string, cfg Config) (*Pipeline, error) {
 	}, nil
 }
 
-// Lake exposes the preprocessed lake.
+// Lake exposes the preprocessed lake. The lake is mutable: AddTables and
+// RemoveTables (or lake.Add/Remove directly) maintain the discovery indexes
+// incrementally, and discovery queries may run concurrently with mutations.
 func (p *Pipeline) Lake() *lake.Lake { return p.lake }
+
+// AddTables incrementally indexes additional tables into the pipeline's
+// lake — all three discovery indexes absorb the delta without a rebuild,
+// and in-flight Discover calls keep running (lake.Lake.Add documents the
+// concurrency contract and KB semantics).
+func (p *Pipeline) AddTables(tables ...*table.Table) error {
+	if err := p.lake.Add(tables...); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// RemoveTables drops the named tables from the pipeline's lake and its
+// discovery indexes (lake.Lake.Remove documents the contract).
+func (p *Pipeline) RemoveTables(names ...string) error {
+	if err := p.lake.Remove(names...); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
 
 // Discoverers exposes the discovery registry for user extensions (Fig. 4).
 func (p *Pipeline) Discoverers() *discovery.Registry { return p.discoverers }
@@ -235,12 +257,11 @@ func (p *Pipeline) ResolveEntities(t *table.Table, opts er.Options) (*er.Resolut
 			// Resolving with the lake's own KB: share the lake-wide
 			// annotation cache, so cells that are lake values resolve
 			// without re-canonicalization — but only while the KB is
-			// unchanged since the lake was built (Compiled() is memoized
-			// per mutation, so pointer equality detects staleness). A
-			// mutated KB falls back to a fresh per-call cache over the
-			// recompiled engine, honoring the mutation as the string path
-			// always did.
-			if ann := p.lake.Annotator(); ann.Compiled() == opts.Knowledge.Compiled() {
+			// unchanged since the lake was built or last re-annotated
+			// (kb.Annotator.UpToDate). A mutated KB falls back to a fresh
+			// per-call cache over the recompiled engine, honoring the
+			// mutation as the string path always did.
+			if ann := p.lake.Annotator(); ann.UpToDate(opts.Knowledge) {
 				opts.Annotator = ann
 			}
 		}

@@ -284,3 +284,49 @@ func TestResolveEntitiesHonorsKBMutation(t *testing.T) {
 		t.Fatalf("after alias: %d clusters, want 1 (mutation must be honored)", len(res.Clusters))
 	}
 }
+
+func TestPipelineMutableLake(t *testing.T) {
+	p := demoPipeline(t)
+	extra := table.New("T9", "City", "Cases")
+	extra.MustAddRow(table.StringValue("Berlin"), table.IntValue(10))
+	extra.MustAddRow(table.StringValue("Manchester"), table.IntValue(20))
+	extra.MustAddRow(table.StringValue("Barcelona"), table.IntValue(30))
+	if err := p.AddTables(extra); err != nil {
+		t.Fatal(err)
+	}
+	if p.Lake().Size() != 3 {
+		t.Fatalf("lake size = %d after AddTables", p.Lake().Size())
+	}
+	// The added table is discoverable end to end through the pipeline.
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	resp, err := p.Discover(DiscoverRequest{Query: q, QueryColumn: city, Methods: []string{"lsh-join"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range resp.PerMethod["lsh-join"] {
+		found = found || r.Table.Name == "T9"
+	}
+	if !found {
+		t.Error("added table not discovered")
+	}
+	if err := p.RemoveTables("T9"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = p.Discover(DiscoverRequest{Query: q, QueryColumn: city, Methods: []string{"lsh-join"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resp.PerMethod["lsh-join"] {
+		if r.Table.Name == "T9" {
+			t.Error("removed table still discovered")
+		}
+	}
+	if err := p.RemoveTables("T9"); err == nil || !strings.Contains(err.Error(), "T9") {
+		t.Errorf("removing a removed table = %v", err)
+	}
+	if err := p.AddTables(table.New("")); err == nil {
+		t.Error("AddTables must propagate validation errors")
+	}
+}

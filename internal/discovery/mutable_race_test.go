@@ -1,0 +1,109 @@
+package discovery
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/lake"
+	"repro/internal/paperdata"
+	"repro/internal/table"
+)
+
+// churnTable fabricates a lake table over the demo KB's vocabulary so
+// SANTOS annotation and the joinable indexes all see it.
+func churnTable(name string) *table.Table {
+	t := table.New(name, "City", "Country")
+	t.MustAddRow(table.StringValue("Berlin"), table.StringValue("Germany"))
+	t.MustAddRow(table.StringValue("Tokyo"), table.StringValue("Japan"))
+	t.MustAddRow(table.StringValue("Boston"), table.StringValue("USA"))
+	return t
+}
+
+// TestDiscoverConcurrentWithLakeMutation runs the full multi-method
+// discovery fan-out while the lake churns underneath — the "query a live
+// lake mid-ingest" serving scenario. Run under -race in CI. Results of a
+// mid-churn query may reflect any prefix of the mutation stream; the test
+// asserts race-freedom and that every returned table is a real catalog
+// table, not a ghost of a removed one's index entry.
+func TestDiscoverConcurrentWithLakeMutation(t *testing.T) {
+	l, err := lake.New(paperdata.CovidLake(), lake.Options{Knowledge: kb.Demo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	q := paperdata.T1()
+	col := cityCol(t, q)
+	methods := []string{"santos-union", "lsh-join", "josie-join", "syntactic-union"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// A mid-churn query may see any prefix of the mutation
+				// stream; the assertions here are race-freedom (the run
+				// itself), no errors, and structural sanity. Exact results
+				// are checked after the churn settles.
+				_, set, err := Discover(reg, l, q, col, 0, methods)
+				if err != nil {
+					t.Errorf("mid-churn Discover: %v", err)
+					return
+				}
+				if len(set) == 0 || set[0] != q {
+					t.Error("integration set must lead with the query table")
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 30; round++ {
+		name := fmt.Sprintf("churn%02d", round)
+		if err := l.Add(churnTable(name)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		if round%7 == 6 {
+			l.Compact()
+		}
+		if err := l.Remove(name); err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// After the churn settles, discovery output must match the pre-churn
+	// lake exactly (all churn tables are gone).
+	fresh, err := lake.New(l.Tables(), lake.Options{Knowledge: kb.Demo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSet, err := Discover(reg, l, q, col, 0, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantSet, err := Discover(NewRegistry(), fresh, q, col, 0, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range methods {
+		if len(got[m]) != len(want[m]) {
+			t.Fatalf("method %s: %d results after churn, want %d", m, len(got[m]), len(want[m]))
+		}
+		for i := range got[m] {
+			if got[m][i].Table.Name != want[m][i].Table.Name || got[m][i].Score != want[m][i].Score {
+				t.Errorf("method %s result %d: got %s/%v, want %s/%v", m, i,
+					got[m][i].Table.Name, got[m][i].Score, want[m][i].Table.Name, want[m][i].Score)
+			}
+		}
+	}
+	if len(gotSet) != len(wantSet) {
+		t.Errorf("integration set size %d, want %d", len(gotSet), len(wantSet))
+	}
+}

@@ -1,0 +1,172 @@
+package josie
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// resultSig flattens ranked results into a comparable signature.
+func resultSig(rs []Result) string {
+	s := ""
+	for _, r := range rs {
+		s += fmt.Sprintf("%s|%d;", r.Set.Key(), r.Overlap)
+	}
+	return s
+}
+
+// liveSets collects the non-tombstoned sets of a mutated index, stripped of
+// build artifacts, in index order — the input a from-scratch Build over the
+// surviving state would receive.
+func liveSets(ix *Index) []Set {
+	var out []Set
+	for i := range ix.sets {
+		if !ix.dead[i] {
+			out = append(out, Set{Table: ix.sets[i].Table, Column: ix.sets[i].Column, Values: ix.sets[i].Values})
+		}
+	}
+	return out
+}
+
+// randomPool fabricates n sets over a small shared vocabulary so overlaps
+// are dense enough to exercise the prefix filter.
+func randomPool(rng *rand.Rand, n int) []Set {
+	pool := make([]Set, n)
+	for i := range pool {
+		size := 3 + rng.Intn(10)
+		seen := map[string]bool{}
+		var vals []string
+		for len(vals) < size {
+			v := fmt.Sprintf("tok%02d", rng.Intn(40))
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
+		}
+		pool[i] = Set{Table: fmt.Sprintf("t%02d", i), Column: rng.Intn(2), Values: vals}
+	}
+	return pool
+}
+
+// TestMutationMatchesRebuild drives randomized Add/Remove/Compact schedules
+// and pins every TopK answer to a from-scratch Build over the live sets.
+func TestMutationMatchesRebuild(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pool := randomPool(rng, 12)
+		inLake := make([]bool, len(pool))
+		start := 1 + rng.Intn(6)
+		var initial []Set
+		for i := 0; i < start; i++ {
+			initial = append(initial, pool[i])
+			inLake[i] = true
+		}
+		ix := Build(initial)
+		for op := 0; op < 10; op++ {
+			var out, in []int
+			for i, ok := range inLake {
+				if ok {
+					in = append(in, i)
+				} else {
+					out = append(out, i)
+				}
+			}
+			switch c := rng.Intn(4); {
+			case c == 0 && len(out) > 0:
+				i := out[rng.Intn(len(out))]
+				ix.Add([]Set{pool[i]})
+				inLake[i] = true
+			case c == 1 && len(in) > 0:
+				i := in[rng.Intn(len(in))]
+				if got := ix.Remove([]string{pool[i].Table}); got != 1 {
+					t.Fatalf("seed %d: Remove(%s) = %d sets", seed, pool[i].Table, got)
+				}
+				inLake[i] = false
+			case c == 2:
+				ix.Compact()
+			}
+			fresh := Build(liveSets(ix))
+			for q := 0; q < 3; q++ {
+				query := pool[rng.Intn(len(pool))].Values
+				k := rng.Intn(4) // 0 = all
+				got, want := ix.TopK(query, k), fresh.TopK(query, k)
+				if resultSig(got) != resultSig(want) {
+					t.Fatalf("seed %d op %d: TopK diverged from rebuild\n got %s\nwant %s", seed, op, resultSig(got), resultSig(want))
+				}
+			}
+		}
+	}
+}
+
+func TestRemoveTombstonesAndCounts(t *testing.T) {
+	sets := []Set{
+		{Table: "A", Values: []string{"x", "y", "z"}},
+		{Table: "B", Values: []string{"x", "y"}},
+		{Table: "C", Values: []string{"x"}},
+	}
+	ix := Build(sets)
+	if n := ix.Remove([]string{"B", "nope"}); n != 1 {
+		t.Fatalf("Remove = %d, want 1", n)
+	}
+	if ix.NumSets() != 2 {
+		t.Errorf("NumSets = %d, want 2", ix.NumSets())
+	}
+	got := ix.TopK([]string{"x", "y"}, 0)
+	if resultSig(got) != "A[0]|2;C[0]|1;" {
+		t.Errorf("post-remove TopK = %s", resultSig(got))
+	}
+	// The tombstoned set's base postings are subtracted from frequency
+	// accounting, not just skipped at merge time.
+	if f := ix.liveFreq(ix.dict.Lookup("y")); f != 1 {
+		t.Errorf("liveFreq(y) = %d, want 1", f)
+	}
+}
+
+func TestAddRemoveReAdd(t *testing.T) {
+	ix := Build([]Set{{Table: "A", Values: []string{"x", "y"}}})
+	ix.Add([]Set{{Table: "B", Values: []string{"x", "q"}}})
+	ix.Remove([]string{"B"})
+	ix.Add([]Set{{Table: "B", Column: 0, Values: []string{"x", "r"}}})
+	got := ix.TopK([]string{"x", "q", "r"}, 0)
+	if resultSig(got) != "B[0]|2;A[0]|1;" {
+		t.Errorf("re-added table results = %s", resultSig(got))
+	}
+}
+
+func TestCompactFoldsDeltaAndTombstones(t *testing.T) {
+	ix := Build([]Set{{Table: "A", Values: []string{"x", "y"}}, {Table: "B", Values: []string{"y", "z"}}})
+	ix.Add([]Set{{Table: "C", Values: []string{"x", "z"}}})
+	ix.Remove([]string{"A"})
+	before := resultSig(ix.TopK([]string{"x", "y", "z"}, 0))
+	ix.Compact()
+	if ix.deltaPosts != 0 || ix.deadPosts != 0 || ix.deadCount != 0 || ix.delta != nil || ix.deadBase != nil {
+		t.Errorf("compaction left residue: delta=%d dead=%d", ix.deltaPosts, ix.deadPosts)
+	}
+	if ix.baseSets != len(ix.sets) || len(ix.sets) != 2 {
+		t.Errorf("compacted base = %d sets of %d", ix.baseSets, len(ix.sets))
+	}
+	if after := resultSig(ix.TopK([]string{"x", "y", "z"}, 0)); after != before {
+		t.Errorf("compaction changed results: %s -> %s", before, after)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	// Build a base big enough that the threshold math is exercised, then
+	// push the delta past a quarter of the base.
+	var base []Set
+	for i := 0; i < 40; i++ {
+		base = append(base, mkSet(fmt.Sprintf("base%02d", i), 40, i))
+	}
+	ix := Build(base)
+	if len(ix.posts) != 40*40 {
+		t.Fatalf("unexpected base size %d", len(ix.posts))
+	}
+	var added []Set
+	for i := 0; i < 12; i++ {
+		added = append(added, mkSet(fmt.Sprintf("new%02d", i), 40, i))
+	}
+	ix.Add(added) // 480 delta postings > 256 and > 1600/4
+	if ix.deltaPosts != 0 || ix.baseSets != len(ix.sets) {
+		t.Errorf("auto-compaction did not fire: deltaPosts=%d baseSets=%d sets=%d", ix.deltaPosts, ix.baseSets, len(ix.sets))
+	}
+}

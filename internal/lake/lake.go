@@ -5,10 +5,21 @@
 // annotation for SANTOS, MinHash/LSH for LSH Ensemble, an inverted index
 // for JOSIE-style search, and (optionally) a knowledge base synthesized
 // from the lake itself merged into the curated one.
+//
+// The lake is a living object: open-data portals churn daily, so Add and
+// Remove maintain all three discovery indexes incrementally instead of
+// rebuilding them — JOSIE grows a delta segment and tombstones beside its
+// CSR arena, the LSH Ensemble moves only the domains whose equi-depth
+// partition shifted, and SANTOS annotates or evicts per-table semantic
+// graphs. Every mutation leaves the lake query-equivalent to a fresh New
+// over the surviving tables (pinned by the differential harness in
+// differential_test.go). Mutations are exclusive with each other; queries
+// run concurrently with mutations — see the concurrency notes on Add.
 package lake
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/josie"
@@ -32,8 +43,14 @@ type Options struct {
 	LSH lshensemble.Options
 }
 
-// Lake is an immutable preprocessed table repository.
+// Lake is a preprocessed, mutable table repository. The catalog fields
+// (tables, byName, domains, domainIdx, annotator, santosIx, stats) are
+// guarded by mu: accessors take the read lock, Add/Remove/Compact the write
+// lock. The interners (dict, tokens) and each discovery index carry their
+// own synchronization, so queries against an index captured before a
+// mutation stay safe.
 type Lake struct {
+	mu        sync.RWMutex
 	tables    []*table.Table
 	byName    map[string]*table.Table
 	knowledge *kb.KB
@@ -52,7 +69,9 @@ type Lake struct {
 // dominates the build" is a measured claim rather than a profiling session.
 // The three index stages run concurrently; each duration is that stage's
 // own wall time, and their sum can exceed the build's wall time on
-// multi-core machines.
+// multi-core machines. Incremental mutations (Add, Remove) accumulate their
+// per-stage work into the same fields, so the stats always cover the total
+// preprocessing effort spent on the lake's current shape.
 type BuildStats struct {
 	// KBPrep covers KB synthesis/merging (when enabled) plus compiling the
 	// knowledge base into its integer-ID annotation engine.
@@ -168,6 +187,186 @@ func FromDir(dir string, opts Options) (*Lake, error) {
 	return New(tables, opts)
 }
 
+// Add incrementally indexes additional tables into the lake, maintaining
+// all three discovery indexes without a rebuild: the new tables' cells and
+// domain tokens intern into the shared dictionaries and their domains are
+// extracted exactly as New does (one worker per table, MinHash fingerprints
+// computed once), then the SANTOS, LSH Ensemble and JOSIE indexes absorb
+// the delta concurrently. After Add returns, every discovery query is
+// answered identically to a fresh New over the enlarged table set.
+//
+// Validation is atomic: a nil table, an empty or duplicate name (against
+// the lake or within the batch) rejects the whole batch before anything is
+// indexed.
+//
+// Concurrency contract: mutations (Add, Remove, Compact) are exclusive with
+// each other; discovery queries may run concurrently with a mutation. Each
+// index applies its delta atomically with respect to its own queries, but a
+// multi-index query running mid-mutation may observe the lake between index
+// updates (e.g. a table already visible to JOSIE but not yet to SANTOS);
+// queries issued after Add returns see the delta everywhere.
+//
+// KB semantics: the added tables are annotated against the knowledge base
+// as compiled now. If the KB has been mutated since the lake was built (or
+// last re-annotated), compiled type IDs are incomparable across snapshots,
+// so Add refreshes the lake-wide annotator and re-annotates the SANTOS
+// index in full — still without re-extracting or re-signing any domain. A
+// KB synthesized at build time (Options.SynthesizeKB) is not re-synthesized
+// for added tables; rebuild the lake to fold new tables into the synthesis.
+func (l *Lake) Add(tables ...*table.Table) error {
+	if len(tables) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	batch := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		if t == nil {
+			return fmt.Errorf("lake: add: nil table")
+		}
+		if t.Name == "" {
+			return fmt.Errorf("lake: add: table with empty name")
+		}
+		if _, dup := l.byName[t.Name]; dup || batch[t.Name] {
+			return fmt.Errorf("lake: add: duplicate table name %q", t.Name)
+		}
+		batch[t.Name] = true
+	}
+	// A KB mutated since the last (re-)annotation invalidates every
+	// compiled ID in the SANTOS index; refresh the annotator and re-annotate
+	// the semantic graphs below (the KB-independent indexes are untouched).
+	staleKB := !l.annotator.UpToDate(l.knowledge)
+	if staleKB {
+		t0 := time.Now()
+		l.annotator = kb.NewAnnotator(l.knowledge.Compiled(), l.dict)
+		l.stats.KBPrep += time.Since(t0)
+	}
+	t0 := time.Now()
+	newDomains := extractDomains(tables, l.dict, l.tokens)
+	l.stats.DomainExtraction += time.Since(t0)
+	for _, t := range tables {
+		l.byName[t.Name] = t
+		l.tables = append(l.tables, t)
+	}
+	base := len(l.domains)
+	l.domains = append(l.domains, newDomains...)
+	for i := range newDomains {
+		l.domainIdx[colRef{newDomains[i].Table, newDomains[i].Column}] = base + i
+	}
+	par.Do(
+		func() {
+			t := time.Now()
+			if staleKB {
+				l.santosIx = santos.BuildWithAnnotator(l.tables, l.annotator)
+			} else {
+				l.santosIx.Add(tables)
+			}
+			l.stats.Santos += time.Since(t)
+		},
+		func() {
+			t := time.Now()
+			l.joinIx.Add(newDomains)
+			l.stats.LSH += time.Since(t)
+		},
+		func() {
+			t := time.Now()
+			sets := make([]josie.Set, len(newDomains))
+			for i, d := range newDomains {
+				sets[i] = josie.Set{Table: d.Table, Column: d.Column, ColumnName: d.ColumnName, Values: d.Values, IDs: d.IDs}
+			}
+			l.josieIx.Add(sets)
+			l.stats.Josie += time.Since(t)
+		},
+	)
+	return nil
+}
+
+// Remove drops the named tables from the lake and from all three discovery
+// indexes: SANTOS evicts their semantic graphs, the LSH Ensemble re-shards
+// their domains out of the equi-depth partitioning, and JOSIE tombstones
+// their sets (folded away by the next compaction). After Remove returns,
+// every discovery query is answered identically to a fresh New over the
+// surviving tables, Get reports the removed names as absent (ok=false), and
+// DomainFor returns nil for their columns. Interned values and tokens stay
+// in the shared dictionaries by design (interners are append-only); they
+// can no longer match any indexed domain.
+//
+// Validation is atomic: an unknown name rejects the whole batch before
+// anything is dropped (duplicate names within the batch are tolerated).
+// Remove follows Add's concurrency contract.
+func (l *Lake) Remove(names ...string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	doomed := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := l.byName[n]; !ok {
+			return fmt.Errorf("lake: remove: no table %q", n)
+		}
+		doomed[n] = true
+	}
+	// New slices rather than in-place filtering: accessors hand the old
+	// backing arrays to concurrent readers, which must keep seeing the
+	// pre-removal state rather than shifted elements.
+	kept := make([]*table.Table, 0, len(l.tables)-len(doomed))
+	for _, t := range l.tables {
+		if !doomed[t.Name] {
+			kept = append(kept, t)
+		}
+	}
+	l.tables = kept
+	for n := range doomed {
+		delete(l.byName, n)
+	}
+	keptDomains := make([]lshensemble.Domain, 0, len(l.domains))
+	for i := range l.domains {
+		if !doomed[l.domains[i].Table] {
+			keptDomains = append(keptDomains, l.domains[i])
+		}
+	}
+	l.domains = keptDomains
+	l.domainIdx = make(map[colRef]int, len(l.domains))
+	for i, d := range l.domains {
+		l.domainIdx[colRef{d.Table, d.Column}] = i
+	}
+	nameList := make([]string, 0, len(doomed))
+	for n := range doomed {
+		nameList = append(nameList, n)
+	}
+	par.Do(
+		func() {
+			t := time.Now()
+			l.santosIx.Remove(nameList)
+			l.stats.Santos += time.Since(t)
+		},
+		func() {
+			t := time.Now()
+			l.joinIx.Remove(nameList)
+			l.stats.LSH += time.Since(t)
+		},
+		func() {
+			t := time.Now()
+			l.josieIx.Remove(nameList)
+			l.stats.Josie += time.Since(t)
+		},
+	)
+	return nil
+}
+
+// Compact folds accumulated mutation debt out of the discovery indexes:
+// JOSIE merges its delta segment and tombstones back into a dense CSR
+// arena, and the LSH Ensemble drops dead domain slots. Both happen
+// automatically past internal thresholds; Compact forces them (e.g. after a
+// bulk removal, or before a latency-sensitive query burst). Query results
+// are unaffected. Compact follows Add's concurrency contract.
+func (l *Lake) Compact() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	par.Do(l.joinIx.Compact, l.josieIx.Compact)
+}
+
 // extractDomains pulls the normalized value set of every textual column,
 // one worker per table, interning every cell into dict and every domain
 // member into tokens along the way. Per-table results land in slot order,
@@ -248,17 +447,31 @@ func columnValueSet(t *table.Table, c int) []string {
 	return out
 }
 
-// Tables returns the lake's tables in name order.
-func (l *Lake) Tables() []*table.Table { return l.tables }
+// Tables returns the lake's current tables: the build-time tables in input
+// order minus removals, with added tables appended in Add order. The
+// returned slice is a stable snapshot — later mutations never shift its
+// elements.
+func (l *Lake) Tables() []*table.Table {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tables
+}
 
-// Get returns a table by name.
+// Get returns a table by name. After Remove(name), ok is false: removed
+// tables are absent from the catalog, not merely unreachable.
 func (l *Lake) Get(name string) (*table.Table, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	t, ok := l.byName[name]
 	return t, ok
 }
 
-// Size reports the number of tables.
-func (l *Lake) Size() int { return len(l.tables) }
+// Size reports the current number of tables.
+func (l *Lake) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.tables)
+}
 
 // Knowledge returns the (possibly merged) knowledge base the lake was
 // annotated with.
@@ -266,11 +479,22 @@ func (l *Lake) Knowledge() *kb.KB { return l.knowledge }
 
 // Annotator returns the lake-wide KB annotation cache: every distinct lake
 // value's canonical entity is resolved at most once, and SANTOS queries and
-// entity resolution over lake-derived tables share the cached codes.
-func (l *Lake) Annotator() *kb.Annotator { return l.annotator }
+// entity resolution over lake-derived tables share the cached codes. Add
+// replaces the annotator when it detects the KB was mutated, so callers
+// should not cache it across lake mutations.
+func (l *Lake) Annotator() *kb.Annotator {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.annotator
+}
 
-// Stats returns the per-stage preprocessing timing breakdown.
-func (l *Lake) Stats() BuildStats { return l.stats }
+// Stats returns the per-stage preprocessing timing breakdown, including
+// work accumulated by incremental mutations.
+func (l *Lake) Stats() BuildStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.stats
+}
 
 // Dict returns the lake-wide value dictionary: every cell of every lake
 // table is interned in it, and integration over this lake shares it so the
@@ -287,7 +511,12 @@ func (l *Lake) Tokens() *table.TokenDict { return l.tokens }
 // its cached token IDs and MinHash fingerprints — or nil when the column
 // produced no domain (non-textual or empty). Discovery uses it to skip
 // re-extraction and re-hashing when the query table is itself a lake table.
+// After Remove(tableName), every column of that table returns nil;
+// previously returned pointers stay readable but describe the removed
+// domain.
 func (l *Lake) DomainFor(tableName string, col int) *lshensemble.Domain {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	i, ok := l.domainIdx[colRef{tableName, col}]
 	if !ok {
 		return nil
@@ -295,18 +524,29 @@ func (l *Lake) DomainFor(tableName string, col int) *lshensemble.Domain {
 	return &l.domains[i]
 }
 
-// Santos returns the prebuilt semantic union-search index.
-func (l *Lake) Santos() *santos.Index { return l.santosIx }
+// Santos returns the semantic union-search index. Add may replace the
+// index (KB-mutation re-annotation), so capture it per query rather than
+// caching it across mutations.
+func (l *Lake) Santos() *santos.Index {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.santosIx
+}
 
-// Join returns the prebuilt LSH Ensemble containment index.
+// Join returns the LSH Ensemble containment index.
 func (l *Lake) Join() *lshensemble.Index { return l.joinIx }
 
-// Josie returns the prebuilt exact top-k overlap index.
+// Josie returns the exact top-k overlap index.
 func (l *Lake) Josie() *josie.Index { return l.josieIx }
 
-// Domains returns the extracted column domains (for baselines and
-// experiments).
-func (l *Lake) Domains() []lshensemble.Domain { return l.domains }
+// Domains returns the extracted column domains of the current tables (for
+// baselines and experiments). The returned slice is a stable snapshot —
+// later mutations never shift its elements.
+func (l *Lake) Domains() []lshensemble.Domain {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.domains
+}
 
 // QueryDomain extracts the normalized value set of a query table column,
 // using the same normalization as the lake's indexes.

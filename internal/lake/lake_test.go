@@ -1,7 +1,9 @@
 package lake
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/kb"
@@ -111,5 +113,68 @@ func TestQueryDomain(t *testing.T) {
 	}
 	if _, err := QueryDomain(q, 9); err == nil {
 		t.Error("out of range must error")
+	}
+}
+
+// TestFromDirErrorPaths covers the loading failures FromDir must surface:
+// an unreadable directory (a plain file in its place), malformed CSV
+// content, and duplicate table names from files whose base names collide
+// after extension stripping.
+func TestFromDirErrorPaths(t *testing.T) {
+	base := t.TempDir()
+
+	notADir := filepath.Join(base, "file.txt")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromDir(notADir, Options{}); err == nil {
+		t.Error("FromDir over a plain file must error")
+	}
+
+	malformed := filepath.Join(base, "malformed")
+	if err := os.Mkdir(malformed, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// An unterminated quote is a csv.Reader parse error.
+	if err := os.WriteFile(filepath.Join(malformed, "bad.csv"), []byte("a,b\n\"unterminated,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromDir(malformed, Options{}); err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("malformed CSV error = %v, want mention of the file", err)
+	}
+
+	empty := filepath.Join(base, "emptyfile")
+	if err := os.Mkdir(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(empty, "zero.csv"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromDir(empty, Options{}); err == nil {
+		t.Error("zero-byte CSV must error")
+	}
+
+	dup := filepath.Join(base, "dup")
+	if err := os.Mkdir(dup, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"t.csv", "t.CSV"} {
+		if err := os.WriteFile(filepath.Join(dup, name), []byte("City\nBerlin\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := FromDir(dup, Options{}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate table names error = %v", err)
+	}
+
+	if os.Geteuid() != 0 {
+		locked := filepath.Join(base, "locked")
+		if err := os.Mkdir(locked, 0o000); err != nil {
+			t.Fatal(err)
+		}
+		defer os.Chmod(locked, 0o755)
+		if _, err := FromDir(locked, Options{}); err == nil {
+			t.Error("unreadable dir must error")
+		}
 	}
 }

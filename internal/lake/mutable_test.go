@@ -1,0 +1,192 @@
+package lake
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/paperdata"
+	"repro/internal/table"
+)
+
+func cityTable(name string, cities ...string) *table.Table {
+	t := table.New(name, "City", "Cases")
+	for i, c := range cities {
+		t.MustAddRow(table.StringValue(c), table.IntValue(int64(100+i)))
+	}
+	return t
+}
+
+func TestAddIndexesNewTable(t *testing.T) {
+	l := demoLake(t)
+	extra := cityTable("T9", "Berlin", "Tokyo", "Boston")
+	if err := l.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 3 {
+		t.Fatalf("Size = %d", l.Size())
+	}
+	if got, ok := l.Get("T9"); !ok || got != extra {
+		t.Error("Get(T9) after Add")
+	}
+	if l.DomainFor("T9", 0) == nil {
+		t.Error("DomainFor(T9, 0) = nil after Add")
+	}
+	if l.Santos().NumTables() != 3 {
+		t.Errorf("santos tables = %d", l.Santos().NumTables())
+	}
+	// The new domain must be discoverable through all joinable paths.
+	if res := l.Josie().TopK([]string{"Berlin", "Tokyo"}, 0); len(res) == 0 {
+		t.Error("JOSIE cannot find added table")
+	} else {
+		found := false
+		for _, r := range res {
+			found = found || r.Set.Table == "T9"
+		}
+		if !found {
+			t.Error("JOSIE results missing T9")
+		}
+	}
+	if res := l.Join().Query([]string{"Berlin", "Tokyo", "Boston"}, 0.9, 0); len(res) == 0 {
+		t.Error("LSH cannot find added table")
+	}
+}
+
+func TestAddValidationIsAtomic(t *testing.T) {
+	l := demoLake(t)
+	good := cityTable("TNew", "Berlin")
+	cases := []struct {
+		batch []*table.Table
+		want  string
+	}{
+		{[]*table.Table{good, nil}, "nil table"},
+		{[]*table.Table{good, table.New("")}, "empty name"},
+		{[]*table.Table{good, cityTable("T2", "Berlin")}, "duplicate"},
+		{[]*table.Table{good, cityTable("TNew", "Berlin")}, "duplicate"},
+	}
+	for _, c := range cases {
+		err := l.Add(c.batch...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Add(%v) error = %v, want %q", c.batch, err, c.want)
+		}
+		// The valid prefix of the batch must not have been indexed.
+		if _, ok := l.Get("TNew"); ok {
+			t.Fatal("failed Add left a batch table in the lake")
+		}
+		if l.Size() != 2 {
+			t.Fatalf("failed Add changed lake size to %d", l.Size())
+		}
+	}
+	if err := l.Add(); err != nil {
+		t.Errorf("empty Add = %v", err)
+	}
+}
+
+func TestRemoveContract(t *testing.T) {
+	l := demoLake(t)
+	if err := l.Remove("T2", "nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Remove with unknown name = %v", err)
+	}
+	if l.Size() != 2 {
+		t.Fatal("failed Remove mutated the lake")
+	}
+	if err := l.Remove("T2", "T2"); err != nil { // duplicates tolerated
+		t.Fatal(err)
+	}
+	// The post-removal contract: absent from the catalog, nil domains.
+	if _, ok := l.Get("T2"); ok {
+		t.Error("Get(T2) ok after Remove")
+	}
+	for c := 0; c < 3; c++ {
+		if l.DomainFor("T2", c) != nil {
+			t.Errorf("DomainFor(T2, %d) != nil after Remove", c)
+		}
+	}
+	if l.Size() != 1 || len(l.Tables()) != 1 {
+		t.Errorf("Size = %d after Remove", l.Size())
+	}
+	for _, d := range l.Domains() {
+		if d.Table == "T2" {
+			t.Error("Domains() still lists removed table")
+		}
+	}
+	if l.Santos().NumTables() != 1 {
+		t.Errorf("santos tables = %d", l.Santos().NumTables())
+	}
+	// Remove everything: an empty lake is valid and re-addable.
+	if err := l.Remove("T3"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("Size = %d", l.Size())
+	}
+	if err := l.Add(paperdata.CovidLake()...); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 2 || l.Santos().NumTables() != 2 {
+		t.Error("re-adding into an emptied lake failed")
+	}
+}
+
+// TestStatsAccumulateAcrossMutations pins the telemetry contract: mutation
+// work lands in the same per-stage fields the build populated.
+func TestStatsAccumulateAcrossMutations(t *testing.T) {
+	l := demoLake(t)
+	before := l.Stats()
+	if err := l.Add(cityTable("T9", "Berlin", "Lyon")); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.DomainExtraction < before.DomainExtraction || after.Josie < before.Josie ||
+		after.LSH < before.LSH || after.Santos < before.Santos {
+		t.Errorf("mutation stats regressed: %+v -> %+v", before, after)
+	}
+}
+
+// TestAddAfterKBMutation pins the staleness guard: mutating the KB between
+// build and Add must refresh the lake annotator and re-annotate SANTOS, so
+// the grown lake answers exactly like a fresh build over the current KB.
+func TestAddAfterKBMutation(t *testing.T) {
+	knowledge := kb.Demo()
+	l, err := New(paperdata.CovidLake(), Options{Knowledge: knowledge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldAnn := l.Annotator()
+	// Teach the KB a new city; the lake's annotator snapshot predates it.
+	knowledge.AddEntity("atlantis", "City")
+	if oldAnn.UpToDate(knowledge) {
+		t.Fatal("annotator unexpectedly current after KB mutation")
+	}
+	extra := cityTable("T9", "Atlantis", "Berlin")
+	if err := l.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	if l.Annotator() == oldAnn || !l.Annotator().UpToDate(knowledge) {
+		t.Fatal("Add did not refresh the stale annotator")
+	}
+	// The grown lake must agree with a from-scratch build over the mutated
+	// KB — including annotations of the pre-existing tables, which were
+	// re-annotated rather than left as an incomparable old-ID snapshot.
+	fresh, err := New(l.Tables(), Options{Knowledge: knowledge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	got, err1 := l.Santos().Query(q, city, 0)
+	want, err2 := fresh.Santos().Query(q, city, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-mutation results: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Table.Name != want[i].Table.Name || got[i].Score != want[i].Score || got[i].MatchedColumn != want[i].MatchedColumn {
+			t.Errorf("result %d: got %s/%v/%d, want %s/%v/%d", i,
+				got[i].Table.Name, got[i].Score, got[i].MatchedColumn,
+				want[i].Table.Name, want[i].Score, want[i].MatchedColumn)
+		}
+	}
+}

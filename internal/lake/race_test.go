@@ -1,0 +1,81 @@
+// race_test.go exercises the mutable lake's concurrency contract under the
+// race detector (CI runs this package with -race): mutations are exclusive
+// with each other, while discovery queries and catalog accessors run
+// concurrently with them mid-churn.
+package lake_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/lake"
+	"repro/internal/table"
+)
+
+func TestQueriesConcurrentWithMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pool := make([]*table.Table, 16)
+	for i := range pool {
+		pool[i] = diffTable(rng, fmt.Sprintf("r%02d", i))
+	}
+	opts := lake.Options{Knowledge: diffKB()}
+	l, err := lake.New(pool[:8], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A foreign query table: never added, so query-side extraction and
+	// SANTOS query annotation run while the lake churns underneath.
+	foreign := diffTable(rng, "foreign")
+	const rounds = 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				vals := foreign.DistinctStrings(0)
+				l.Josie().TopK(vals, 5)
+				l.Join().Query(vals, 0.4, 0)
+				if _, err := l.Santos().Query(foreign, 0, 0); err != nil {
+					t.Errorf("worker %d: santos: %v", w, err)
+					return
+				}
+				l.Get("r03")
+				l.DomainFor("r03", 0)
+				l.Tables()
+				l.Domains()
+				l.Size()
+				l.Stats()
+			}
+		}(w)
+	}
+	// The mutator: churn the second half of the pool in and out, with
+	// periodic compaction.
+	for round := 0; round < rounds; round++ {
+		batch := pool[8+round%8]
+		if err := l.Add(batch); err != nil {
+			t.Errorf("Add: %v", err)
+			break
+		}
+		if round%5 == 4 {
+			l.Compact()
+		}
+		if err := l.Remove(batch.Name); err != nil {
+			t.Errorf("Remove: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if l.Size() != 8 {
+		t.Errorf("post-churn size = %d", l.Size())
+	}
+}

@@ -105,13 +105,28 @@ type bandTable struct {
 	buckets map[uint64][]int32
 }
 
-// Index is an immutable LSH Ensemble built over a set of domains.
+// Index is an LSH Ensemble over a set of domains. Domains live in
+// slot-addressed arrays (domains/signatures/alive/partOf share indexing):
+// Add appends slots and Remove tombstones them, and the equi-depth
+// partitioning is maintained incrementally — after a mutation only the
+// slots whose partition assignment changed move between band tables, so the
+// index is at all times identical in query behavior to a fresh Build over
+// the live domains (partition boundaries, per-partition size bounds and
+// bucket membership all match; cached per-slot MinHash signatures make the
+// moves re-banding work, never re-signing work). Mutations take the write
+// lock, queries the read lock.
 type Index struct {
+	mu         sync.RWMutex
 	opts       Options
 	family     *minhash.Family
 	dict       *table.TokenDict
+	trustIDs   bool // precomputed Domain.IDs belong to dict (caller-supplied dict)
 	domains    []Domain
 	signatures []minhash.Signature
+	alive      []bool  // per slot: false once removed
+	partOf     []int32 // per slot: partition index, -1 when unassigned/dead
+	liveCount  int
+	order      []int // live slots sorted by (domain size, key): the equi-depth order
 	parts      []partition
 	scratch    sync.Pool // *queryScratch
 }
@@ -181,16 +196,19 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 		dict = table.NewTokenDict()
 	}
 	ix := &Index{
-		opts:    opts,
-		family:  minhash.NewFamily(opts.NumHashes, opts.Seed),
-		dict:    dict,
-		domains: append([]Domain(nil), domains...),
+		opts:      opts,
+		family:    minhash.NewFamily(opts.NumHashes, opts.Seed),
+		dict:      dict,
+		trustIDs:  trustIDs,
+		domains:   append([]Domain(nil), domains...),
+		alive:     make([]bool, len(domains)),
+		partOf:    make([]int32, len(domains)),
+		liveCount: len(domains),
 	}
 	ix.scratch.New = func() any {
 		return &queryScratch{
 			seenTok: make(map[string]struct{}),
 			qids:    make(map[uint32]struct{}),
-			seen:    make([]uint32, len(ix.domains)),
 		}
 	}
 	// Sign domains in parallel: each signature depends only on its own
@@ -213,34 +231,31 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 		}
 		slot := sigArena[i*opts.NumHashes : (i+1)*opts.NumHashes : (i+1)*opts.NumHashes]
 		ix.signatures[i] = ix.family.SignFingerprintsInto(d.Fingerprints, slot)
+		ix.alive[i] = true
+		ix.partOf[i] = -1
 	})
 	// Equi-depth partitioning by domain size.
-	order := make([]int, len(ix.domains))
-	for i := range order {
-		order[i] = i
+	ix.order = make([]int, len(ix.domains))
+	for i := range ix.order {
+		ix.order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		if la, lb := len(ix.domains[order[a]].Values), len(ix.domains[order[b]].Values); la != lb {
-			return la < lb
-		}
-		return ix.domains[order[a]].key < ix.domains[order[b]].key
+	sort.SliceStable(ix.order, func(a, b int) bool {
+		return ix.orderLess(ix.order[a], ix.order[b])
 	})
 	nparts := opts.NumPartitions
-	if nparts > len(order) && len(order) > 0 {
-		nparts = len(order)
+	if nparts > len(ix.order) {
+		nparts = len(ix.order)
 	}
 	// Partitions band independently; build them in parallel and collect in
 	// partition order, so the index layout stays deterministic.
-	parts := make([]partition, nparts)
+	ix.parts = make([]partition, nparts)
 	par.For(nparts, func(p int) {
-		lo := p * len(order) / nparts
-		hi := (p + 1) * len(order) / nparts
-		if lo >= hi {
-			return
-		}
+		lo := p * len(ix.order) / nparts
+		hi := (p + 1) * len(ix.order) / nparts
 		part := partition{}
-		for _, di := range order[lo:hi] {
+		for _, di := range ix.order[lo:hi] {
 			part.domains = append(part.domains, di)
+			ix.partOf[di] = int32(p)
 			if n := len(ix.domains[di].Values); n > part.upper {
 				part.upper = n
 			}
@@ -259,14 +274,242 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 			}
 			part.tables = append(part.tables, bt)
 		}
-		parts[p] = part
+		ix.parts[p] = part
 	})
-	for _, part := range parts {
-		if len(part.domains) > 0 {
-			ix.parts = append(ix.parts, part)
+	return ix
+}
+
+// orderLess is the equi-depth sort order: ascending domain size, ties
+// broken by key. Among live lake domains keys are unique, so this is a
+// strict total order and insertion position is well-defined.
+func (ix *Index) orderLess(a, b int) bool {
+	if la, lb := len(ix.domains[a].Values), len(ix.domains[b].Values); la != lb {
+		return la < lb
+	}
+	return ix.domains[a].key < ix.domains[b].key
+}
+
+// Add indexes additional domains: each one is signed from its cached
+// fingerprints (computed once at lake extraction; signing is the only
+// per-value work) and inserted into the equi-depth partitioning, moving the
+// handful of existing slots whose partition assignment shifted. Precomputed
+// Domain.IDs are trusted exactly when the index was built over a
+// caller-supplied dictionary, mirroring BuildWithDict. Add is exclusive
+// with queries and other mutations.
+func (ix *Index) Add(domains []Domain) {
+	if len(domains) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	newSlots := make([]int, 0, len(domains))
+	for _, d := range domains {
+		slot := len(ix.domains)
+		d.key = fmt.Sprintf("%s[%d]", d.Table, d.Column)
+		if d.IDs == nil || !ix.trustIDs {
+			d.IDs = ix.dict.InternAll(d.Values, nil)
+		}
+		if d.Fingerprints == nil {
+			d.Fingerprints = ix.dict.Fingerprints(d.IDs, nil)
+		}
+		ix.domains = append(ix.domains, d)
+		ix.signatures = append(ix.signatures, ix.family.SignFingerprintsInto(d.Fingerprints, nil))
+		ix.alive = append(ix.alive, true)
+		ix.partOf = append(ix.partOf, -1)
+		ix.liveCount++
+		newSlots = append(newSlots, slot)
+	}
+	// Merge the batch into the equi-depth order in one pass (sort the m new
+	// slots, then a single backward merge), instead of m copy-shifting
+	// insertions.
+	sort.SliceStable(newSlots, func(a, b int) bool { return ix.orderLess(newSlots[a], newSlots[b]) })
+	old := ix.order
+	ix.order = append(ix.order, newSlots...)
+	for i, o, n := len(ix.order)-1, len(old)-1, len(newSlots)-1; n >= 0; i-- {
+		if o >= 0 && ix.orderLess(newSlots[n], old[o]) {
+			ix.order[i] = old[o]
+			o--
+		} else {
+			ix.order[i] = newSlots[n]
+			n--
 		}
 	}
-	return ix
+	ix.reshard()
+}
+
+// Remove drops every domain belonging to one of the named tables and
+// reports how many domains died. Dead slots leave their band tables
+// immediately (they can never become candidates again) but their contents
+// are not zeroed, so Results handed out before the removal stay readable;
+// the slot arrays are compacted once dead slots outnumber live ones.
+// Remove is exclusive with queries and other mutations.
+func (ix *Index) Remove(tables []string) int {
+	if len(tables) == 0 {
+		return 0
+	}
+	doomed := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		doomed[t] = true
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	removed := 0
+	var dying []int
+	for slot := range ix.domains {
+		if !ix.alive[slot] || !doomed[ix.domains[slot].Table] {
+			continue
+		}
+		ix.alive[slot] = false
+		ix.liveCount--
+		removed++
+		dying = append(dying, slot)
+	}
+	if removed == 0 {
+		return 0
+	}
+	// Past the dead-slot threshold, compaction rebuilds the partitioning
+	// from scratch anyway — skip the incremental unband/reshard entirely.
+	if dead := len(ix.domains) - ix.liveCount; dead > 16 && dead > ix.liveCount {
+		ix.compactLocked()
+		return removed
+	}
+	for _, slot := range dying {
+		if p := ix.partOf[slot]; p >= 0 {
+			ix.unband(int(p), slot)
+			ix.partOf[slot] = -1
+		}
+	}
+	kept := ix.order[:0]
+	for _, s := range ix.order {
+		if ix.alive[s] {
+			kept = append(kept, s)
+		}
+	}
+	ix.order = kept
+	ix.reshard()
+	return removed
+}
+
+// Compact rebuilds the slot arrays densely over the live domains, dropping
+// dead-slot bookkeeping (and releasing the memory retained by removed
+// domains). Query behavior is unchanged. Compact is exclusive with queries
+// and other mutations.
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.liveCount == len(ix.domains) {
+		return
+	}
+	ix.compactLocked()
+}
+
+func (ix *Index) compactLocked() {
+	n := ix.liveCount
+	domains := make([]Domain, 0, n)
+	sigs := make([]minhash.Signature, 0, n)
+	for slot := range ix.domains {
+		if ix.alive[slot] {
+			domains = append(domains, ix.domains[slot])
+			sigs = append(sigs, ix.signatures[slot])
+		}
+	}
+	ix.domains, ix.signatures = domains, sigs
+	ix.alive = make([]bool, n)
+	ix.partOf = make([]int32, n)
+	ix.order = make([]int, n)
+	for i := 0; i < n; i++ {
+		ix.alive[i] = true
+		ix.partOf[i] = -1
+		ix.order[i] = i
+	}
+	sort.SliceStable(ix.order, func(a, b int) bool { return ix.orderLess(ix.order[a], ix.order[b]) })
+	ix.parts = ix.parts[:0]
+	ix.reshard()
+}
+
+// reshard recomputes the equi-depth partition boundaries over the current
+// live order and moves exactly the slots whose assignment changed between
+// band tables — adding or removing one table shifts each boundary by at
+// most one position, so steady-state mutations re-band O(partitions)
+// domains, not O(domains). The resulting partition layout (boundaries,
+// membership, size upper bounds and bucket contents) is identical to what
+// a fresh Build over the live domains would construct. Callers hold the
+// write lock.
+func (ix *Index) reshard() {
+	n := len(ix.order)
+	nparts := ix.opts.NumPartitions
+	if nparts > n {
+		nparts = n
+	}
+	for len(ix.parts) < nparts {
+		part := partition{}
+		for _, r := range rChoices {
+			if r > ix.opts.NumHashes {
+				continue
+			}
+			part.tables = append(part.tables, bandTable{r: r, buckets: make(map[uint64][]int32)})
+		}
+		ix.parts = append(ix.parts, part)
+	}
+	for p := 0; p < nparts; p++ {
+		lo, hi := p*n/nparts, (p+1)*n/nparts
+		for _, slot := range ix.order[lo:hi] {
+			if old := ix.partOf[slot]; int(old) != p {
+				if old >= 0 {
+					ix.unband(int(old), slot)
+				}
+				ix.band(p, slot)
+				ix.partOf[slot] = int32(p)
+			}
+		}
+	}
+	// Partitions beyond the new count have had every live slot moved out.
+	for p := nparts; p < len(ix.parts); p++ {
+		ix.parts[p] = partition{}
+	}
+	ix.parts = ix.parts[:nparts]
+	for p := 0; p < nparts; p++ {
+		lo, hi := p*n/nparts, (p+1)*n/nparts
+		part := &ix.parts[p]
+		part.domains = append(part.domains[:0], ix.order[lo:hi]...)
+		part.upper = len(ix.domains[ix.order[hi-1]].Values)
+	}
+}
+
+// band inserts slot into every band table of partition p.
+func (ix *Index) band(p, slot int) {
+	var keys []uint64
+	for ti := range ix.parts[p].tables {
+		bt := &ix.parts[p].tables[ti]
+		keys = bandKeys(ix.signatures[slot], bt.r, keys[:0])
+		for _, key := range keys {
+			bt.buckets[key] = append(bt.buckets[key], int32(slot))
+		}
+	}
+}
+
+// unband removes slot from every band table of partition p (all occurrences
+// — two bands of one signature can, in principle, collide on a key).
+func (ix *Index) unband(p, slot int) {
+	var keys []uint64
+	for ti := range ix.parts[p].tables {
+		bt := &ix.parts[p].tables[ti]
+		keys = bandKeys(ix.signatures[slot], bt.r, keys[:0])
+		for _, key := range keys {
+			bucket := bt.buckets[key]
+			kept := bucket[:0]
+			for _, di := range bucket {
+				if di != int32(slot) {
+					kept = append(kept, di)
+				}
+			}
+			if len(kept) == 0 {
+				delete(bt.buckets, key)
+			} else {
+				bt.buckets[key] = kept
+			}
+		}
+	}
 }
 
 // bandKeys hashes a signature into bands of r rows, appending the per-band
@@ -363,6 +606,8 @@ func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
 		}
 	}
 	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.query(s.sig, s.qids, len(query), threshold, k, s)
 }
 
@@ -402,6 +647,8 @@ func (ix *Index) QueryDomain(d *Domain, threshold float64, k int) []Result {
 		}
 	}
 	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.query(s.sig, s.qids, len(d.Values), threshold, k, s)
 }
 
@@ -409,6 +656,14 @@ func (ix *Index) QueryDomain(d *Domain, threshold float64, k int) []Result {
 // candidates by exact token-ID intersection. qsize is |Q| (including tokens
 // outside the lake vocabulary, which count toward the denominator).
 func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize int, threshold float64, k int, s *queryScratch) []Result {
+	// The candidate-dedup scratch is sized for the index as of a previous
+	// query; the slot arrays grow under mutation, so re-fit it here (fresh
+	// entries are zero, which no live epoch ever equals).
+	if len(s.seen) < len(ix.domains) {
+		grown := make([]uint32, len(ix.domains))
+		copy(grown, s.seen)
+		s.seen = grown
+	}
 	s.epoch++
 	if s.epoch == 0 {
 		for i := range s.seen {
@@ -466,8 +721,12 @@ func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize i
 // Dict returns the token dictionary the index interns through.
 func (ix *Index) Dict() *table.TokenDict { return ix.dict }
 
-// NumDomains reports how many domains are indexed.
-func (ix *Index) NumDomains() int { return len(ix.domains) }
+// NumDomains reports how many live (non-removed) domains are indexed.
+func (ix *Index) NumDomains() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.liveCount
+}
 
 // ExactQuery is the brute-force baseline: it scans every domain and computes
 // exact containment. It is the ground truth against which the ensemble's

@@ -1,0 +1,65 @@
+package santos
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/paperdata"
+)
+
+func santosSig(rs []Result) string {
+	s := ""
+	for _, r := range rs {
+		s += fmt.Sprintf("%s|%.12f|%d;", r.Table.Name, r.Score, r.MatchedColumn)
+	}
+	return s
+}
+
+// TestAddMatchesRebuild pins incremental annotation: building over two
+// tables and adding a third must answer exactly like building over all
+// three (the per-table graphs are independent; annotation runs against the
+// same compiled KB snapshot).
+func TestAddMatchesRebuild(t *testing.T) {
+	all := append(paperdata.CovidLake(), paperdata.T1())
+	grown := Build(all[:2], kb.Demo())
+	grown.Add(all[2:])
+	fresh := Build(all, kb.Demo())
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	got, err := grown.Query(q, city, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Query(q, city, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if santosSig(got) != santosSig(want) {
+		t.Errorf("incremental add diverged:\n got %s\nwant %s", santosSig(got), santosSig(want))
+	}
+	if grown.NumTables() != 3 {
+		t.Errorf("NumTables = %d", grown.NumTables())
+	}
+}
+
+func TestRemoveEvictsGraph(t *testing.T) {
+	ix := demoIndex()
+	if n := ix.Remove([]string{"T2", "absent"}); n != 1 {
+		t.Fatalf("Remove = %d, want 1", n)
+	}
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	got, err := ix.Query(q, city, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.Table.Name == "T2" {
+			t.Error("removed table still returned")
+		}
+	}
+	if ix.NumTables() != 1 {
+		t.Errorf("NumTables = %d, want 1", ix.NumTables())
+	}
+}

@@ -65,9 +65,14 @@ type tableSemantics struct {
 	cols []columnSemantics
 }
 
-// Index is an immutable SANTOS index over a data lake: every table's
-// semantic graph, precomputed offline as the demo's preprocessing step.
+// Index is a SANTOS index over a data lake: every table's semantic graph,
+// precomputed offline as the demo's preprocessing step. The index is
+// mutable — Add annotates and appends tables, Remove evicts their semantic
+// graphs — but always against the KB snapshot compiled at build time (see
+// BuildWithAnnotator). Mutations take the write lock, queries the read
+// lock.
 type Index struct {
+	mu      sync.RWMutex
 	ann     *kb.Annotator
 	scratch sync.Pool // *kb.Scratch
 	tables  []tableSemantics
@@ -106,7 +111,55 @@ func BuildWithAnnotator(lakeTables []*table.Table, ann *kb.Annotator) *Index {
 }
 
 // NumTables reports how many tables are indexed.
-func (ix *Index) NumTables() int { return len(ix.tables) }
+func (ix *Index) NumTables() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.tables)
+}
+
+// Add annotates the given tables against the index's build-time KB snapshot
+// (through the shared annotation cache, so lake values resolve to cached
+// codes) and appends their semantic graphs. Callers are responsible for
+// name uniqueness, as with Build. Add is exclusive with queries and other
+// mutations.
+func (ix *Index) Add(lakeTables []*table.Table) {
+	if len(lakeTables) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	added := make([]tableSemantics, len(lakeTables))
+	par.For(len(lakeTables), func(i int) {
+		s := ix.scratch.Get().(*kb.Scratch)
+		added[i] = annotate(lakeTables[i], ix.ann, s)
+		ix.scratch.Put(s)
+	})
+	ix.tables = append(ix.tables, added...)
+}
+
+// Remove evicts the semantic graphs of the named tables and reports how
+// many were dropped; unknown names are ignored. Remove is exclusive with
+// queries and other mutations.
+func (ix *Index) Remove(names []string) int {
+	if len(names) == 0 {
+		return 0
+	}
+	doomed := make(map[string]bool, len(names))
+	for _, n := range names {
+		doomed[n] = true
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	kept := make([]tableSemantics, 0, len(ix.tables))
+	for _, ts := range ix.tables {
+		if !doomed[ts.t.Name] {
+			kept = append(kept, ts)
+		}
+	}
+	removed := len(ix.tables) - len(kept)
+	ix.tables = kept
+	return removed
+}
 
 // annotate computes the semantic graph of a table over annotation codes.
 func annotate(t *table.Table, ann *kb.Annotator, s *kb.Scratch) tableSemantics {
@@ -312,6 +365,10 @@ func (ix *Index) Query(q *table.Table, intentCol int, k int) ([]Result, error) {
 	}
 	ck := ix.ann.Compiled()
 	var results []Result
+	// The candidate scan holds the read lock: mutations swap or append to
+	// ix.tables, and scoring reads only immutable per-table graphs.
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	for i := range ix.tables {
 		cand := &ix.tables[i]
 		if cand.t.Name == q.Name {

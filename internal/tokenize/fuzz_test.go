@@ -1,0 +1,45 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzNormalize pins the canonicalization invariants everything downstream
+// relies on: Normalize is idempotent (a normalized form re-normalizes to
+// itself — the KB, the annotator, and the discovery indexes all assume
+// normalized keys are fixed points), and its output alphabet is exactly
+// lowercase letters and digits separated by single interior spaces.
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{
+		"", " ", "J&J", "United  States", "Pfizer-BioNTech", "ümläut ÉÉ",
+		"a\tb\nc", "42.5%", "  leading", "trailing  ", "__under__score__",
+		"日本 Tokyo", "ẞharp", "\x00\xff invalid \xc3\x28 utf8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n := Normalize(s)
+		if again := Normalize(n); again != n {
+			t.Fatalf("not idempotent: Normalize(%q) = %q, re-normalizes to %q", s, n, again)
+		}
+		if strings.HasPrefix(n, " ") || strings.HasSuffix(n, " ") {
+			t.Fatalf("Normalize(%q) = %q has edge whitespace", s, n)
+		}
+		if strings.Contains(n, "  ") {
+			t.Fatalf("Normalize(%q) = %q has a double space", s, n)
+		}
+		for _, r := range n {
+			if r == ' ' {
+				continue
+			}
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				t.Fatalf("Normalize(%q) = %q contains %q", s, n, r)
+			}
+			if unicode.ToLower(r) != r {
+				t.Fatalf("Normalize(%q) = %q is not lowercased at %q", s, n, r)
+			}
+		}
+	})
+}
