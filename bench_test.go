@@ -6,8 +6,10 @@
 package dialite_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	dialite "repro"
 	"repro/internal/core"
@@ -43,7 +45,7 @@ func BenchmarkFig1Pipeline(b *testing.B) {
 	city, _ := q.ColumnIndex(paperdata.ColCity)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Run(core.RunRequest{Query: q, QueryColumn: city}); err != nil {
+		if _, err := p.Run(context.Background(), core.RunRequest{Query: q, QueryColumn: city}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +59,7 @@ func BenchmarkFig2Discovery(b *testing.B) {
 	city, _ := q.ColumnIndex(paperdata.ColCity)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Discover(core.DiscoverRequest{Query: q, QueryColumn: city}); err != nil {
+		if _, err := p.Discover(context.Background(), core.DiscoverRequest{Query: q, QueryColumn: city}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +72,7 @@ func BenchmarkFig3Integration(b *testing.B) {
 	set := []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Integrate(core.IntegrateRequest{Tables: set}); err != nil {
+		if _, err := p.Integrate(context.Background(), core.IntegrateRequest{Tables: set}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,7 +108,7 @@ func BenchmarkFig4UserDiscovery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Discover(l, q, 0, 0); err != nil {
+		if _, err := sim.Discover(context.Background(), l, q, 0, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,7 +130,7 @@ func BenchmarkFig6OuterJoinOp(b *testing.B) {
 	set := paperdata.VaccineSet()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := integrate.Apply(integrate.FullOuterJoin{}, set, matcher, nil, false); err != nil {
+		if _, _, err := integrate.Apply(context.Background(), integrate.FullOuterJoin{}, set, matcher, nil, false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -152,7 +154,7 @@ func benchOperator(b *testing.B, op integrate.Operator) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := op.Run(schema, sets); err != nil {
+		if _, err := op.Run(context.Background(), schema, sets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -173,7 +175,7 @@ func benchER(b *testing.B, t *table.Table) {
 	know := kb.Demo()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := er.Resolve(t, er.Options{Knowledge: know}); err != nil {
+		if _, err := er.Resolve(context.Background(), t, er.Options{Knowledge: know}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -459,7 +461,7 @@ func BenchmarkX4UnionSearch(b *testing.B) {
 	})
 	b.Run("Syntactic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := (discovery.SyntacticUnion{}).Discover(l, q, 1, 0); err != nil {
+			if _, err := (discovery.SyntacticUnion{}).Discover(context.Background(), l, q, 1, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -501,14 +503,14 @@ func BenchmarkX6ERQuality(b *testing.B) {
 	}
 	b.Run("OverFD", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := er.Resolve(fdTab, er.Options{Knowledge: fs.Knowledge}); err != nil {
+			if _, err := er.Resolve(context.Background(), fdTab, er.Options{Knowledge: fs.Knowledge}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("OverOuterJoin", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := er.Resolve(ojTab, er.Options{Knowledge: fs.Knowledge}); err != nil {
+			if _, err := er.Resolve(context.Background(), ojTab, er.Options{Knowledge: fs.Knowledge}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -612,14 +614,14 @@ func BenchmarkAblationERMatchers(b *testing.B) {
 	in := paperdata.Fig8bExpected()
 	b.Run("Rule", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := er.Resolve(in, er.Options{Knowledge: know}); err != nil {
+			if _, err := er.Resolve(context.Background(), in, er.Options{Knowledge: know}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Learned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := er.ResolveLearned(in, model, know, 0); err != nil {
+			if _, err := er.ResolveLearned(context.Background(), in, model, know, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -647,4 +649,44 @@ func BenchmarkIncrementalFD(b *testing.B) {
 			b.StopTimer()
 		}
 	})
+}
+
+// BenchmarkCancellationLatency measures the serving-grade cancellation
+// bound: the time from cancelling a context to the FD closure returning,
+// mid-flight on the X2 n=399 ALITE workload. The acceptance criterion is
+// 50ms (in practice the checkpoint granularity keeps it far below); the
+// interesting number is the custom cancel-ns/op metric, not ns/op, which is
+// dominated by the deliberate mid-closure sleep.
+func BenchmarkCancellationLatency(b *testing.B) {
+	in, err := experiments.FragmentInput(150, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uncancelled, err := fd.ALITECtx(context.Background(), in)
+	if err != nil || len(uncancelled) == 0 {
+		b.Fatalf("workload broken: %d tuples, %v", len(uncancelled), err)
+	}
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		// The worker re-runs the closure until the cancel lands mid-run, so
+		// the measured latency is always checkpoint latency — sleeping until
+		// "mid-closure" would be at the mercy of the scheduler's timer
+		// resolution instead.
+		go func() {
+			for {
+				if _, err := fd.ALITECtx(ctx, in); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+		time.Sleep(time.Millisecond)
+		t0 := time.Now()
+		cancel()
+		<-errc
+		total += time.Since(t0)
+	}
+	b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "cancel-ns/op")
 }

@@ -3,6 +3,7 @@
 //
 // Usage:
 //
+//	dialite serve     -lake DIR [-addr :8080] [-timeout 30s]
 //	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K] [-grow DIR] [-drop t1,t2]
 //	dialite integrate -lake DIR -tables a,b,c [-op alite-fd|outer-join|inner-join|union] [-prov]
 //	dialite pipeline  -lake DIR -query Q.csv -col N [-op OP] [-prov]
@@ -16,16 +17,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/analyze"
 	"repro/internal/core"
 	"repro/internal/er"
 	"repro/internal/kb"
+	"repro/internal/serve"
 	"repro/internal/table"
 )
 
@@ -34,20 +39,27 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the context; every pipeline stage is cancellation-
+	// aware, so an interrupted discover/integrate aborts at its next
+	// checkpoint instead of running the full computation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "discover":
-		err = cmdDiscover(os.Args[2:])
+		err = cmdDiscover(ctx, os.Args[2:])
 	case "integrate":
-		err = cmdIntegrate(os.Args[2:])
+		err = cmdIntegrate(ctx, os.Args[2:])
 	case "pipeline":
-		err = cmdPipeline(os.Args[2:])
+		err = cmdPipeline(ctx, os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "resolve":
-		err = cmdResolve(os.Args[2:])
+		err = cmdResolve(ctx, os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -65,6 +77,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `dialite — Discover, Align and Integrate Open Data Tables
 
 commands:
+  serve      serve the pipeline over HTTP (JSON endpoints, mutable lake)
   discover   find unionable/joinable tables for a query table
   integrate  align and integrate a set of lake tables
   pipeline   discover then integrate, end to end
@@ -108,7 +121,29 @@ func mutateLake(p *core.Pipeline, growDir, drop string) error {
 	return nil
 }
 
-func cmdDiscover(args []string) error {
+// cmdServe stands the pipeline up as an HTTP service: JSON endpoints for
+// discover/integrate/pipeline/correlate/resolve and lake add/remove, with
+// per-request timeouts and graceful shutdown on SIGINT/SIGTERM (the
+// process-level signal context).
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	lakeDir := fs.String("lake", "", "directory of lake CSVs")
+	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request timeout (0 uses the default, negative disables)")
+	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := newPipeline(*lakeDir, *synthKB)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dialite: serving %d-table lake from %s on %s (request timeout %s)\n",
+		p.Lake().Size(), *lakeDir, *addr, *timeout)
+	return serve.New(p, serve.Config{Timeout: *timeout}).ListenAndServe(ctx, *addr)
+}
+
+func cmdDiscover(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("discover", flag.ExitOnError)
 	lakeDir := fs.String("lake", "", "directory of lake CSVs")
 	queryPath := fs.String("query", "", "query table CSV")
@@ -136,7 +171,7 @@ func cmdDiscover(args []string) error {
 	if *methods != "" {
 		ms = strings.Split(*methods, ",")
 	}
-	resp, err := p.Discover(core.DiscoverRequest{Query: q, QueryColumn: *col, Methods: ms, K: *k})
+	resp, err := p.Discover(ctx, core.DiscoverRequest{Query: q, QueryColumn: *col, Methods: ms, K: *k})
 	if err != nil {
 		return err
 	}
@@ -157,7 +192,7 @@ func cmdDiscover(args []string) error {
 	return nil
 }
 
-func cmdIntegrate(args []string) error {
+func cmdIntegrate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("integrate", flag.ExitOnError)
 	lakeDir := fs.String("lake", "", "directory of lake CSVs")
 	tables := fs.String("tables", "", "comma-separated lake table names")
@@ -183,7 +218,7 @@ func cmdIntegrate(args []string) error {
 		}
 		set = append(set, t)
 	}
-	resp, err := p.Integrate(core.IntegrateRequest{Tables: set, Operator: *op, WithProvenance: *prov})
+	resp, err := p.Integrate(ctx, core.IntegrateRequest{Tables: set, Operator: *op, WithProvenance: *prov})
 	if err != nil {
 		return err
 	}
@@ -194,7 +229,7 @@ func cmdIntegrate(args []string) error {
 	return nil
 }
 
-func cmdPipeline(args []string) error {
+func cmdPipeline(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
 	lakeDir := fs.String("lake", "", "directory of lake CSVs")
 	queryPath := fs.String("query", "", "query table CSV")
@@ -214,7 +249,7 @@ func cmdPipeline(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := p.Run(core.RunRequest{Query: q, QueryColumn: *col, Operator: *op, WithProvenance: *prov})
+	res, err := p.Run(ctx, core.RunRequest{Query: q, QueryColumn: *col, Operator: *op, WithProvenance: *prov})
 	if err != nil {
 		return err
 	}
@@ -291,7 +326,7 @@ func cmdAnalyze(args []string) error {
 	return nil
 }
 
-func cmdResolve(args []string) error {
+func cmdResolve(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("resolve", flag.ExitOnError)
 	tablePath := fs.String("table", "", "table CSV to resolve")
 	threshold := fs.Float64("threshold", 0, "match threshold (default 0.6)")
@@ -302,7 +337,7 @@ func cmdResolve(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := er.Resolve(t, er.Options{Knowledge: kb.Demo(), Threshold: *threshold})
+	res, err := er.Resolve(ctx, t, er.Options{Knowledge: kb.Demo(), Threshold: *threshold})
 	if err != nil {
 		return err
 	}

@@ -1,12 +1,18 @@
 package main
 
 import (
+	"context"
+	"io"
+	"net/http"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analyze"
 	"repro/internal/paperdata"
 	"repro/internal/table"
+	"repro/internal/testutil"
 )
 
 // writeDemoLake writes T2 and T3 as a CSV lake and T1 as the query table,
@@ -29,19 +35,19 @@ func writeDemoLake(t *testing.T) (string, string) {
 
 func TestCmdDiscover(t *testing.T) {
 	lakeDir, queryPath := writeDemoLake(t)
-	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1"}); err != nil {
+	if err := cmdDiscover(context.Background(), []string{"-lake", lakeDir, "-query", queryPath, "-col", "1"}); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit methods.
-	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-methods", "lsh-join", "-k", "2"}); err != nil {
+	if err := cmdDiscover(context.Background(), []string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-methods", "lsh-join", "-k", "2"}); err != nil {
 		t.Fatal(err)
 	}
 	// Missing lake errors.
-	if err := cmdDiscover([]string{"-query", queryPath}); err == nil {
+	if err := cmdDiscover(context.Background(), []string{"-query", queryPath}); err == nil {
 		t.Error("missing -lake must error")
 	}
 	// Missing query file errors.
-	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", filepath.Join(lakeDir, "nope.csv")}); err == nil {
+	if err := cmdDiscover(context.Background(), []string{"-lake", lakeDir, "-query", filepath.Join(lakeDir, "nope.csv")}); err == nil {
 		t.Error("missing query must error")
 	}
 }
@@ -49,7 +55,7 @@ func TestCmdDiscover(t *testing.T) {
 func TestCmdIntegrate(t *testing.T) {
 	lakeDir, _ := writeDemoLake(t)
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := cmdIntegrate([]string{"-lake", lakeDir, "-tables", "T2,T3", "-prov", "-out", out}); err != nil {
+	if err := cmdIntegrate(context.Background(), []string{"-lake", lakeDir, "-tables", "T2,T3", "-prov", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
 	written, err := table.ReadCSVFile(out)
@@ -59,13 +65,13 @@ func TestCmdIntegrate(t *testing.T) {
 	if written.NumRows() == 0 || written.Columns[0] != "TIDs" {
 		t.Errorf("written table wrong: %v", written.Columns)
 	}
-	if err := cmdIntegrate([]string{"-lake", lakeDir, "-tables", "T2,missing"}); err == nil {
+	if err := cmdIntegrate(context.Background(), []string{"-lake", lakeDir, "-tables", "T2,missing"}); err == nil {
 		t.Error("unknown table must error")
 	}
-	if err := cmdIntegrate([]string{"-lake", lakeDir}); err == nil {
+	if err := cmdIntegrate(context.Background(), []string{"-lake", lakeDir}); err == nil {
 		t.Error("missing -tables must error")
 	}
-	if err := cmdIntegrate([]string{"-lake", lakeDir, "-tables", "T2,T3", "-op", "bogus"}); err == nil {
+	if err := cmdIntegrate(context.Background(), []string{"-lake", lakeDir, "-tables", "T2,T3", "-op", "bogus"}); err == nil {
 		t.Error("unknown operator must error")
 	}
 }
@@ -73,7 +79,7 @@ func TestCmdIntegrate(t *testing.T) {
 func TestCmdPipeline(t *testing.T) {
 	lakeDir, queryPath := writeDemoLake(t)
 	out := filepath.Join(t.TempDir(), "integrated.csv")
-	if err := cmdPipeline([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-out", out}); err != nil {
+	if err := cmdPipeline(context.Background(), []string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
 	written, err := table.ReadCSVFile(out)
@@ -117,10 +123,10 @@ func TestCmdResolve(t *testing.T) {
 	if err := paperdata.Fig8bExpected().WriteCSVFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdResolve([]string{"-table", path}); err != nil {
+	if err := cmdResolve(context.Background(), []string{"-table", path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdResolve([]string{"-table", filepath.Join(dir, "missing.csv")}); err == nil {
+	if err := cmdResolve(context.Background(), []string{"-table", filepath.Join(dir, "missing.csv")}); err == nil {
 		t.Error("missing table must error")
 	}
 }
@@ -184,7 +190,7 @@ func TestCmdDiscoverGrowDrop(t *testing.T) {
 	if err := extra.WriteCSVFile(filepath.Join(growDir, "T9.csv")); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-grow", growDir, "-drop", "T3"}); err != nil {
+	if err := cmdDiscover(context.Background(), []string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-grow", growDir, "-drop", "T3"}); err != nil {
 		t.Fatal(err)
 	}
 	// Errors propagate: growing with a duplicate name, dropping an unknown.
@@ -192,10 +198,63 @@ func TestCmdDiscoverGrowDrop(t *testing.T) {
 	if err := paperdata.T2().WriteCSVFile(filepath.Join(dupDir, "T2.csv")); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-grow", dupDir}); err == nil {
+	if err := cmdDiscover(context.Background(), []string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-grow", dupDir}); err == nil {
 		t.Error("growing a duplicate table must error")
 	}
-	if err := cmdDiscover([]string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-drop", "nope"}); err == nil {
+	if err := cmdDiscover(context.Background(), []string{"-lake", lakeDir, "-query", queryPath, "-col", "1", "-drop", "nope"}); err == nil {
 		t.Error("dropping an unknown table must error")
+	}
+}
+
+func TestCmdServeValidation(t *testing.T) {
+	if err := cmdServe(context.Background(), []string{}); err == nil {
+		t.Error("missing -lake must error")
+	}
+}
+
+// TestCmdServeRoundTrip boots the HTTP server on an ephemeral port, drives
+// one discover request through it, and shuts it down via context
+// cancellation (the SIGINT path).
+func TestCmdServeRoundTrip(t *testing.T) {
+	lakeDir, _ := writeDemoLake(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr := testutil.FreeLocalAddr(t)
+	done := make(chan error, 1)
+	go func() { done <- cmdServe(ctx, []string{"-lake", lakeDir, "-addr", addr}) }()
+	// Wait for the server to come up.
+	var resp *http.Response
+	var err error
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get("http://" + addr + "/v1/lake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "T2") {
+		t.Errorf("lake listing = %s", body)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -72,7 +73,7 @@ func printFigures() error {
 	rowIDs := func(name string, row int) string { return paperdata.TupleID(name, row) }
 
 	fmt.Println("== Fig. 3: FD(T1,T2,T3) by ALITE ==")
-	fig3, err := p.Integrate(core.IntegrateRequest{
+	fig3, err := p.Integrate(context.Background(), core.IntegrateRequest{
 		Tables:         []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()},
 		RowIDs:         rowIDs,
 		WithProvenance: true,
@@ -88,28 +89,28 @@ func printFigures() error {
 	}
 
 	fmt.Println("== Fig. 8(a): T4 ⟗ T5 ⟗ T6 (outer join) ==")
-	oj, err := p.Integrate(core.IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "outer-join", RowIDs: rowIDs, WithProvenance: true})
+	oj, err := p.Integrate(context.Background(), core.IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "outer-join", RowIDs: rowIDs, WithProvenance: true})
 	if err != nil {
 		return err
 	}
 	fmt.Println(oj.Table)
 
 	fmt.Println("== Fig. 8(b): FD(T4,T5,T6) by ALITE ==")
-	fdRes, err := p.Integrate(core.IntegrateRequest{Tables: paperdata.VaccineSet(), RowIDs: rowIDs, WithProvenance: true})
+	fdRes, err := p.Integrate(context.Background(), core.IntegrateRequest{Tables: paperdata.VaccineSet(), RowIDs: rowIDs, WithProvenance: true})
 	if err != nil {
 		return err
 	}
 	fmt.Println(fdRes.Table)
 
 	fmt.Println("== Fig. 8(c): ER over outer join ==")
-	erOJ, err := er.Resolve(paperdata.Fig8aExpected(), er.Options{Knowledge: kb.Demo()})
+	erOJ, err := er.Resolve(context.Background(), paperdata.Fig8aExpected(), er.Options{Knowledge: kb.Demo()})
 	if err != nil {
 		return err
 	}
 	fmt.Println(erOJ.Resolved)
 
 	fmt.Println("== Fig. 8(d): ER over FD ==")
-	erFD, err := er.Resolve(paperdata.Fig8bExpected(), er.Options{Knowledge: kb.Demo()})
+	erFD, err := er.Resolve(context.Background(), paperdata.Fig8bExpected(), er.Options{Knowledge: kb.Demo()})
 	if err != nil {
 		return err
 	}

@@ -7,22 +7,51 @@
 //
 // The package is a façade over the implementation packages under
 // internal/: it re-exports the table engine, the pipeline, the extension
-// points (user-defined discoverers and integration operators) and the
-// synthetic-data generators, so a downstream user imports only this
-// package.
+// points (user-defined discoverers and integration operators), the HTTP
+// serving layer and the synthetic-data generators, so a downstream user
+// imports only this package.
+//
+// The API is context-first: every pipeline stage takes a context.Context
+// and observes it cooperatively, so callers can bound, cancel or deadline
+// any stage — the FD closure, the index scans, the ER pair loop all abort
+// at their next checkpoint and return ctx.Err(). An uncancelled context
+// costs nothing and changes nothing.
 //
 // Quickstart:
 //
+//	ctx := context.Background()                 // or a per-request context
 //	lake := []*dialite.Table{ ... }             // or dialite.LoadDir(dir)
 //	p, err := dialite.New(lake, dialite.Config{Knowledge: dialite.DemoKB()})
-//	res, err := p.Run(dialite.RunRequest{Query: q, QueryColumn: 1})
-//	r, n, err := p.Correlate(res.Integration.Table, "Vaccination Rate", "Death Rate")
+//	res, err := p.Run(ctx, dialite.RunRequest{Query: q, QueryColumn: 1})
+//	r, n, err := p.Correlate(ctx, res.Integration.Table, "Vaccination Rate", "Death Rate")
+//
+// With a deadline instead:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	res, err := p.Run(ctx, dialite.RunRequest{Query: q, QueryColumn: 1})
+//	// err == context.DeadlineExceeded if the budget ran out mid-stage
+//
+// The lake is mutable (p.AddTables / p.RemoveTables maintain every
+// discovery index incrementally) and queries run concurrently with
+// mutations, which is what makes the pipeline servable. To serve it:
+//
+//	srv := dialite.NewServer(p, dialite.ServeConfig{Timeout: 10 * time.Second})
+//	err = srv.ListenAndServe(ctx, ":8080")      // graceful shutdown on ctx cancel
+//
+// or, from a CSV directory, `dialite serve -lake DIR -addr :8080`. The
+// server exposes JSON endpoints for every stage (POST /v1/discover,
+// /v1/integrate, /v1/pipeline, /v1/correlate, /v1/resolve) and for lake
+// mutation (POST /v1/lake/add, /v1/lake/remove, GET /v1/lake), each request
+// running under its own timeout with request-scoped entity resolution (see
+// examples/serve for a round trip).
 package dialite
 
 import (
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/lake"
+	"repro/internal/serve"
 	"repro/internal/table"
 )
 
@@ -62,6 +91,25 @@ func FromDir(dir string, cfg Config) (*Pipeline, error) { return core.FromDir(di
 // DefaultMethods are the discovery methods used when a request names none:
 // SANTOS unionable search and LSH Ensemble joinable search.
 var DefaultMethods = core.DefaultMethods
+
+// Serving layer, re-exported.
+type (
+	// Server serves one pipeline over HTTP (see package-level quickstart).
+	Server = serve.Server
+	// ServeConfig tunes the server (per-request timeout, body limit).
+	ServeConfig = serve.Config
+	// TableJSON is the wire form of a table on the serve endpoints.
+	TableJSON = serve.TableJSON
+)
+
+// NewServer builds an HTTP server over a constructed pipeline. Mount
+// srv.Handler() on your own http.Server, or srv.ListenAndServe(ctx, addr)
+// to serve with graceful shutdown when ctx is cancelled.
+func NewServer(p *Pipeline, cfg ServeConfig) *Server { return serve.New(p, cfg) }
+
+// EncodeTableJSON converts a table to the serve endpoints' wire form — what
+// a client posts as a query or inline integration member.
+func EncodeTableJSON(t *Table) TableJSON { return serve.EncodeTable(t) }
 
 // NewKB returns an empty knowledge base.
 func NewKB() *KB { return kb.New() }

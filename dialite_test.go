@@ -1,6 +1,7 @@
 package dialite_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -23,14 +24,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	p := publicPipeline(t)
 	q := paperdata.T1()
 	city, _ := q.ColumnIndex(paperdata.ColCity)
-	res, err := p.Run(dialite.RunRequest{Query: q, QueryColumn: city})
+	res, err := p.Run(context.Background(), dialite.RunRequest{Query: q, QueryColumn: city})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Discovery.IntegrationSet) != 3 {
 		t.Fatalf("integration set = %d tables", len(res.Discovery.IntegrationSet))
 	}
-	r, _, err := p.Correlate(res.Integration.Table, paperdata.ColVaccRate, paperdata.ColDeathRate)
+	r, _, err := p.Correlate(context.Background(), res.Integration.Table, paperdata.ColVaccRate, paperdata.ColDeathRate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestPublicExtensionPoints(t *testing.T) {
 	p := publicPipeline(t)
 	if err := p.Operators().Register(dialite.OperatorFunc{
 		OpName: "noop",
-		F: func(schema []string, sets []dialite.AlignedSet) ([]dialite.Tuple, error) {
+		F: func(ctx context.Context, schema []string, sets []dialite.AlignedSet) ([]dialite.Tuple, error) {
 			return nil, nil
 		},
 	}); err != nil {
@@ -95,7 +96,7 @@ func TestPublicExtensionPoints(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := p.Discover(dialite.DiscoverRequest{Query: paperdata.T1(), QueryColumn: 1, Methods: []string{"always"}})
+	resp, err := p.Discover(context.Background(), dialite.DiscoverRequest{Query: paperdata.T1(), QueryColumn: 1, Methods: []string{"always"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +171,11 @@ func TestPublicKBAndMatchers(t *testing.T) {
 
 func TestPublicER(t *testing.T) {
 	p := publicPipeline(t)
-	resp, err := p.Integrate(dialite.IntegrateRequest{Tables: paperdata.VaccineSet()})
+	resp, err := p.Integrate(context.Background(), dialite.IntegrateRequest{Tables: paperdata.VaccineSet()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.ResolveEntities(resp.Table, dialite.EROptions{})
+	res, err := p.ResolveEntities(context.Background(), resp.Table, dialite.EROptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,6 +44,7 @@ func t3() *dialite.Table {
 }
 
 func main() {
+	ctx := context.Background()
 	// The data lake holds T2 and T3; T1 is the user's query table.
 	p, err := dialite.New([]*dialite.Table{t2(), t3()}, dialite.Config{Knowledge: dialite.DemoKB()})
 	if err != nil {
@@ -55,7 +57,7 @@ func main() {
 	// unionable (same city->country relationship semantics, even though
 	// the tables share no values); LSH Ensemble finds T3 joinable (its
 	// city column contains the query's cities).
-	disc, err := p.Discover(dialite.DiscoverRequest{Query: q, QueryColumn: city})
+	disc, err := p.Discover(ctx, dialite.DiscoverRequest{Query: q, QueryColumn: city})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func main() {
 	// Example 2: ALITE aligns the columns holistically (no trust in
 	// headers) and applies the Full Disjunction. The TIDs column shows
 	// which source tuples each integrated tuple was assembled from.
-	integ, err := p.Integrate(dialite.IntegrateRequest{
+	integ, err := p.Integrate(ctx, dialite.IntegrateRequest{
 		Tables:         disc.IntegrationSet,
 		WithProvenance: true,
 	})
@@ -80,7 +82,7 @@ func main() {
 
 	// Example 3: analytics over the integrated table. Open-data spellings
 	// like "63%" and "1.4M" are coerced numerically.
-	flat, err := p.Integrate(dialite.IntegrateRequest{Tables: disc.IntegrationSet})
+	flat, err := p.Integrate(ctx, dialite.IntegrateRequest{Tables: disc.IntegrationSet})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,11 +95,11 @@ func main() {
 	fmt.Printf("lowest vaccination rate:  %s (%.0f%%)\n", min.Label, min.Value)
 	fmt.Printf("highest vaccination rate: %s (%.0f%%)\n", max.Label, max.Value)
 
-	r1, n1, err := p.Correlate(flat.Table, "Vaccination Rate (1+ dose)", "Death Rate (per 100k residents)")
+	r1, n1, err := p.Correlate(ctx, flat.Table, "Vaccination Rate (1+ dose)", "Death Rate (per 100k residents)")
 	if err != nil {
 		log.Fatal(err)
 	}
-	r2, _, err := p.Correlate(flat.Table, "Total Cases", "Vaccination Rate (1+ dose)")
+	r2, _, err := p.Correlate(ctx, flat.Table, "Total Cases", "Vaccination Rate (1+ dose)")
 	if err != nil {
 		log.Fatal(err)
 	}

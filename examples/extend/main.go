@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A small lake to discover over: generated COVID-style tables.
 	lakeTable1, err := dialite.GenerateQueryTable("covid cases by city", 8, 5, 101)
 	if err != nil {
@@ -80,7 +82,7 @@ func main() {
 	}
 
 	city, _ := q.ColumnIndex("City")
-	disc, err := p.Discover(dialite.DiscoverRequest{
+	disc, err := p.Discover(ctx, dialite.DiscoverRequest{
 		Query:       q,
 		QueryColumn: city,
 		Methods:     []string{"inner-join-size"},
@@ -98,7 +100,7 @@ func main() {
 	// later sets.
 	err = p.Operators().Register(dialite.OperatorFunc{
 		OpName: "left-join",
-		F: func(schema []string, sets []dialite.AlignedSet) ([]dialite.Tuple, error) {
+		F: func(ctx context.Context, schema []string, sets []dialite.AlignedSet) ([]dialite.Tuple, error) {
 			if len(sets) == 0 {
 				return nil, nil
 			}
@@ -120,7 +122,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	integ, err := p.Integrate(dialite.IntegrateRequest{
+	integ, err := p.Integrate(ctx, dialite.IntegrateRequest{
 		Tables:   disc.IntegrationSet,
 		Operator: "left-join",
 	})

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A lake with ground truth: 8 families x 4 partitions, 2 joinable
 	// companions each, 10 noise tables — 58 tables.
 	lake := dialite.GenerateSyntheticLake(dialite.SyntheticLakeOptions{
@@ -45,7 +47,7 @@ func main() {
 		keyCol := lake.Truth.KeyColumn[qname]
 		fmt.Printf("query %s (key column %d)\n", qname, keyCol)
 		for _, m := range methods {
-			resp, err := p.Discover(dialite.DiscoverRequest{
+			resp, err := p.Discover(ctx, dialite.DiscoverRequest{
 				Query:       q,
 				QueryColumn: keyCol,
 				Methods:     []string{m},

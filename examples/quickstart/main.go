@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A two-table data lake: population figures and GDP figures keyed by
 	// city, with different column headers (open data is inconsistent).
 	pop := dialite.NewTable("city_population", "Town", "Population")
@@ -39,7 +41,7 @@ func main() {
 
 	// Stage 1+2 end to end: discover related tables (joinable on the city
 	// column), then integrate everything with ALITE's Full Disjunction.
-	res, err := p.Run(dialite.RunRequest{
+	res, err := p.Run(ctx, dialite.RunRequest{
 		Query:       q,
 		QueryColumn: 0, // the intent/query column: Name
 		Methods:     []string{"lsh-join", "josie-join"},

@@ -1,0 +1,158 @@
+// Serve stands the DIALITE pipeline up as an HTTP service and drives a full
+// discover + integrate round trip against it over the wire — the paper's
+// web-served demonstration system (Fig. 1 behind an interactive UI) as a
+// programmatic client session. The same endpoints are reachable with curl:
+//
+//	dialite serve -lake DIR -addr :8080 &
+//	curl -s :8080/v1/discover  -d '{"query": {...}, "queryColumn": 1}'
+//	curl -s :8080/v1/integrate -d '{"names": ["T1","T2","T3"]}'
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	dialite "repro"
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The demo lake: T2 (unionable with T1) and T3 (joinable with T1).
+	p, err := dialite.New([]*dialite.Table{t2(), t3()}, dialite.Config{Knowledge: dialite.DemoKB()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start the server; ListenAndServe shuts down gracefully when ctx is
+	// cancelled at the end of this session.
+	const addr = "127.0.0.1:8321"
+	srv := dialite.NewServer(p, dialite.ServeConfig{Timeout: 10 * time.Second})
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(ctx, addr) }()
+	waitHealthy(addr)
+	fmt.Printf("serving %d-table lake on %s\n\n", p.Lake().Size(), addr)
+
+	// Round trip 1: discover related tables for the query table T1.
+	q := t1()
+	var disc struct {
+		PerMethod map[string][]struct {
+			Table string  `json:"table"`
+			Score float64 `json:"score"`
+		} `json:"perMethod"`
+		IntegrationSet []string `json:"integrationSet"`
+	}
+	post(addr, "/v1/discover", map[string]any{
+		"query":       dialite.EncodeTableJSON(q),
+		"queryColumn": 1, // the City intent column
+	}, &disc)
+	for method, results := range disc.PerMethod {
+		fmt.Printf("%-14s", method)
+		for _, r := range results {
+			fmt.Printf("  %s (%.2f)", r.Table, r.Score)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("integration set: %v\n\n", disc.IntegrationSet)
+
+	// Round trip 2: integrate the discovered set — lake tables by name, the
+	// query table inline — with ALITE's Full Disjunction.
+	var integ struct {
+		Table    dialite.TableJSON `json:"table"`
+		Operator string            `json:"operator"`
+	}
+	post(addr, "/v1/integrate", map[string]any{
+		"names":  disc.IntegrationSet[1:], // lake members (T2, T3)
+		"tables": []any{dialite.EncodeTableJSON(q)},
+	}, &integ)
+	fmt.Printf("%s integrated %d tuples over schema %v\n",
+		integ.Operator, len(integ.Table.Rows), integ.Table.Columns)
+
+	// Round trip 3: analysis over the integrated table, still on the wire.
+	var corr struct {
+		R float64 `json:"r"`
+		N int     `json:"n"`
+	}
+	post(addr, "/v1/correlate", map[string]any{
+		"table": integ.Table,
+		"colA":  "Vaccination Rate (1+ dose)",
+		"colB":  "Death Rate (per 100k residents)",
+	}, &corr)
+	fmt.Printf("correlation(vaccination, death) = %.2f over %d cities\n", corr.R, corr.N)
+
+	cancel()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver shut down gracefully")
+}
+
+// post sends one JSON request and decodes the response into out, failing
+// loudly on any error — examples trade robustness for readability.
+func post(addr, path string, body any, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s: %d %s", path, resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// The paper's tables (Fig. 2), built through the public API.
+func t1() *dialite.Table {
+	t := dialite.NewTable("T1", "Country", "City", "Vaccination Rate (1+ dose)")
+	t.MustAddRow(dialite.String("Germany"), dialite.String("Berlin"), dialite.String("63%"))
+	t.MustAddRow(dialite.String("England"), dialite.String("Manchester"), dialite.String("78%"))
+	t.MustAddRow(dialite.String("Spain"), dialite.String("Barcelona"), dialite.String("82%"))
+	return t
+}
+
+func t2() *dialite.Table {
+	t := dialite.NewTable("T2", "Country", "City", "Vaccination Rate (1+ dose)")
+	t.MustAddRow(dialite.String("Canada"), dialite.String("Toronto"), dialite.String("83%"))
+	t.MustAddRow(dialite.String("Mexico"), dialite.String("Mexico City"), dialite.Null())
+	t.MustAddRow(dialite.String("USA"), dialite.String("Boston"), dialite.String("62%"))
+	return t
+}
+
+func t3() *dialite.Table {
+	t := dialite.NewTable("T3", "City", "Total Cases", "Death Rate (per 100k residents)")
+	t.MustAddRow(dialite.String("Berlin"), dialite.String("1.4M"), dialite.Int(147))
+	t.MustAddRow(dialite.String("Barcelona"), dialite.String("2.68M"), dialite.Int(275))
+	t.MustAddRow(dialite.String("Boston"), dialite.String("263k"), dialite.Int(335))
+	t.MustAddRow(dialite.String("New Delhi"), dialite.String("2M"), dialite.Int(158))
+	return t
+}
+
+func waitHealthy(addr string) {
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("server never became healthy")
+}

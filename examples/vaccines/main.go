@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,6 +33,7 @@ func vaccineTables() []*dialite.Table {
 }
 
 func main() {
+	ctx := context.Background()
 	// No discovery here: the integration set is given (the "traditional
 	// data integration scenario" of paper §2.2). The lake can be empty.
 	p, err := dialite.New(nil, dialite.Config{Knowledge: dialite.DemoKB()})
@@ -41,7 +43,7 @@ func main() {
 	set := vaccineTables()
 
 	// Integration operator 1: the user-chosen outer join (Fig. 8a).
-	oj, err := p.Integrate(dialite.IntegrateRequest{Tables: set, Operator: "outer-join"})
+	oj, err := p.Integrate(ctx, dialite.IntegrateRequest{Tables: set, Operator: "outer-join"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 	// Integration operator 2: ALITE's Full Disjunction (Fig. 8b). Note
 	// the extra tuple (J&J, FDA, United States): FD connects t13 and t15
 	// through their shared country.
-	fd, err := p.Integrate(dialite.IntegrateRequest{Tables: set})
+	fd, err := p.Integrate(ctx, dialite.IntegrateRequest{Tables: set})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,14 +62,14 @@ func main() {
 
 	// Downstream application: entity resolution (Fig. 8c/8d). The demo KB
 	// knows J&J ≈ JnJ and USA ≈ United States.
-	erOJ, err := p.ResolveEntities(oj.Table, dialite.EROptions{})
+	erOJ, err := p.ResolveEntities(ctx, oj.Table, dialite.EROptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("— ER over outer join: %d rows -> %d entities —\n", oj.Table.NumRows(), erOJ.Resolved.NumRows())
 	fmt.Println(erOJ.Resolved)
 
-	erFD, err := p.ResolveEntities(fd.Table, dialite.EROptions{})
+	erFD, err := p.ResolveEntities(ctx, fd.Table, dialite.EROptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package dialite
 
 import (
+	"context"
+
 	"repro/internal/discovery"
 	"repro/internal/er"
 	"repro/internal/fd"
@@ -60,9 +62,10 @@ func TrainERMatcher(pairs []ERTrainingPair, opts ERTrainOptions) (*ERModel, erro
 	return er.TrainLogistic(pairs, opts)
 }
 
-// ResolveWithModel runs entity resolution with a trained matcher.
-func ResolveWithModel(t *Table, model *ERModel, knowledge *KB, threshold float64) (*ERResolution, error) {
-	return er.ResolveLearned(t, model, knowledge, threshold)
+// ResolveWithModel runs entity resolution with a trained matcher. ctx is
+// observed across the pair-scoring loop, like every pipeline stage.
+func ResolveWithModel(ctx context.Context, t *Table, model *ERModel, knowledge *KB, threshold float64) (*ERResolution, error) {
+	return er.ResolveLearned(ctx, t, model, knowledge, threshold)
 }
 
 // DemoERTrainingPairs returns the built-in labeled pairs derived from the

@@ -1,6 +1,7 @@
 package dialite_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestPublicLearnedERMatcher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dialite.ResolveWithModel(paperdata.Fig8bExpected(), model, k, 0)
+	res, err := dialite.ResolveWithModel(context.Background(), paperdata.Fig8bExpected(), model, k, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestPublicAutoMatcher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := p.Integrate(dialite.IntegrateRequest{Tables: paperdata.VaccineSet(), Matcher: m})
+	resp, err := p.Integrate(context.Background(), dialite.IntegrateRequest{Tables: paperdata.VaccineSet(), Matcher: m})
 	if err != nil {
 		t.Fatal(err)
 	}

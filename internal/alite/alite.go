@@ -7,6 +7,7 @@
 package alite
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -53,7 +54,9 @@ type Result struct {
 }
 
 // Integrate aligns and integrates an integration set with ALITE.
-func Integrate(tables []*table.Table, opts Options) (*Result, error) {
+// Cancelling ctx aborts the Full Disjunction mid-closure with ctx.Err();
+// an uncancelled call is byte-identical to running without a context.
+func Integrate(ctx context.Context, tables []*table.Table, opts Options) (*Result, error) {
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("alite: empty integration set")
 	}
@@ -72,9 +75,12 @@ func Integrate(tables []*table.Table, opts Options) (*Result, error) {
 	in.Dict = opts.Dict
 	var tuples []fd.Tuple
 	if opts.Workers > 0 {
-		tuples = fd.Parallel(in, opts.Workers)
+		tuples, err = fd.ParallelCtx(ctx, in, opts.Workers)
 	} else {
-		tuples = fd.ALITE(in)
+		tuples, err = fd.ALITECtx(ctx, in)
+	}
+	if err != nil {
+		return nil, err
 	}
 	name := integratedName(tables)
 	return &Result{

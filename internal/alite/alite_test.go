@@ -1,6 +1,7 @@
 package alite
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func paperRowIDs(tableName string, row int) string {
 func TestIntegrateFig3EndToEnd(t *testing.T) {
 	// Full ALITE: holistic matching + FD over the paper's three tables,
 	// compared against Fig. 3 including null kinds.
-	res, err := Integrate([]*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()}, Options{
+	res, err := Integrate(context.Background(), []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()}, Options{
 		Knowledge: kb.Demo(),
 		RowIDs:    paperRowIDs,
 	})
@@ -36,7 +37,7 @@ func TestIntegrateFig3EndToEnd(t *testing.T) {
 }
 
 func TestIntegrateFig8bEndToEnd(t *testing.T) {
-	res, err := Integrate(paperdata.VaccineSet(), Options{
+	res, err := Integrate(context.Background(), paperdata.VaccineSet(), Options{
 		Knowledge: kb.Demo(),
 		RowIDs:    paperRowIDs,
 	})
@@ -76,7 +77,7 @@ func TestIntegrateFig8bEndToEnd(t *testing.T) {
 }
 
 func TestIntegrateWithProvenanceColumn(t *testing.T) {
-	res, err := Integrate(paperdata.VaccineSet(), Options{
+	res, err := Integrate(context.Background(), paperdata.VaccineSet(), Options{
 		Knowledge:      kb.Demo(),
 		RowIDs:         paperRowIDs,
 		WithProvenance: true,
@@ -102,11 +103,11 @@ func TestIntegrateWithProvenanceColumn(t *testing.T) {
 }
 
 func TestIntegrateParallelMatchesSequential(t *testing.T) {
-	seq, err := Integrate(paperdata.VaccineSet(), Options{Knowledge: kb.Demo()})
+	seq, err := Integrate(context.Background(), paperdata.VaccineSet(), Options{Knowledge: kb.Demo()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Integrate(paperdata.VaccineSet(), Options{Knowledge: kb.Demo(), Workers: 4})
+	par, err := Integrate(context.Background(), paperdata.VaccineSet(), Options{Knowledge: kb.Demo(), Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestIntegrateWithOracleMatcher(t *testing.T) {
 		}
 		return ""
 	}}
-	res, err := Integrate(paperdata.VaccineSet(), Options{Matcher: oracle, RowIDs: paperRowIDs})
+	res, err := Integrate(context.Background(), paperdata.VaccineSet(), Options{Matcher: oracle, RowIDs: paperRowIDs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,13 +141,13 @@ func TestIntegrateWithOracleMatcher(t *testing.T) {
 }
 
 func TestIntegrateErrors(t *testing.T) {
-	if _, err := Integrate(nil, Options{}); err == nil {
+	if _, err := Integrate(context.Background(), nil, Options{}); err == nil {
 		t.Error("empty integration set must error")
 	}
 }
 
 func TestDefaultRowIDs(t *testing.T) {
-	res, err := Integrate(paperdata.VaccineSet(), Options{Knowledge: kb.Demo()})
+	res, err := Integrate(context.Background(), paperdata.VaccineSet(), Options{Knowledge: kb.Demo()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alite"
@@ -140,10 +141,21 @@ type DiscoverResponse struct {
 // Discover runs stage 1. The configured discoverers fan out concurrently
 // (discovery.RunAll), so a multi-method query costs as much as its slowest
 // method; the merged response is deterministic and identical to running the
-// methods one by one.
-func (p *Pipeline) Discover(req DiscoverRequest) (*DiscoverResponse, error) {
+// methods one by one. Cancelling ctx aborts the fan-out — workers stop at
+// their next checkpoint, none leak — and Discover returns ctx.Err().
+//
+// The request is validated up front: a nil query, a negative K, or a
+// QueryColumn outside the query table's columns is rejected with a
+// descriptive error before any discoverer runs.
+func (p *Pipeline) Discover(ctx context.Context, req DiscoverRequest) (*DiscoverResponse, error) {
 	if req.Query == nil {
 		return nil, fmt.Errorf("core: discover: nil query table")
+	}
+	if req.K < 0 {
+		return nil, fmt.Errorf("core: discover: negative K %d (0 means the default of 10)", req.K)
+	}
+	if req.QueryColumn < 0 || req.QueryColumn >= req.Query.NumCols() {
+		return nil, fmt.Errorf("core: discover: query column %d out of range for table %q with %d columns", req.QueryColumn, req.Query.Name, req.Query.NumCols())
 	}
 	methods := req.Methods
 	if len(methods) == 0 {
@@ -153,7 +165,7 @@ func (p *Pipeline) Discover(req DiscoverRequest) (*DiscoverResponse, error) {
 	if k == 0 {
 		k = 10
 	}
-	perMethod, set, err := discovery.Discover(p.discoverers, p.lake, req.Query, req.QueryColumn, k, methods)
+	perMethod, set, err := discovery.Discover(ctx, p.discoverers, p.lake, req.Query, req.QueryColumn, k, methods)
 	if err != nil {
 		return nil, fmt.Errorf("core: discover: %w", err)
 	}
@@ -186,8 +198,10 @@ type IntegrateResponse struct {
 	Operator string
 }
 
-// Integrate runs stage 2.
-func (p *Pipeline) Integrate(req IntegrateRequest) (*IntegrateResponse, error) {
+// Integrate runs stage 2. Cancelling ctx aborts the integration operator
+// mid-run (the default FD operator polls it inside the complementation
+// closure) and Integrate returns ctx.Err().
+func (p *Pipeline) Integrate(ctx context.Context, req IntegrateRequest) (*IntegrateResponse, error) {
 	if len(req.Tables) == 0 {
 		return nil, fmt.Errorf("core: integrate: empty integration set")
 	}
@@ -209,7 +223,7 @@ func (p *Pipeline) Integrate(req IntegrateRequest) (*IntegrateResponse, error) {
 		fdOp.Dict = p.lake.Dict()
 		op = fdOp
 	}
-	out, tuples, err := integrate.Apply(op, req.Tables, matcher, req.RowIDs, req.WithProvenance)
+	out, tuples, err := integrate.Apply(ctx, op, req.Tables, matcher, req.RowIDs, req.WithProvenance)
 	if err != nil {
 		return nil, fmt.Errorf("core: integrate: %w", err)
 	}
@@ -217,9 +231,10 @@ func (p *Pipeline) Integrate(req IntegrateRequest) (*IntegrateResponse, error) {
 }
 
 // IntegrateALITE runs ALITE directly (matcher + FD with full intermediate
-// artifacts), the default path of the demo.
-func (p *Pipeline) IntegrateALITE(tables []*table.Table, rowIDs alite.RowIDFunc, withProvenance bool) (*alite.Result, error) {
-	return alite.Integrate(tables, alite.Options{
+// artifacts), the default path of the demo. ctx cancellation aborts the FD
+// closure, as in Integrate.
+func (p *Pipeline) IntegrateALITE(ctx context.Context, tables []*table.Table, rowIDs alite.RowIDFunc, withProvenance bool) (*alite.Result, error) {
+	return alite.Integrate(ctx, tables, alite.Options{
 		Knowledge:      p.lake.Knowledge(),
 		RowIDs:         rowIDs,
 		WithProvenance: withProvenance,
@@ -228,8 +243,13 @@ func (p *Pipeline) IntegrateALITE(tables []*table.Table, rowIDs alite.RowIDFunc,
 }
 
 // Correlate computes the Pearson correlation between two columns of an
-// integrated table, by header name (stage 3, Example 3).
-func (p *Pipeline) Correlate(t *table.Table, colA, colB string) (float64, int, error) {
+// integrated table, by header name (stage 3, Example 3). The computation is
+// one linear pass; ctx is checked once at entry so an already-expired
+// request deadline (the serving layer's timeout) fails fast.
+func (p *Pipeline) Correlate(ctx context.Context, t *table.Table, colA, colB string) (float64, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	a, ok := t.ColumnIndex(colA)
 	if !ok {
 		return 0, 0, fmt.Errorf("core: analyze: no column %q in %q", colA, t.Name)
@@ -242,31 +262,33 @@ func (p *Pipeline) Correlate(t *table.Table, colA, colB string) (float64, int, e
 }
 
 // ResolveEntities runs entity resolution over an integrated table with the
-// pipeline's knowledge base (stage 3, Example 5).
+// pipeline's knowledge base (stage 3, Example 5). ctx is observed across
+// the pair-comparison loop; a cancelled call returns ctx.Err() promptly.
 //
-// Cells that are lake values (the usual case — integrated tables are built
-// from lake tables) resolve through the lake's bounded annotation cache.
-// Values outside the lake vocabulary are cached in the shared annotator
-// too, so resolving many unrelated user-supplied tables through one
-// pipeline grows its memory with their distinct strings; pass your own
-// er.Options.Annotator (or Knowledge) to keep such resolutions per-call.
-func (p *Pipeline) ResolveEntities(t *table.Table, opts er.Options) (*er.Resolution, error) {
+// Resolution is request-scoped: when resolving with the lake's own KB the
+// call runs through a kb.Annotator.ERScope of the lake-wide annotation
+// cache — known lake canonicals and compiled-KB entities resolve to their
+// shared codes, while strings outside both are cached (with collision-free
+// top-down extended IDs) only for the duration of the call. Resolving any
+// number of unrelated user-supplied tables through one long-lived pipeline
+// therefore no longer grows the pipeline's memory. Pass your own
+// er.Options.Annotator (or Knowledge) to override the scoping.
+func (p *Pipeline) ResolveEntities(ctx context.Context, t *table.Table, opts er.Options) (*er.Resolution, error) {
 	if opts.Knowledge == nil {
 		opts.Knowledge = p.lake.Knowledge()
 		if opts.Annotator == nil {
-			// Resolving with the lake's own KB: share the lake-wide
-			// annotation cache, so cells that are lake values resolve
-			// without re-canonicalization — but only while the KB is
+			// Resolving with the lake's own KB: scope the lake-wide
+			// annotation cache per request — but only while the KB is
 			// unchanged since the lake was built or last re-annotated
 			// (kb.Annotator.UpToDate). A mutated KB falls back to a fresh
 			// per-call cache over the recompiled engine, honoring the
 			// mutation as the string path always did.
 			if ann := p.lake.Annotator(); ann.UpToDate(opts.Knowledge) {
-				opts.Annotator = ann
+				opts.Annotator = ann.ERScope()
 			}
 		}
 	}
-	return er.Resolve(t, opts)
+	return er.Resolve(ctx, t, opts)
 }
 
 // RunRequest configures an end-to-end pipeline run.
@@ -286,9 +308,10 @@ type RunResult struct {
 }
 
 // Run executes discover then integrate (Fig. 1 end to end). Analysis is
-// left to the caller, who picks the downstream application.
-func (p *Pipeline) Run(req RunRequest) (*RunResult, error) {
-	disc, err := p.Discover(DiscoverRequest{
+// left to the caller, who picks the downstream application. ctx flows
+// through both stages; cancellation aborts whichever stage is running.
+func (p *Pipeline) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
+	disc, err := p.Discover(ctx, DiscoverRequest{
 		Query:       req.Query,
 		QueryColumn: req.QueryColumn,
 		Methods:     req.Methods,
@@ -297,7 +320,7 @@ func (p *Pipeline) Run(req RunRequest) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	integ, err := p.Integrate(IntegrateRequest{
+	integ, err := p.Integrate(ctx, IntegrateRequest{
 		Tables:         disc.IntegrationSet,
 		Operator:       req.Operator,
 		WithProvenance: req.WithProvenance,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func TestFig1EndToEndPipeline(t *testing.T) {
 	p := demoPipeline(t)
 	q := paperdata.T1()
 	city, _ := q.ColumnIndex(paperdata.ColCity)
-	res, err := p.Run(RunRequest{Query: q, QueryColumn: city})
+	res, err := p.Run(context.Background(), RunRequest{Query: q, QueryColumn: city})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,14 +52,14 @@ func TestFig1EndToEndPipeline(t *testing.T) {
 		t.Fatalf("pipeline integration != Fig. 3:\n%s", res.Integration.Table)
 	}
 	// Analysis reproduces Example 3.
-	r1, n1, err := p.Correlate(res.Integration.Table, paperdata.ColVaccRate, paperdata.ColDeathRate)
+	r1, n1, err := p.Correlate(context.Background(), res.Integration.Table, paperdata.ColVaccRate, paperdata.ColDeathRate)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n1 != 3 || math.Abs(math.Round(r1*100)/100-0.16) > 1e-9 {
 		t.Errorf("corr(vacc,death) = %v over %d pairs, want 0.16 over 3", r1, n1)
 	}
-	r2, _, err := p.Correlate(res.Integration.Table, paperdata.ColCases, paperdata.ColVaccRate)
+	r2, _, err := p.Correlate(context.Background(), res.Integration.Table, paperdata.ColCases, paperdata.ColVaccRate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFig1EndToEndPipeline(t *testing.T) {
 func TestDiscoverPerMethodResults(t *testing.T) {
 	p := demoPipeline(t)
 	q := paperdata.T1()
-	resp, err := p.Discover(DiscoverRequest{Query: q, QueryColumn: 1})
+	resp, err := p.Discover(context.Background(), DiscoverRequest{Query: q, QueryColumn: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,67 @@ func TestDiscoverPerMethodResults(t *testing.T) {
 
 func TestDiscoverValidation(t *testing.T) {
 	p := demoPipeline(t)
-	if _, err := p.Discover(DiscoverRequest{}); err == nil {
+	if _, err := p.Discover(context.Background(), DiscoverRequest{}); err == nil {
 		t.Error("nil query must error")
 	}
-	if _, err := p.Discover(DiscoverRequest{Query: paperdata.T1(), Methods: []string{"nope"}}); err == nil {
+	if _, err := p.Discover(context.Background(), DiscoverRequest{Query: paperdata.T1(), Methods: []string{"nope"}}); err == nil {
 		t.Error("unknown method must error")
+	}
+	if _, err := p.Discover(context.Background(), DiscoverRequest{Query: paperdata.T1(), K: -1}); err == nil || !strings.Contains(err.Error(), "negative K") {
+		t.Errorf("negative K = %v, want descriptive error", err)
+	}
+	for _, col := range []int{-1, paperdata.T1().NumCols()} {
+		if _, err := p.Discover(context.Background(), DiscoverRequest{Query: paperdata.T1(), QueryColumn: col}); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("query column %d = %v, want out-of-range error", col, err)
+		}
+	}
+}
+
+// TestResolveEntitiesRequestScoped pins the ER scoping semantics: resolving
+// a foreign (non-lake) table through the pipeline must produce exactly the
+// resolution a fresh per-call annotator would, while running through a
+// request scope of the shared lake cache (kb.Annotator.ERScope) — same
+// clusters, same pair scores, with nothing request-specific surviving the
+// call in the shared annotator (pinned structurally in the kb package).
+func TestResolveEntitiesRequestScoped(t *testing.T) {
+	p := demoPipeline(t)
+	tb := table.New("guest", "Vaccine", "Agency", "Country")
+	tb.MustAddRow(table.StringValue("JnJ"), table.StringValue("FDA"), table.StringValue("USA"))
+	tb.MustAddRow(table.StringValue("J&J"), table.StringValue("FDA"), table.StringValue("United States"))
+	tb.MustAddRow(table.StringValue("Frobnicate Labs"), table.NullValue(), table.StringValue("Erewhon"))
+	tb.MustAddRow(table.StringValue("Frobnicate  Labs"), table.NullValue(), table.StringValue("Erewhon"))
+	got, err := p.ResolveEntities(context.Background(), tb, er.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := er.Resolve(context.Background(), tb, er.Options{Knowledge: p.Lake().Knowledge()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != len(want.Clusters) {
+		t.Fatalf("scoped resolution: %d clusters, fresh annotator: %d", len(got.Clusters), len(want.Clusters))
+	}
+	for i := range got.Clusters {
+		if len(got.Clusters[i]) != len(want.Clusters[i]) {
+			t.Fatalf("cluster %d: scoped %v vs fresh %v", i, got.Clusters[i], want.Clusters[i])
+		}
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("scoped pairs %d vs fresh %d", len(got.Pairs), len(want.Pairs))
+	}
+	for i := range got.Pairs {
+		if got.Pairs[i] != want.Pairs[i] {
+			t.Fatalf("pair %d: scoped %+v vs fresh %+v", i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+	// Repeat resolutions stay deterministic — each request gets a fresh
+	// scope, never residue from the previous one.
+	again, err := p.ResolveEntities(context.Background(), tb, er.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Clusters) != len(got.Clusters) {
+		t.Fatalf("second scoped resolution diverged: %d vs %d clusters", len(again.Clusters), len(got.Clusters))
 	}
 }
 
@@ -96,7 +153,7 @@ func TestIntegrateUserProvidedSet(t *testing.T) {
 	// §2.2: the integration set can be user-provided (traditional
 	// integration) — the Fig. 7 vaccine tables without discovery.
 	p := demoPipeline(t)
-	resp, err := p.Integrate(IntegrateRequest{
+	resp, err := p.Integrate(context.Background(), IntegrateRequest{
 		Tables: paperdata.VaccineSet(),
 		RowIDs: func(name string, row int) string { return paperdata.TupleID(name, row) },
 	})
@@ -116,7 +173,7 @@ func TestIntegrateUserProvidedSet(t *testing.T) {
 
 func TestIntegrateWithAlternativeOperator(t *testing.T) {
 	p := demoPipeline(t)
-	resp, err := p.Integrate(IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "outer-join"})
+	resp, err := p.Integrate(context.Background(), IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "outer-join"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,10 +183,10 @@ func TestIntegrateWithAlternativeOperator(t *testing.T) {
 	if !got.EqualUnordered(want) {
 		t.Fatalf("outer-join != Fig. 8(a):\n%s", resp.Table)
 	}
-	if _, err := p.Integrate(IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "nope"}); err == nil {
+	if _, err := p.Integrate(context.Background(), IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "nope"}); err == nil {
 		t.Error("unknown operator must error")
 	}
-	if _, err := p.Integrate(IntegrateRequest{}); err == nil {
+	if _, err := p.Integrate(context.Background(), IntegrateRequest{}); err == nil {
 		t.Error("empty set must error")
 	}
 }
@@ -137,11 +194,11 @@ func TestIntegrateWithAlternativeOperator(t *testing.T) {
 func TestResolveEntitiesEndToEnd(t *testing.T) {
 	// Fig. 8(d) via the pipeline: integrate with FD, then ER.
 	p := demoPipeline(t)
-	resp, err := p.Integrate(IntegrateRequest{Tables: paperdata.VaccineSet()})
+	resp, err := p.Integrate(context.Background(), IntegrateRequest{Tables: paperdata.VaccineSet()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.ResolveEntities(resp.Table, er.Options{})
+	res, err := p.ResolveEntities(context.Background(), resp.Table, er.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +248,7 @@ func TestExtensibilityUserDiscovererAndOperator(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := paperdata.T1()
-	res, err := p.Run(RunRequest{Query: q, QueryColumn: 1, Methods: []string{"overlap-sim"}, Operator: "user-outer-join"})
+	res, err := p.Run(context.Background(), RunRequest{Query: q, QueryColumn: 1, Methods: []string{"overlap-sim"}, Operator: "user-outer-join"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +274,7 @@ func TestGenerateQueryTablePassthrough(t *testing.T) {
 	if !ok {
 		t.Fatal("generated table missing City")
 	}
-	resp, err := p.Discover(DiscoverRequest{Query: q, QueryColumn: city})
+	resp, err := p.Discover(context.Background(), DiscoverRequest{Query: q, QueryColumn: city})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,10 +286,10 @@ func TestGenerateQueryTablePassthrough(t *testing.T) {
 func TestCorrelateErrors(t *testing.T) {
 	p := demoPipeline(t)
 	tb := paperdata.T3()
-	if _, _, err := p.Correlate(tb, "nope", paperdata.ColCases); err == nil {
+	if _, _, err := p.Correlate(context.Background(), tb, "nope", paperdata.ColCases); err == nil {
 		t.Error("unknown column must error")
 	}
-	if _, _, err := p.Correlate(tb, paperdata.ColCases, "nope"); err == nil {
+	if _, _, err := p.Correlate(context.Background(), tb, paperdata.ColCases, "nope"); err == nil {
 		t.Error("unknown column must error")
 	}
 }
@@ -268,7 +325,7 @@ func TestResolveEntitiesHonorsKBMutation(t *testing.T) {
 	tb := table.New("m", "org")
 	tb.MustAddRow(table.StringValue("Globex Corp"))
 	tb.MustAddRow(table.StringValue("GBX"))
-	res, err := p.ResolveEntities(tb, er.Options{})
+	res, err := p.ResolveEntities(context.Background(), tb, er.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +333,7 @@ func TestResolveEntitiesHonorsKBMutation(t *testing.T) {
 		t.Fatalf("before alias: %d clusters, want 2", len(res.Clusters))
 	}
 	p.Lake().Knowledge().AddAlias("GBX", "Globex Corp")
-	res, err = p.ResolveEntities(tb, er.Options{})
+	res, err = p.ResolveEntities(context.Background(), tb, er.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +357,7 @@ func TestPipelineMutableLake(t *testing.T) {
 	// The added table is discoverable end to end through the pipeline.
 	q := paperdata.T1()
 	city, _ := q.ColumnIndex(paperdata.ColCity)
-	resp, err := p.Discover(DiscoverRequest{Query: q, QueryColumn: city, Methods: []string{"lsh-join"}})
+	resp, err := p.Discover(context.Background(), DiscoverRequest{Query: q, QueryColumn: city, Methods: []string{"lsh-join"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +371,7 @@ func TestPipelineMutableLake(t *testing.T) {
 	if err := p.RemoveTables("T9"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = p.Discover(DiscoverRequest{Query: q, QueryColumn: city, Methods: []string{"lsh-join"}})
+	resp, err = p.Discover(context.Background(), DiscoverRequest{Query: q, QueryColumn: city, Methods: []string{"lsh-join"}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -53,10 +54,14 @@ type Result struct {
 
 // Discoverer finds tables related to a query table. queryCol is the
 // intent/query column the demo asks the user to select; k<=0 returns all
-// matches.
+// matches. Discover observes ctx cooperatively: once the context is
+// cancelled it returns (nil, ctx.Err()) promptly instead of finishing the
+// scan — the contract the serving layer's per-request timeouts rely on.
+// Implementations must treat an uncancelled ctx as a no-op (results
+// identical to running without one).
 type Discoverer interface {
 	Name() string
-	Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error)
+	Discover(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error)
 }
 
 // SantosUnion is semantic unionable search (SANTOS).
@@ -66,8 +71,8 @@ type SantosUnion struct{}
 func (SantosUnion) Name() string { return "santos-union" }
 
 // Discover implements Discoverer.
-func (SantosUnion) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
-	res, err := l.Santos().Query(q, queryCol, k)
+func (SantosUnion) Discover(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
+	res, err := l.Santos().QueryCtx(ctx, q, queryCol, k)
 	if err != nil {
 		return nil, fmt.Errorf("discovery: santos: %w", err)
 	}
@@ -89,7 +94,7 @@ type LSHJoin struct {
 func (LSHJoin) Name() string { return "lsh-join" }
 
 // Discover implements Discoverer.
-func (d LSHJoin) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
+func (d LSHJoin) Discover(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
 	th := d.Threshold
 	if th == 0 {
 		th = 0.5
@@ -100,9 +105,12 @@ func (d LSHJoin) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Resu
 	}
 	var hits []lshensemble.Result
 	if cached != nil {
-		hits = l.Join().QueryDomain(cached, th, 0)
+		hits, err = l.Join().QueryDomainCtx(ctx, cached, th, 0)
 	} else {
-		hits = l.Join().Query(domain, th, 0)
+		hits, err = l.Join().QueryCtx(ctx, domain, th, 0)
+	}
+	if err != nil {
+		return nil, err
 	}
 	best := make(map[string]Result)
 	for _, h := range hits {
@@ -124,16 +132,19 @@ type JosieJoin struct{}
 func (JosieJoin) Name() string { return "josie-join" }
 
 // Discover implements Discoverer.
-func (JosieJoin) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
+func (JosieJoin) Discover(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
 	cached, domain, err := queryColumnDomain(l, q, queryCol)
 	if err != nil {
 		return nil, fmt.Errorf("discovery: josie-join: %w", err)
 	}
 	var hits []josie.Result
 	if cached != nil {
-		hits = l.Josie().TopKIDs(cached.IDs, 0)
+		hits, err = l.Josie().TopKIDsCtx(ctx, cached.IDs, 0)
 	} else {
-		hits = l.Josie().TopK(domain, 0)
+		hits, err = l.Josie().TopKCtx(ctx, domain, 0)
+	}
+	if err != nil {
+		return nil, err
 	}
 	best := make(map[string]Result)
 	for _, h := range hits {
@@ -158,7 +169,7 @@ type SyntacticUnion struct{}
 func (SyntacticUnion) Name() string { return "syntactic-union" }
 
 // Discover implements Discoverer.
-func (SyntacticUnion) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
+func (SyntacticUnion) Discover(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
 	if q.NumCols() == 0 {
 		return nil, fmt.Errorf("discovery: syntactic-union: query table %q has no columns", q.Name)
 	}
@@ -173,6 +184,9 @@ func (SyntacticUnion) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([
 	}
 	best := make(map[string]Result)
 	for name, doms := range perTable {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t, ok := l.Get(name)
 		if !ok || name == q.Name {
 			continue
@@ -214,12 +228,15 @@ type SimilarityFunc struct {
 func (s SimilarityFunc) Name() string { return s.FuncName }
 
 // Discover implements Discoverer.
-func (s SimilarityFunc) Discover(l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
+func (s SimilarityFunc) Discover(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int) ([]Result, error) {
 	if s.Sim == nil {
 		return nil, fmt.Errorf("discovery: %q has no similarity function", s.FuncName)
 	}
 	best := make(map[string]Result)
 	for _, t := range l.Tables() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if t.Name == q.Name {
 			continue
 		}

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestFig2SantosFindsT2(t *testing.T) {
 	// Example 1: unionable search with intent column City returns T2 first.
 	l := demoLake(t)
 	q := paperdata.T1()
-	got, err := SantosUnion{}.Discover(l, q, cityCol(t, q), 1)
+	got, err := SantosUnion{}.Discover(context.Background(), l, q, cityCol(t, q), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestFig2LSHJoinFindsT3(t *testing.T) {
 	// city column contains 2/3 of the query's cities; T2's contains none).
 	l := demoLake(t)
 	q := paperdata.T1()
-	got, err := LSHJoin{Threshold: 0.5}.Discover(l, q, cityCol(t, q), 0)
+	got, err := LSHJoin{Threshold: 0.5}.Discover(context.Background(), l, q, cityCol(t, q), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig2LSHJoinFindsT3(t *testing.T) {
 func TestJosieJoinRanksByOverlap(t *testing.T) {
 	l := demoLake(t)
 	q := paperdata.T1()
-	got, err := JosieJoin{}.Discover(l, q, cityCol(t, q), 0)
+	got, err := JosieJoin{}.Discover(context.Background(), l, q, cityCol(t, q), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +84,11 @@ func TestIntegrationSetMergesMethods(t *testing.T) {
 	// to form an integration set."
 	l := demoLake(t)
 	q := paperdata.T1()
-	u, err := SantosUnion{}.Discover(l, q, cityCol(t, q), 10)
+	u, err := SantosUnion{}.Discover(context.Background(), l, q, cityCol(t, q), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := LSHJoin{}.Discover(l, q, cityCol(t, q), 10)
+	j, err := LSHJoin{}.Discover(context.Background(), l, q, cityCol(t, q), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestIntegrationSetMergesMethods(t *testing.T) {
 func TestSyntacticUnionBaseline(t *testing.T) {
 	l := demoLake(t)
 	q := paperdata.T1()
-	got, err := SyntacticUnion{}.Discover(l, q, 0, 0)
+	got, err := SyntacticUnion{}.Discover(context.Background(), l, q, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestUserDefinedSimilarity(t *testing.T) {
 			return float64(best)
 		},
 	}
-	got, err := innerJoinSize.Discover(l, q, 0, 0)
+	got, err := innerJoinSize.Discover(context.Background(), l, q, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestUserDefinedSimilarity(t *testing.T) {
 		t.Fatalf("user discoverer = %+v, want T3 with score 2", got)
 	}
 	broken := SimilarityFunc{FuncName: "broken"}
-	if _, err := broken.Discover(l, q, 0, 0); err == nil {
+	if _, err := broken.Discover(context.Background(), l, q, 0, 0); err == nil {
 		t.Error("missing Sim must error")
 	}
 }
@@ -164,16 +165,16 @@ func TestUserDefinedSimilarity(t *testing.T) {
 func TestDiscoverErrors(t *testing.T) {
 	l := demoLake(t)
 	q := paperdata.T1()
-	if _, err := (SantosUnion{}).Discover(l, q, 99, 1); err == nil {
+	if _, err := (SantosUnion{}).Discover(context.Background(), l, q, 99, 1); err == nil {
 		t.Error("bad intent column must error")
 	}
-	if _, err := (LSHJoin{}).Discover(l, q, 99, 1); err == nil {
+	if _, err := (LSHJoin{}).Discover(context.Background(), l, q, 99, 1); err == nil {
 		t.Error("bad query column must error")
 	}
-	if _, err := (JosieJoin{}).Discover(l, q, 99, 1); err == nil {
+	if _, err := (JosieJoin{}).Discover(context.Background(), l, q, 99, 1); err == nil {
 		t.Error("bad query column must error")
 	}
-	if _, err := (SyntacticUnion{}).Discover(l, table.New("empty"), 0, 1); err == nil {
+	if _, err := (SyntacticUnion{}).Discover(context.Background(), l, table.New("empty"), 0, 1); err == nil {
 		t.Error("no-column query must error")
 	}
 }
@@ -186,7 +187,7 @@ func TestQueryTableNeverDiscovered(t *testing.T) {
 	}
 	q := paperdata.T1()
 	for _, d := range []Discoverer{LSHJoin{Threshold: 0.1}, JosieJoin{}, SyntacticUnion{}} {
-		got, err := d.Discover(l, q, cityCol(t, q), 0)
+		got, err := d.Discover(context.Background(), l, q, cityCol(t, q), 0)
 		if err != nil {
 			t.Fatal(err)
 		}

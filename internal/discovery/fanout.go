@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lake"
@@ -18,10 +19,16 @@ import (
 // concurrently — run without coordination. If any discoverer fails, the
 // first error in slot order is returned (deterministic regardless of which
 // worker finished first).
-func RunAll(l *lake.Lake, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, error) {
+//
+// Cancellation propagates to every worker: ctx flows into each discoverer
+// (the built-ins check it inside their index scans) and the fan-out itself
+// stops dispatching once ctx is done. RunAll returns only after every
+// in-flight discoverer has returned — cancelling a query never leaks a
+// worker goroutine — and reports ctx.Err() when the context was cancelled.
+func RunAll(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, error) {
 	out := make([][]Result, len(ds))
 	errs := make([]error, len(ds))
-	par.For(len(ds), func(i int) {
+	ferr := par.ForCtx(ctx, len(ds), func(i int) {
 		// Discoverers ran on the caller's goroutine before the fan-out, where
 		// a server could recover a misbehaving user hook; on a worker
 		// goroutine a panic would kill the process, so contain it here and
@@ -31,8 +38,11 @@ func RunAll(l *lake.Lake, q *table.Table, queryCol, k int, ds []Discoverer) ([][
 				errs[i] = fmt.Errorf("discovery: %q panicked: %v", ds[i].Name(), r)
 			}
 		}()
-		out[i], errs[i] = ds[i].Discover(l, q, queryCol, k)
+		out[i], errs[i] = ds[i].Discover(ctx, l, q, queryCol, k)
 	})
+	if ferr != nil {
+		return nil, ferr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -60,13 +70,14 @@ func (r *Registry) Resolve(names []string) ([]Discoverer, error) {
 // merge the per-method rankings into the integration set ("we persist the
 // set of tables found by all techniques"). perMethod is keyed by method
 // name; the integration set lists the query table first, then discovered
-// tables deduplicated in method order then rank order.
-func Discover(r *Registry, l *lake.Lake, q *table.Table, queryCol, k int, methods []string) (perMethod map[string][]Result, integrationSet []*table.Table, err error) {
+// tables deduplicated in method order then rank order. Cancelling ctx
+// aborts the fan-out and returns ctx.Err() (see RunAll).
+func Discover(ctx context.Context, r *Registry, l *lake.Lake, q *table.Table, queryCol, k int, methods []string) (perMethod map[string][]Result, integrationSet []*table.Table, err error) {
 	ds, err := r.Resolve(methods)
 	if err != nil {
 		return nil, nil, err
 	}
-	all, err := RunAll(l, q, queryCol, k, ds)
+	all, err := RunAll(ctx, l, q, queryCol, k, ds)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -19,7 +20,7 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	q := paperdata.T1()
 	col := cityCol(t, q)
 	ds := []Discoverer{SantosUnion{}, LSHJoin{}, JosieJoin{}, SyntacticUnion{}}
-	got, err := RunAll(l, q, col, 10, ds)
+	got, err := RunAll(context.Background(), l, q, col, 10, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestRunAllMatchesSequential(t *testing.T) {
 		t.Fatalf("got %d result sets, want %d", len(got), len(ds))
 	}
 	for i, d := range ds {
-		want, err := d.Discover(l, q, col, 10)
+		want, err := d.Discover(context.Background(), l, q, col, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func TestRunAllFirstErrorBySlot(t *testing.T) {
 		SimilarityFunc{FuncName: "later-error"},   // slot 0: Sim == nil errors
 		SimilarityFunc{FuncName: "another-error"}, // slot 1: also errors
 	}
-	_, err := RunAll(l, q, 0, 10, ds)
+	_, err := RunAll(context.Background(), l, q, 0, 10, ds)
 	if err == nil {
 		t.Fatal("want error")
 	}
@@ -66,7 +67,7 @@ func TestRunAllContainsPanics(t *testing.T) {
 		}},
 		LSHJoin{},
 	}
-	_, err := RunAll(l, q, cityCol(t, q), 10, ds)
+	_, err := RunAll(context.Background(), l, q, cityCol(t, q), 10, ds)
 	if err == nil {
 		t.Fatal("panicking discoverer must surface as an error")
 	}
@@ -92,7 +93,7 @@ func TestRegistryResolve(t *testing.T) {
 func TestDiscoverFanOut(t *testing.T) {
 	l := demoLake(t)
 	q := paperdata.T1()
-	per, set, err := Discover(NewRegistry(), l, q, cityCol(t, q), 10,
+	per, set, err := Discover(context.Background(), NewRegistry(), l, q, cityCol(t, q), 10,
 		[]string{"santos-union", "lsh-join"})
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +108,7 @@ func TestDiscoverFanOut(t *testing.T) {
 	if !reflect.DeepEqual(names, []string{"T1", "T2", "T3"}) {
 		t.Errorf("integration set = %v, want [T1 T2 T3]", names)
 	}
-	if _, _, err := Discover(NewRegistry(), l, q, 1, 10, []string{"nope"}); err == nil {
+	if _, _, err := Discover(context.Background(), NewRegistry(), l, q, 1, 10, []string{"nope"}); err == nil {
 		t.Error("unknown method must error before any discoverer runs")
 	}
 }
@@ -144,7 +145,7 @@ func TestConcurrentFanOutRace(t *testing.T) {
 	methods := []string{"santos-union", "lsh-join", "josie-join", "syntactic-union", "user-sim"}
 	q := paperdata.T1()
 	col := cityCol(t, q)
-	want, _, err := Discover(r, l, q, col, 10, methods)
+	want, _, err := Discover(context.Background(), r, l, q, col, 10, methods)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestConcurrentFanOutRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				got, _, err := Discover(r, l, q, col, 10, methods)
+				got, _, err := Discover(context.Background(), r, l, q, col, 10, methods)
 				if err != nil {
 					t.Error(err)
 					return

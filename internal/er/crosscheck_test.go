@@ -10,6 +10,7 @@ package er
 // and non-nil knowledge bases.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -197,7 +198,7 @@ func TestCrossCheckResolve(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			tb := randomERTable(rng, fmt.Sprintf("t%d", seed))
 			opts := Options{Knowledge: know}
-			got, gerr := Resolve(tb, opts)
+			got, gerr := Resolve(context.Background(), tb, opts)
 			want, werr := refResolve(tb, opts)
 			if (gerr == nil) != (werr == nil) {
 				t.Fatalf("kb=%s seed=%d: error mismatch: %v vs %v", kname, seed, gerr, werr)
@@ -216,7 +217,7 @@ func TestCrossCheckResolveLearned(t *testing.T) {
 	for _, seed := range []int64{31, 32, 33} {
 		rng := rand.New(rand.NewSource(seed))
 		tb := randomERTable(rng, fmt.Sprintf("t%d", seed))
-		got, gerr := ResolveLearned(tb, model, know, 0)
+		got, gerr := ResolveLearned(context.Background(), tb, model, know, 0)
 		want, werr := refResolveLearned(tb, model, know, 0)
 		if (gerr == nil) != (werr == nil) {
 			t.Fatalf("seed=%d: error mismatch: %v vs %v", seed, gerr, werr)
@@ -242,7 +243,7 @@ func TestCrossCheckResolveDictAnnotator(t *testing.T) {
 			buf = dict.InternRow(row, buf)
 		}
 		opts := Options{Knowledge: know, Annotator: kb.NewAnnotator(know.Compiled(), dict)}
-		got, err := Resolve(tb, opts)
+		got, err := Resolve(context.Background(), tb, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

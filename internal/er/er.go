@@ -17,6 +17,7 @@
 package er
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -269,18 +270,32 @@ func levenshteinRatio(a, b string) float64 {
 	return 1 - float64(dist)/float64(maxLen)
 }
 
+// pairCancelStride bounds how many blocking-generated candidate pairs are
+// compared between two context checks in Resolve and ResolveLearned — the
+// comparison loop is the quadratic-in-the-worst-case part of ER.
+const pairCancelStride = 256
+
 // Resolve performs entity resolution over the rows of t. Every cell is
 // canonicalized once through the knowledge base's compiled annotation cache
 // (see kb.Annotator); blocking, the alias-aware similarity shortcut, and
 // clustering then run on integer annotation codes. Output is byte-identical
 // to the retained string reference path (pinned by crosscheck_test.go).
-func Resolve(t *table.Table, opts Options) (*Resolution, error) {
+//
+// ctx is observed cooperatively across the blocking-pair comparison loop:
+// once cancelled, Resolve returns (nil, ctx.Err()) promptly. For
+// request-scoped resolution against a shared lake annotator, pass
+// Options.Annotator = annotator.ERScope().
+func Resolve(ctx context.Context, t *table.Table, opts Options) (*Resolution, error) {
 	if t == nil || t.NumCols() == 0 {
 		return nil, fmt.Errorf("er: nil or zero-column table")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults()
 	codes := cellCodes(t, opts.annotator())
 	candidates := blockPairsCodes(codes)
+	done := ctx.Done()
 	parent := make([]int, t.NumRows())
 	for i := range parent {
 		parent[i] = i
@@ -294,7 +309,14 @@ func Resolve(t *table.Table, opts Options) (*Resolution, error) {
 		return x
 	}
 	res := &Resolution{Input: t}
-	for _, p := range candidates {
+	for pi, p := range candidates {
+		if done != nil && pi%pairCancelStride == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		score, comparable := similarityCodes(t.Rows[p[0]], t.Rows[p[1]], codes[p[0]], codes[p[1]], opts)
 		if !comparable {
 			continue

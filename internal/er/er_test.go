@@ -1,6 +1,7 @@
 package er
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -14,7 +15,7 @@ func demoOpts() Options { return Options{Knowledge: kb.Demo()} }
 func TestFig8dEROverFD(t *testing.T) {
 	// ER over the FD result (f8, f12, f13) resolves {f12, f13} and yields
 	// exactly the two canonical rows of Fig. 8(d).
-	res, err := Resolve(paperdata.Fig8bExpected(), demoOpts())
+	res, err := Resolve(context.Background(), paperdata.Fig8bExpected(), demoOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestFig8cEROverOuterJoin(t *testing.T) {
 	// ER over the outer-join result (f8–f12): {f11, f12} resolve into
 	// (J&J, ⊥, United States); f9 and f10 cannot be resolved, and the J&J
 	// approver remains unknown — the paper's core contrast.
-	res, err := Resolve(paperdata.Fig8aExpected(), demoOpts())
+	res, err := Resolve(context.Background(), paperdata.Fig8aExpected(), demoOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestResolveTransitiveClustering(t *testing.T) {
 	tb.MustAddRow(table.StringValue("USA"), table.StringValue("Boston"))
 	tb.MustAddRow(table.StringValue("United States"), table.StringValue("Boston"))
 	tb.MustAddRow(table.StringValue("U.S.A."), table.StringValue("Boston"))
-	res, err := Resolve(tb, demoOpts())
+	res, err := Resolve(context.Background(), tb, demoOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestResolveNoMatches(t *testing.T) {
 	tb := table.New("t", "v")
 	tb.MustAddRow(table.StringValue("alpha"))
 	tb.MustAddRow(table.StringValue("omega"))
-	res, err := Resolve(tb, Options{})
+	res, err := Resolve(context.Background(), tb, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,10 +169,10 @@ func TestResolveNoMatches(t *testing.T) {
 }
 
 func TestResolveValidation(t *testing.T) {
-	if _, err := Resolve(nil, Options{}); err == nil {
+	if _, err := Resolve(context.Background(), nil, Options{}); err == nil {
 		t.Error("nil table must error")
 	}
-	if _, err := Resolve(table.New("x"), Options{}); err == nil {
+	if _, err := Resolve(context.Background(), table.New("x"), Options{}); err == nil {
 		t.Error("zero-column table must error")
 	}
 }

@@ -1,6 +1,7 @@
 package er
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -181,8 +182,9 @@ func TrainLogistic(pairs []TrainingPair, opts TrainOptions) (*LogisticModel, err
 // ResolveLearned runs entity resolution with a trained model instead of
 // the rule matcher: candidate pairs come from the same blocking, a pair
 // matches when P(match) >= threshold (0.5 when threshold <= 0), and
-// clusters merge transitively as in Resolve.
-func ResolveLearned(t *table.Table, model *LogisticModel, knowledge *kb.KB, threshold float64) (*Resolution, error) {
+// clusters merge transitively as in Resolve. ctx is observed across the
+// pair-scoring loop exactly as in Resolve.
+func ResolveLearned(ctx context.Context, t *table.Table, model *LogisticModel, knowledge *kb.KB, threshold float64) (*Resolution, error) {
 	if t == nil || t.NumCols() == 0 {
 		return nil, fmt.Errorf("er: nil or zero-column table")
 	}
@@ -192,8 +194,12 @@ func ResolveLearned(t *table.Table, model *LogisticModel, knowledge *kb.KB, thre
 	if threshold <= 0 {
 		threshold = 0.5
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	codes := cellCodes(t, Options{Knowledge: knowledge}.annotator())
 	candidates := blockPairsCodes(codes)
+	done := ctx.Done()
 	parent := make([]int, t.NumRows())
 	for i := range parent {
 		parent[i] = i
@@ -207,7 +213,14 @@ func ResolveLearned(t *table.Table, model *LogisticModel, knowledge *kb.KB, thre
 		return x
 	}
 	res := &Resolution{Input: t}
-	for _, p := range candidates {
+	for pi, p := range candidates {
+		if done != nil && pi%pairCancelStride == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		x, ok := featuresCodes(t.Rows[p[0]], t.Rows[p[1]], codes[p[0]], codes[p[1]])
 		if !ok {
 			continue

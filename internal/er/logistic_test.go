@@ -1,6 +1,7 @@
 package er
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -91,7 +92,7 @@ func TestResolveLearnedReproducesFig8d(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ResolveLearned(paperdata.Fig8bExpected(), model, k, 0)
+	res, err := ResolveLearned(context.Background(), paperdata.Fig8bExpected(), model, k, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestResolveLearnedOuterJoinStaysUnresolved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ResolveLearned(paperdata.Fig8aExpected(), model, k, 0)
+	res, err := ResolveLearned(context.Background(), paperdata.Fig8aExpected(), model, k, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,10 +127,10 @@ func TestResolveLearnedOuterJoinStaysUnresolved(t *testing.T) {
 func TestResolveLearnedValidation(t *testing.T) {
 	k := kb.Demo()
 	model := &LogisticModel{Weights: make([]float64, len(FeatureNames))}
-	if _, err := ResolveLearned(nil, model, k, 0); err == nil {
+	if _, err := ResolveLearned(context.Background(), nil, model, k, 0); err == nil {
 		t.Error("nil table must error")
 	}
-	if _, err := ResolveLearned(paperdata.Fig8bExpected(), nil, k, 0); err == nil {
+	if _, err := ResolveLearned(context.Background(), paperdata.Fig8bExpected(), nil, k, 0); err == nil {
 		t.Error("nil model must error")
 	}
 }

@@ -1,6 +1,7 @@
 package er
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -86,7 +87,7 @@ func TestQuickResolveClustersPartitionRows(t *testing.T) {
 		for i := 0; i < n; i++ {
 			tb.Rows = append(tb.Rows, randRow(rng, 3))
 		}
-		res, err := Resolve(tb, Options{Knowledge: k})
+		res, err := Resolve(context.Background(), tb, Options{Knowledge: k})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,12 +43,12 @@ func Fig1() Row {
 	}
 	q := paperdata.T1()
 	city, _ := q.ColumnIndex(paperdata.ColCity)
-	res, err := p.Run(core.RunRequest{Query: q, QueryColumn: city})
+	res, err := p.Run(context.Background(), core.RunRequest{Query: q, QueryColumn: city})
 	if err != nil {
 		row.Measured = err.Error()
 		return row
 	}
-	r, _, err := p.Correlate(res.Integration.Table, paperdata.ColVaccRate, paperdata.ColDeathRate)
+	r, _, err := p.Correlate(context.Background(), res.Integration.Table, paperdata.ColVaccRate, paperdata.ColDeathRate)
 	if err != nil {
 		row.Measured = err.Error()
 		return row
@@ -68,7 +69,7 @@ func Fig2() Row {
 	}
 	q := paperdata.T1()
 	city, _ := q.ColumnIndex(paperdata.ColCity)
-	resp, err := p.Discover(core.DiscoverRequest{Query: q, QueryColumn: city})
+	resp, err := p.Discover(context.Background(), core.DiscoverRequest{Query: q, QueryColumn: city})
 	if err != nil {
 		row.Measured = err.Error()
 		return row
@@ -98,7 +99,7 @@ func Fig3() Row {
 		row.Measured = err.Error()
 		return row
 	}
-	resp, err := p.Integrate(core.IntegrateRequest{
+	resp, err := p.Integrate(context.Background(), core.IntegrateRequest{
 		Tables: []*table.Table{paperdata.T1(), paperdata.T2(), paperdata.T3()},
 		RowIDs: paperRowIDs,
 	})
@@ -180,7 +181,7 @@ func Fig4() Row {
 		row.Measured = err.Error()
 		return row
 	}
-	resp, err := p.Discover(core.DiscoverRequest{Query: paperdata.T1(), QueryColumn: 1, Methods: []string{"inner-join-size"}})
+	resp, err := p.Discover(context.Background(), core.DiscoverRequest{Query: paperdata.T1(), QueryColumn: 1, Methods: []string{"inner-join-size"}})
 	if err != nil {
 		row.Measured = err.Error()
 		return row
@@ -223,7 +224,7 @@ func Fig6() Row {
 		row.Measured = err.Error()
 		return row
 	}
-	user, err := p.Integrate(core.IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "my-outer-join"})
+	user, err := p.Integrate(context.Background(), core.IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "my-outer-join"})
 	if err != nil {
 		row.Measured = err.Error()
 		return row
@@ -242,7 +243,7 @@ func Fig8a() Row {
 		row.Measured = err.Error()
 		return row
 	}
-	resp, err := p.Integrate(core.IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "outer-join", RowIDs: paperRowIDs})
+	resp, err := p.Integrate(context.Background(), core.IntegrateRequest{Tables: paperdata.VaccineSet(), Operator: "outer-join", RowIDs: paperRowIDs})
 	if err != nil {
 		row.Measured = err.Error()
 		return row
@@ -261,7 +262,7 @@ func Fig8b() Row {
 		row.Measured = err.Error()
 		return row
 	}
-	resp, err := p.Integrate(core.IntegrateRequest{Tables: paperdata.VaccineSet(), RowIDs: paperRowIDs})
+	resp, err := p.Integrate(context.Background(), core.IntegrateRequest{Tables: paperdata.VaccineSet(), RowIDs: paperRowIDs})
 	if err != nil {
 		row.Measured = err.Error()
 		return row
@@ -276,7 +277,7 @@ func Fig8b() Row {
 // Fig8c runs ER over the outer-join result: f9/f10 stay unresolved.
 func Fig8c() Row {
 	row := Row{ID: "F8c", Name: "Fig. 8(c) ER over outer join", Paper: "4 entities; f9/f10 unresolved; J&J approver unknown"}
-	res, err := er.Resolve(paperdata.Fig8aExpected(), er.Options{Knowledge: kb.Demo()})
+	res, err := er.Resolve(context.Background(), paperdata.Fig8aExpected(), er.Options{Knowledge: kb.Demo()})
 	if err != nil {
 		row.Measured = err.Error()
 		return row
@@ -295,7 +296,7 @@ func Fig8c() Row {
 // Fig8d runs ER over the FD result: two entities, J&J fully resolved.
 func Fig8d() Row {
 	row := Row{ID: "F8d", Name: "Fig. 8(d) ER over FD", Paper: "2 entities incl. (J&J, FDA, United States)"}
-	res, err := er.Resolve(paperdata.Fig8bExpected(), er.Options{Knowledge: kb.Demo()})
+	res, err := er.Resolve(context.Background(), paperdata.Fig8bExpected(), er.Options{Knowledge: kb.Demo()})
 	if err != nil {
 		row.Measured = err.Error()
 		return row

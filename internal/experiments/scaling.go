@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +21,7 @@ import (
 // using the reliable-header matcher (the X1/X6 experiments isolate
 // integration, not matching).
 func IntegrateFragments(fs *synth.FragmentSet, op integrate.Operator) (*table.Table, error) {
-	out, _, err := integrate.Apply(op, fs.Tables, schemamatch.HeaderMatcher{}, nil, false)
+	out, _, err := integrate.Apply(context.Background(), op, fs.Tables, schemamatch.HeaderMatcher{}, nil, false)
 	return out, err
 }
 
@@ -230,12 +231,12 @@ func X4UnionSearch() Row {
 		}
 		truth := sl.Truth.UnionableWith[qn]
 		keyCol := sl.Truth.KeyColumn[qn]
-		sRes, err := (discovery.SantosUnion{}).Discover(l, q, keyCol, 0)
+		sRes, err := (discovery.SantosUnion{}).Discover(context.Background(), l, q, keyCol, 0)
 		if err != nil {
 			row.Measured = err.Error()
 			return row
 		}
-		bRes, err := (discovery.SyntacticUnion{}).Discover(l, q, keyCol, 0)
+		bRes, err := (discovery.SyntacticUnion{}).Discover(context.Background(), l, q, keyCol, 0)
 		if err != nil {
 			row.Measured = err.Error()
 			return row
@@ -358,7 +359,7 @@ func X6ERQuality() Row {
 // erF1 resolves an integrated fragment table and scores it against the
 // fragment ground truth.
 func erF1(fs *synth.FragmentSet, integrated *table.Table) (float64, error) {
-	res, err := er.Resolve(integrated, er.Options{Knowledge: fs.Knowledge})
+	res, err := er.Resolve(context.Background(), integrated, er.Options{Knowledge: fs.Knowledge})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/table"
@@ -23,9 +24,24 @@ import (
 // comparisons are integer equality. in.Dict supplies a shared (lake-wide)
 // dictionary; nil interns privately.
 func ALITE(in Input) []Tuple {
+	out, _ := ALITECtx(context.Background(), in)
+	return out
+}
+
+// ALITECtx is ALITE with cooperative cancellation: the closure checks ctx
+// between candidate-generation rounds (and, amortized, inside long candidate
+// scans), returning (nil, ctx.Err()) once the context is cancelled instead of
+// running the closure to fixpoint. An uncancelled call is byte-identical to
+// ALITE — the checkpoints only observe the context, never the closure state.
+func ALITECtx(ctx context.Context, in Input) ([]Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c := newCloser(in.Dict)
-	c.run(c.seed(in.Tuples))
-	return c.finalize()
+	if err := c.run(ctx, c.seed(in.Tuples)); err != nil {
+		return nil, err
+	}
+	return c.finalize(), nil
 }
 
 // finalize applies subsumption removal and canonical ordering.
@@ -312,18 +328,53 @@ func (c *closer) tryMerge(i, j int, idbuf *[]uint32) int {
 	return c.add(c.materialize(i, j, *idbuf))
 }
 
-// run drives the sequential closure to fixpoint with a worklist.
-func (c *closer) run(work []int) {
+// cancelStride bounds how many candidate merges may run between two context
+// checks inside one closure round, so cancellation latency stays bounded
+// even when a single worklist item generates a huge candidate set.
+const cancelStride = 2048
+
+// checkCancel polls a context's done channel without blocking. A nil done
+// channel (context.Background and friends) short-circuits, so uncancellable
+// closures pay one predictable-branch comparison per checkpoint.
+func checkCancel(ctx context.Context, done <-chan struct{}) error {
+	if done == nil {
+		return nil
+	}
+	select {
+	case <-done:
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// run drives the sequential closure to fixpoint with a worklist. ctx is
+// checked once per worklist item (one candidate-generation round) and every
+// cancelStride merge attempts within a round; on cancellation the closure
+// stops where it is and ctx.Err() is returned.
+func (c *closer) run(ctx context.Context, work []int) error {
+	done := ctx.Done()
 	var idbuf []uint32
+	stride := 0
 	for len(work) > 0 {
+		if err := checkCancel(ctx, done); err != nil {
+			return err
+		}
 		i := work[0]
 		work = work[1:]
 		for _, j := range c.candidates(i, &c.vs) {
+			if stride++; stride >= cancelStride {
+				stride = 0
+				if err := checkCancel(ctx, done); err != nil {
+					return err
+				}
+			}
 			if ni := c.tryMerge(i, j, &idbuf); ni >= 0 {
 				work = append(work, ni)
 			}
 		}
 	}
+	return nil
 }
 
 // tuple converts closure tuple idx back to public form; provenance strings

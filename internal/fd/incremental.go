@@ -1,6 +1,10 @@
 package fd
 
-import "repro/internal/table"
+import (
+	"context"
+
+	"repro/internal/table"
+)
 
 // Incremental maintains a Full Disjunction as tuples arrive (for example,
 // as the user adds one more discovered table to the integration set). It
@@ -39,7 +43,7 @@ func NewIncrementalDict(schema []string, initial []Tuple, dict *table.Dict) *Inc
 // Add ingests aligned tuples (padded to the schema, e.g. by OuterUnion)
 // and extends the closure to its new fixpoint.
 func (inc *Incremental) Add(tuples []Tuple) {
-	inc.c.run(inc.c.seed(tuples))
+	inc.c.run(context.Background(), inc.c.seed(tuples))
 }
 
 // Result returns the current Full Disjunction: the subsumption-maximal

@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strings"
@@ -21,6 +22,17 @@ import (
 // own epoch-stamped candidate scratch, so proposal generation allocates
 // only for genuinely new merges.
 func Parallel(in Input, workers int) []Tuple {
+	out, _ := ParallelCtx(context.Background(), in, workers)
+	return out
+}
+
+// ParallelCtx is Parallel with cooperative cancellation: workers check ctx
+// between frontier items and the round loop checks it between rounds, so a
+// cancelled closure returns (nil, ctx.Err()) after at most one in-flight
+// frontier item per worker — the workers drain and exit before ParallelCtx
+// returns, never leaking a goroutine. Uncancelled output is byte-identical
+// to Parallel (and therefore to ALITE).
+func ParallelCtx(ctx context.Context, in Input, workers int) ([]Tuple, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -29,11 +41,18 @@ func Parallel(in Input, workers int) []Tuple {
 		// the round machinery (per-round snapshot, proposal collection and
 		// sort) would only add allocations on top of the serial closure. The
 		// output is identical by construction, so fall back to ALITE.
-		return ALITE(in)
+		return ALITECtx(ctx, in)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	done := ctx.Done()
 	c := newCloser(in.Dict)
 	frontier := c.seed(in.Tuples)
 	for len(frontier) > 0 {
+		if err := checkCancel(ctx, done); err != nil {
+			return nil, err
+		}
 		// Propose merges in parallel against a frozen snapshot.
 		type proposal struct {
 			tuple ctuple
@@ -51,6 +70,9 @@ func Parallel(in Input, workers int) []Tuple {
 				var idbuf []uint32
 				var local []proposal
 				for fi := w; fi < len(frontier); fi += workers {
+					if checkCancel(ctx, done) != nil {
+						return
+					}
 					i := frontier[fi]
 					for _, j := range c.candidates(i, &vs) {
 						a, b := &c.tuples[i], &c.tuples[j]
@@ -69,6 +91,9 @@ func Parallel(in Input, workers int) []Tuple {
 			}(w)
 		}
 		wg.Wait()
+		if err := checkCancel(ctx, done); err != nil {
+			return nil, err
+		}
 		// Integrate sequentially, deterministically: equal-value proposals
 		// are adjacent after sorting and the provenance-smallest one wins,
 		// exactly as the string-keyed integration ordered them.
@@ -90,7 +115,7 @@ func Parallel(in Input, workers int) []Tuple {
 			frontier = append(frontier, c.add(p.tuple))
 		}
 	}
-	return c.finalize()
+	return c.finalize(), nil
 }
 
 // provKey renders a provenance ID set as its sorted string form joined with

@@ -7,6 +7,7 @@
 package integrate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,19 +76,23 @@ func Prepare(tables []*table.Table, matcher schemamatch.Matcher, rowIDs RowIDFun
 type Operator interface {
 	// Name is the registry key ("alite-fd", "outer-join", ...).
 	Name() string
-	// Run integrates the aligned sets into one tuple set over schema.
-	Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error)
+	// Run integrates the aligned sets into one tuple set over schema. Run
+	// observes ctx cooperatively: once the context is cancelled it returns
+	// (nil, ctx.Err()) promptly instead of finishing the integration; with
+	// an uncancelled ctx the output is identical to running without one.
+	Run(ctx context.Context, schema []string, sets []AlignedSet) ([]fd.Tuple, error)
 }
 
 // Apply aligns the tables, runs the operator, and renders the integrated
-// table named "<op>(T1,T2,...)". It is the one-call path the CLI and the
-// examples use.
-func Apply(op Operator, tables []*table.Table, matcher schemamatch.Matcher, rowIDs RowIDFunc, withProvenance bool) (*table.Table, []fd.Tuple, error) {
+// table named "<op>(T1,T2,...)". It is the one-call path the CLI, the
+// serving layer and the examples use; ctx cancellation aborts the operator
+// mid-integration with ctx.Err().
+func Apply(ctx context.Context, op Operator, tables []*table.Table, matcher schemamatch.Matcher, rowIDs RowIDFunc, withProvenance bool) (*table.Table, []fd.Tuple, error) {
 	schema, sets, err := Prepare(tables, matcher, rowIDs)
 	if err != nil {
 		return nil, nil, err
 	}
-	tuples, err := op.Run(schema, sets)
+	tuples, err := op.Run(ctx, schema, sets)
 	if err != nil {
 		return nil, nil, fmt.Errorf("integrate: operator %q: %w", op.Name(), err)
 	}
@@ -111,16 +116,17 @@ type ALITEFD struct {
 // Name implements Operator.
 func (ALITEFD) Name() string { return "alite-fd" }
 
-// Run implements Operator.
-func (o ALITEFD) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+// Run implements Operator. Cancellation reaches the FD closure itself: the
+// complementation rounds poll ctx (fd.ALITECtx / fd.ParallelCtx).
+func (o ALITEFD) Run(ctx context.Context, schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
 	in := fd.Input{Schema: schema, Dict: o.Dict}
 	for _, s := range sets {
 		in.Tuples = append(in.Tuples, s.Tuples...)
 	}
 	if o.Workers > 0 {
-		return fd.Parallel(in, o.Workers), nil
+		return fd.ParallelCtx(ctx, in, o.Workers)
 	}
-	return fd.ALITE(in), nil
+	return fd.ALITECtx(ctx, in)
 }
 
 // FullOuterJoin is the paper's comparison operator (Fig. 6): a left-deep
@@ -134,8 +140,8 @@ type FullOuterJoin struct{}
 func (FullOuterJoin) Name() string { return "outer-join" }
 
 // Run implements Operator.
-func (FullOuterJoin) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
-	return foldJoin(schema, sets, true)
+func (FullOuterJoin) Run(ctx context.Context, schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+	return foldJoin(ctx, schema, sets, true)
 }
 
 // InnerJoin chains binary natural inner joins in input order; rows without
@@ -147,8 +153,8 @@ type InnerJoin struct{}
 func (InnerJoin) Name() string { return "inner-join" }
 
 // Run implements Operator.
-func (InnerJoin) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
-	return foldJoin(schema, sets, false)
+func (InnerJoin) Run(ctx context.Context, schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+	return foldJoin(ctx, schema, sets, false)
 }
 
 // Union is the plain outer union: all padded tuples, deduplicated. It is
@@ -159,7 +165,10 @@ type Union struct{}
 func (Union) Name() string { return "union" }
 
 // Run implements Operator.
-func (Union) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+func (Union) Run(ctx context.Context, schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var all []fd.Tuple
 	for _, s := range sets {
 		all = append(all, s.Tuples...)
@@ -174,17 +183,28 @@ func (Union) Run(schema []string, sets []AlignedSet) ([]fd.Tuple, error) {
 // positions covered by both sides; a pair matches only when every join
 // attribute is non-null and equal on both sides. When the sides share no
 // positions, the natural join degenerates to a cross product.
-func foldJoin(schema []string, sets []AlignedSet, outer bool) ([]fd.Tuple, error) {
+func foldJoin(ctx context.Context, schema []string, sets []AlignedSet, outer bool) ([]fd.Tuple, error) {
 	if len(sets) == 0 {
 		return nil, nil
 	}
+	done := ctx.Done()
 	cur := append([]fd.Tuple(nil), sets[0].Tuples...)
 	curPos := append([]int(nil), sets[0].Positions...)
 	for _, next := range sets[1:] {
 		shared := intersect(curPos, next.Positions)
 		var out []fd.Tuple
 		matchedRight := make([]bool, len(next.Tuples))
-		for _, a := range cur {
+		for ai, a := range cur {
+			// The pairwise scan is the quadratic part of the chain; one
+			// checkpoint per left tuple bounds cancellation latency by a
+			// single O(|next|) inner scan.
+			if done != nil && ai%64 == 0 {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			matched := false
 			for bi, b := range next.Tuples {
 				if joinMatch(a.Values, b.Values, shared) {

@@ -1,6 +1,7 @@
 package integrate
 
 import (
+	"context"
 	"reflect"
 	"sort"
 	"testing"
@@ -21,7 +22,7 @@ func vaccineMatcher() schemamatch.Matcher {
 }
 
 func TestFullOuterJoinReproducesFig8a(t *testing.T) {
-	got, tuples, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	got, tuples, err := Apply(context.Background(), FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestFullOuterJoinReproducesFig8a(t *testing.T) {
 }
 
 func TestALITEFDOperatorReproducesFig8b(t *testing.T) {
-	got, _, err := Apply(ALITEFD{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	got, _, err := Apply(context.Background(), ALITEFD{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestALITEFDOperatorReproducesFig8b(t *testing.T) {
 	if !cmp.EqualUnordered(want) {
 		t.Fatalf("alite-fd operator != Fig. 8(b):\ngot:\n%s", got)
 	}
-	par, _, err := Apply(ALITEFD{Workers: 4}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	par, _, err := Apply(context.Background(), ALITEFD{Workers: 4}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestALITEFDOperatorReproducesFig8b(t *testing.T) {
 func TestFDSubsumesOuterJoinInformation(t *testing.T) {
 	// Every outer-join tuple is subsumed by some FD tuple (FD integrates
 	// maximally); the converse is false.
-	_, oj, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	_, oj, err := Apply(context.Background(), FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, fdt, err := Apply(ALITEFD{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	_, fdt, err := Apply(context.Background(), ALITEFD{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFDSubsumesOuterJoinInformation(t *testing.T) {
 }
 
 func TestInnerJoin(t *testing.T) {
-	_, tuples, err := Apply(InnerJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	_, tuples, err := Apply(context.Background(), InnerJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestInnerJoin(t *testing.T) {
 }
 
 func TestUnionOperator(t *testing.T) {
-	_, tuples, err := Apply(Union{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	_, tuples, err := Apply(context.Background(), Union{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +142,11 @@ func TestOuterJoinOrderDependence(t *testing.T) {
 	// order does not.
 	tablesA := paperdata.VaccineSet()
 	tablesB := []*table.Table{paperdata.T5(), paperdata.T6(), paperdata.T4()}
-	ta, _, err := Apply(FullOuterJoin{}, tablesA, vaccineMatcher(), paperRowIDs, false)
+	ta, _, err := Apply(context.Background(), FullOuterJoin{}, tablesA, vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tb, _, err := Apply(FullOuterJoin{}, tablesB, vaccineMatcher(), paperRowIDs, false)
+	tb, _, err := Apply(context.Background(), FullOuterJoin{}, tablesB, vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +154,11 @@ func TestOuterJoinOrderDependence(t *testing.T) {
 		t.Error("outer join chain should be order-dependent on the Fig. 7 tables")
 	}
 	// FD must be order-invariant on the same permutation.
-	fa, _, err := Apply(ALITEFD{}, tablesA, vaccineMatcher(), paperRowIDs, false)
+	fa, _, err := Apply(context.Background(), ALITEFD{}, tablesA, vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, _, err := Apply(ALITEFD{}, tablesB, vaccineMatcher(), paperRowIDs, false)
+	fb, _, err := Apply(context.Background(), ALITEFD{}, tablesB, vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestCrossProductWhenNoSharedPositions(t *testing.T) {
 	b := table.New("B", "y")
 	b.MustAddRow(table.IntValue(1))
 	oracle := schemamatch.Oracle{Label: func(name string, col int) string { return name }}
-	_, tuples, err := Apply(FullOuterJoin{}, []*table.Table{a, b}, oracle, nil, false)
+	_, tuples, err := Apply(context.Background(), FullOuterJoin{}, []*table.Table{a, b}, oracle, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestRegistry(t *testing.T) {
 	if err := r.Register(Func{OpName: ""}); err == nil {
 		t.Error("empty name must error")
 	}
-	custom := Func{OpName: "left-pad", F: func(schema []string, sets []AlignedSet) ([]Tuple, error) {
+	custom := Func{OpName: "left-pad", F: func(ctx context.Context, schema []string, sets []AlignedSet) ([]Tuple, error) {
 		return nil, nil
 	}}
 	if err := r.Register(custom); err != nil {
@@ -218,11 +219,11 @@ func TestFuncOperator(t *testing.T) {
 	// Fig. 6's scenario: a user-defined outer-join operator plugged in as a
 	// function behaves identically to the built-in.
 	user := Func{OpName: "my-outer-join", F: FullOuterJoin{}.Run}
-	got, _, err := Apply(user, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	got, _, err := Apply(context.Background(), user, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	builtin, _, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
+	builtin, _, err := Apply(context.Background(), FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,20 +233,20 @@ func TestFuncOperator(t *testing.T) {
 		t.Error("user-defined operator diverges from built-in")
 	}
 	broken := Func{OpName: "broken"}
-	if _, err := broken.Run(nil, nil); err == nil {
+	if _, err := broken.Run(context.Background(), nil, nil); err == nil {
 		t.Error("Func without F must error")
 	}
 }
 
 func TestApplyNamesResult(t *testing.T) {
-	got, _, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), nil, false)
+	got, _, err := Apply(context.Background(), FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Name != "outer-join(T4,T5,T6)" {
 		t.Errorf("result name = %q", got.Name)
 	}
-	withProv, _, err := Apply(FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, true)
+	withProv, _, err := Apply(context.Background(), FullOuterJoin{}, paperdata.VaccineSet(), vaccineMatcher(), paperRowIDs, true)
 	if err != nil {
 		t.Fatal(err)
 	}

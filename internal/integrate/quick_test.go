@@ -1,6 +1,7 @@
 package integrate
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -50,11 +51,11 @@ func TestQuickUnionIdempotent(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		schema, sets := randSets(rng)
-		once, err := (Union{}).Run(schema, sets)
+		once, err := (Union{}).Run(context.Background(), schema, sets)
 		if err != nil {
 			return false
 		}
-		again, err := (Union{}).Run(schema, []AlignedSet{{Name: "u", Positions: []int{0, 1, 2}, Tuples: once}})
+		again, err := (Union{}).Run(context.Background(), schema, []AlignedSet{{Name: "u", Positions: []int{0, 1, 2}, Tuples: once}})
 		if err != nil {
 			return false
 		}
@@ -73,12 +74,12 @@ func TestQuickFDSubsumesEveryOperator(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		schema, sets := randSets(rng)
-		fdOut, err := (ALITEFD{}).Run(schema, sets)
+		fdOut, err := (ALITEFD{}).Run(context.Background(), schema, sets)
 		if err != nil {
 			return false
 		}
 		for _, op := range ops {
-			out, err := op.Run(schema, sets)
+			out, err := op.Run(context.Background(), schema, sets)
 			if err != nil {
 				return false
 			}
@@ -108,11 +109,11 @@ func TestQuickInnerJoinSubsetOfOuterJoin(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		schema, sets := randSets(rng)
-		inner, err := (InnerJoin{}).Run(schema, sets)
+		inner, err := (InnerJoin{}).Run(context.Background(), schema, sets)
 		if err != nil {
 			return false
 		}
-		outer, err := (FullOuterJoin{}).Run(schema, sets)
+		outer, err := (FullOuterJoin{}).Run(context.Background(), schema, sets)
 		if err != nil {
 			return false
 		}

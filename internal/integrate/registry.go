@@ -1,6 +1,7 @@
 package integrate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,8 +15,10 @@ import (
 type Func struct {
 	// OpName is the registry key.
 	OpName string
-	// F integrates the aligned sets.
-	F func(schema []string, sets []AlignedSet) ([]Tuple, error)
+	// F integrates the aligned sets; it receives the request context and
+	// should poll it in long loops (built-in operators' Run methods have
+	// compatible signatures, so F: integrate.FullOuterJoin{}.Run works).
+	F func(ctx context.Context, schema []string, sets []AlignedSet) ([]Tuple, error)
 }
 
 // Tuple aliases fd.Tuple so user-defined operators only import this
@@ -26,11 +29,11 @@ type Tuple = fd.Tuple
 func (f Func) Name() string { return f.OpName }
 
 // Run implements Operator.
-func (f Func) Run(schema []string, sets []AlignedSet) ([]Tuple, error) {
+func (f Func) Run(ctx context.Context, schema []string, sets []AlignedSet) ([]Tuple, error) {
 	if f.F == nil {
 		return nil, fmt.Errorf("integrate: operator %q has no function", f.OpName)
 	}
-	return f.F(schema, sets)
+	return f.F(ctx, schema, sets)
 }
 
 // Registry holds named integration operators. The zero value is unusable;

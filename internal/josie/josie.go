@@ -28,6 +28,7 @@
 package josie
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -385,11 +386,19 @@ type queryToken struct {
 // returns all sets with positive overlap. Query tokens are looked up, not
 // interned: transient queries never grow the dictionary.
 func (ix *Index) TopK(rawQuery []string, k int) []Result {
+	res, _ := ix.TopKCtx(context.Background(), rawQuery, k)
+	return res
+}
+
+// TopKCtx is TopK with cooperative cancellation: the posting-list merge
+// checks ctx between query tokens and returns (nil, ctx.Err()) once the
+// context is cancelled. Uncancelled results are byte-identical to TopK.
+func (ix *Index) TopKCtx(ctx context.Context, rawQuery []string, k int) ([]Result, error) {
 	query := tokenize.ValueSet(rawQuery)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(query) == 0 || len(ix.sets) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	tokens := make([]queryToken, 0, len(query))
 	for _, tok := range query {
@@ -398,17 +407,23 @@ func (ix *Index) TopK(rawQuery []string, k int) []Result {
 			tokens = append(tokens, queryToken{id: id, freq: f, tok: tok})
 		}
 	}
-	return ix.topKTokens(tokens, k)
+	return ix.topKTokens(ctx, tokens, k)
 }
 
 // TopKIDs answers a query given directly as deduplicated token IDs from the
 // index's dictionary — the fast path for query columns that are themselves
 // lake domains, whose IDs were interned at extraction.
 func (ix *Index) TopKIDs(ids []uint32, k int) []Result {
+	res, _ := ix.TopKIDsCtx(context.Background(), ids, k)
+	return res
+}
+
+// TopKIDsCtx is TopKIDs with cooperative cancellation, mirroring TopKCtx.
+func (ix *Index) TopKIDsCtx(ctx context.Context, ids []uint32, k int) ([]Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(ids) == 0 || len(ix.sets) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	tokens := make([]queryToken, 0, len(ids))
 	for _, id := range ids {
@@ -417,7 +432,7 @@ func (ix *Index) TopKIDs(ids []uint32, k int) []Result {
 			tokens = append(tokens, queryToken{id: id, freq: f, tok: tok})
 		}
 	}
-	return ix.topKTokens(tokens, k)
+	return ix.topKTokens(ctx, tokens, k)
 }
 
 // topKTokens runs the frequency-ordered prefix-filtered merge. Tokens are
@@ -425,10 +440,11 @@ func (ix *Index) TopKIDs(ids []uint32, k int) []Result {
 // order — and therefore the admitted candidate set — independent of ID
 // assignment order): rare tokens discriminate candidates early, making the
 // prefix filter bite sooner.
-func (ix *Index) topKTokens(tokens []queryToken, k int) []Result {
+func (ix *Index) topKTokens(ctx context.Context, tokens []queryToken, k int) ([]Result, error) {
 	if len(tokens) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
+	done := ctx.Done()
 	sort.Slice(tokens, func(a, b int) bool {
 		if tokens[a].freq != tokens[b].freq {
 			return tokens[a].freq < tokens[b].freq
@@ -445,6 +461,16 @@ func (ix *Index) topKTokens(tokens []queryToken, k int) []Result {
 	maxCount := 0
 	anyDead := ix.deadCount > 0
 	for i, qt := range tokens {
+		// One checkpoint per query token: a token's posting merge is O(sets),
+		// short next to the whole query, so cancellation latency stays small
+		// without a per-posting branch in the hot loop.
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		remaining := len(tokens) - i // including qt itself
 		admitNew := true
 		if k > 0 && len(touched) >= k {
@@ -502,7 +528,7 @@ func (ix *Index) topKTokens(tokens []queryToken, k int) []Result {
 	if k > 0 && len(results) > k {
 		results = results[:k]
 	}
-	return results
+	return results, nil
 }
 
 // kthFromHist returns the k-th largest running overlap recorded in the

@@ -30,6 +30,19 @@ const (
 	codeBase  uint32 = 2
 )
 
+// scopeBand partitions the extended-ID space between shared annotators and
+// request-scoped ER annotators (ERScope): shared (root) annotators allocate
+// bottom-up below scopeBandStart, ER scopes allocate top-down from the top
+// of the uint32 range, so a numeric code can never denote one canonical in
+// the root and a different one in a scope — the collision-freedom that lets
+// a scope mix borrowed root codes with its own allocations and still compare
+// every pair of codes for entity identity. Both sides panic rather than
+// cross the boundary (mirroring the dictionaries' ID-space guards).
+const (
+	scopeBand      = 1 << 30
+	scopeBandStart = (1 << 32) - scopeBand
+)
+
 // Annotator is a canonicalization cache over a compiled KB: each distinct
 // value is normalized and alias-resolved once, then every later annotation
 // (SANTOS column/pair votes, ER blocking and similarity) is an integer
@@ -53,6 +66,14 @@ type Annotator struct {
 	// foreign strings are cached only in this scope's maps, which die with
 	// it. See QueryScope.
 	parent *Annotator
+
+	// erScope, when set (parent is then the shared root), makes this
+	// annotator a request-scoped entity-resolution cache: nothing is ever
+	// written into the root, extended IDs allocate top-down from the top of
+	// the uint32 range (nextDown), and canonical lookup is scope-first then
+	// root, so codes are identity-comparable within the scope. See ERScope.
+	erScope  bool
+	nextDown uint32
 
 	mu    sync.RWMutex
 	byVal []uint32          // per dict value ID (index id-1): cached code
@@ -117,6 +138,99 @@ func (a *Annotator) QueryScope() *Annotator {
 	}
 }
 
+// ERScope returns a request-scoped entity-resolution annotator over the
+// same compiled KB: every cell of one request's tables resolves to a code
+// through the scope, all codes are identity-comparable with each other (the
+// er package's requirement — blocking and the SameCode similarity shortcut
+// are integer comparisons), and the whole cache dies with the scope, so
+// resolving many unrelated user tables through one long-lived pipeline no
+// longer grows the shared annotator at all.
+//
+// Collision-free allocation against the shared namespace: codes borrowed
+// from the compiled KB or the root's extended table are reused as-is, while
+// canonicals unknown to both allocate top-down from the top of the uint32
+// range (the band shared annotators never enter — see scopeBand), so a
+// scope code and a root code are numerically equal only when they denote
+// the same canonical. Lookup is scope-first, then compiled, then a one-time
+// root borrow (root-first among the shared tiers): once the scope has
+// answered a canonical it keeps answering it identically, even if the root
+// learns the same canonical mid-request on behalf of other traffic — ER's
+// intra-request code identity never depends on concurrent root growth.
+//
+// Unlike QueryScope, an ERScope never writes to the root (not even for lake
+// values — a first-touch lake value would otherwise have to publish a code
+// the scope might already have allocated differently); each distinct
+// rendered value is normalized at most once per scope. Use it for
+// request-bounded entity resolution; use QueryScope for SANTOS-style
+// annotation where only CodeEmpty gating matters.
+func (a *Annotator) ERScope() *Annotator {
+	root := a
+	if a.parent != nil {
+		root = a.parent
+	}
+	return &Annotator{
+		ck:       root.ck,
+		parent:   root,
+		erScope:  true,
+		nextDown: 1<<32 - 1,
+		raw:      make(map[string]uint32),
+		ext:      make(map[string]uint32),
+	}
+}
+
+// scopeCode resolves a rendered value inside an ER scope. The raw-string
+// cache short-circuits repeats; misses normalize once and walk the
+// scope-first canonical chain under the scope lock.
+func (a *Annotator) scopeCode(s string) uint32 {
+	a.mu.RLock()
+	c := a.raw[s]
+	a.mu.RUnlock()
+	if c != codeUnset {
+		return c
+	}
+	n := tokenize.Normalize(s)
+	if n == "" {
+		a.mu.Lock()
+		a.raw[s] = CodeEmpty
+		a.mu.Unlock()
+		return CodeEmpty
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.ext[n]
+	if !ok {
+		c = a.scopeCanonicalLocked(n)
+		a.ext[n] = c
+	}
+	a.raw[s] = c
+	return c
+}
+
+// scopeCanonicalLocked resolves a canonical the scope has not seen yet:
+// compiled ID, then a root borrow, then a fresh top-down allocation. The
+// scope lock must be held.
+func (a *Annotator) scopeCanonicalLocked(n string) uint32 {
+	if a.ck != nil {
+		if id, ok := a.ck.lookup[n]; ok {
+			return codeBase + id
+		}
+	}
+	if root := a.parent; root != nil {
+		root.mu.RLock()
+		rc, ok := root.ext[n]
+		root.mu.RUnlock()
+		if ok {
+			return rc
+		}
+	}
+	c := a.nextDown
+	if c < scopeBandStart {
+		panic("kb: ER scope full: more than ~1B distinct canonical values in one request")
+	}
+	a.nextDown--
+	return c
+}
+
 // numStrings returns the size of the compiled ID space (0 when knowledge-free).
 func (a *Annotator) numStrings() uint32 {
 	if a.ck == nil {
@@ -143,8 +257,8 @@ func (a *Annotator) computeCode(s string) uint32 {
 		return code
 	}
 	next := uint64(codeBase) + uint64(a.numStrings()) + uint64(len(a.ext))
-	if next > 1<<32-1 {
-		panic("kb: annotator full: more than ~4B distinct canonical values")
+	if next >= scopeBandStart {
+		panic("kb: annotator full: more than ~3B distinct canonical values (top band reserved for ER scopes)")
 	}
 	code := uint32(next)
 	a.ext[n] = code
@@ -163,6 +277,9 @@ func (a *Annotator) computeCode(s string) uint32 {
 // (Int 10^15 renders "1000000000000000", Float 1e15 renders "1e+15") — so
 // they resolve through the rendering-keyed cache instead.
 func (a *Annotator) codeAndID(v table.Value) (code, id uint32, interned bool) {
+	if a.erScope {
+		return a.scopeCode(v.String()), 0, false
+	}
 	if a.dict != nil && v.Kind() == table.String {
 		if id, ok := a.dict.Lookup(v); ok && id != table.NullID {
 			root := a
@@ -225,6 +342,9 @@ func (a *Annotator) Code(v table.Value) uint32 {
 
 // CodeString returns the annotation code of a raw string value.
 func (a *Annotator) CodeString(s string) uint32 {
+	if a.erScope {
+		return a.scopeCode(s)
+	}
 	a.mu.RLock()
 	c := a.raw[s]
 	a.mu.RUnlock()

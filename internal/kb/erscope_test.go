@@ -1,0 +1,119 @@
+package kb
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+// scopeKB builds a tiny KB with an alias, for ERScope identity checks.
+func scopeKB() *KB {
+	k := New()
+	k.AddEntity("united states", "country")
+	k.AddAlias("usa", "united states")
+	return k
+}
+
+func TestERScopeCodeIdentity(t *testing.T) {
+	root := NewAnnotator(scopeKB().Compiled(), nil)
+	scope := root.ERScope()
+
+	// Alias pairs resolve to one compiled code, exactly as in the root.
+	if a, b := scope.CodeString("USA"), scope.CodeString("United States"); a != b {
+		t.Fatalf("alias codes differ in scope: %d vs %d", a, b)
+	}
+	if got, want := scope.CodeString("USA"), root.CodeString("USA"); got != want {
+		t.Fatalf("compiled code differs between scope (%d) and root (%d)", got, want)
+	}
+
+	// Foreign canonicals: same normalization shares a code, different ones
+	// differ, and every scope-allocated code lives in the reserved top band.
+	a, b := scope.CodeString("Zanzibar"), scope.CodeString("  zanzibar ")
+	if a != b {
+		t.Fatalf("equal-canonical foreign strings got distinct codes: %d vs %d", a, b)
+	}
+	if c := scope.CodeString("Elbonia"); c == a {
+		t.Fatalf("distinct foreign canonicals share code %d", c)
+	}
+	if a < scopeBandStart {
+		t.Fatalf("scope-allocated code %d below the scope band (%d)", a, scopeBandStart)
+	}
+
+	// Null and empty-canonical values are CodeEmpty, as everywhere.
+	if got := scope.Code(table.NullValue()); got != CodeEmpty {
+		t.Fatalf("null code = %d, want CodeEmpty", got)
+	}
+	if got := scope.CodeString("  "); got != CodeEmpty {
+		t.Fatalf("blank code = %d, want CodeEmpty", got)
+	}
+}
+
+func TestERScopeBorrowsRootExtendedIDs(t *testing.T) {
+	root := NewAnnotator(scopeKB().Compiled(), nil)
+	rc := root.CodeString("Wakanda") // root extends bottom-up
+	if rc >= scopeBandStart {
+		t.Fatalf("root extended code %d inside the scope band", rc)
+	}
+	scope := root.ERScope()
+	if got := scope.CodeString("wakanda"); got != rc {
+		t.Fatalf("scope did not borrow root code: got %d, want %d", got, rc)
+	}
+}
+
+func TestERScopeIdentityStableUnderRootGrowth(t *testing.T) {
+	root := NewAnnotator(scopeKB().Compiled(), nil)
+	scope := root.ERScope()
+	first := scope.CodeString("Wakanda") // unknown everywhere: scope allocates
+	if first < scopeBandStart {
+		t.Fatalf("expected a scope allocation, got %d", first)
+	}
+	// The root learns the same canonical mid-request on behalf of other
+	// traffic; the scope must keep answering with its own code — one
+	// canonical, one code, for the whole request.
+	root.CodeString("wakanda")
+	if got := scope.CodeString("  WAKANDA  "); got != first {
+		t.Fatalf("scope identity drifted after root growth: got %d, want %d", got, first)
+	}
+}
+
+func TestERScopeNeverWritesRoot(t *testing.T) {
+	root := NewAnnotator(scopeKB().Compiled(), nil)
+	scope := root.ERScope()
+	sc := scope.CodeString("Narnia")
+	// The root has never seen the canonical, so it allocates its own
+	// bottom-up extended ID — proof the scope published nothing.
+	if rc := root.CodeString("Narnia"); rc == sc {
+		t.Fatalf("root returned the scope's code %d — scope leaked into the shared namespace", rc)
+	}
+	root.mu.RLock()
+	extLen := len(root.ext)
+	root.mu.RUnlock()
+	if extLen != 1 {
+		t.Fatalf("root ext has %d entries, want exactly the root's own allocation", extLen)
+	}
+}
+
+func TestERScopeDictBackedRootStaysBounded(t *testing.T) {
+	dict := table.NewDict()
+	v := table.StringValue("Quahog")
+	dict.Intern(v)
+	root := NewAnnotator(scopeKB().Compiled(), dict)
+	scope := root.ERScope()
+	// A lake value resolved through the scope must not populate the root's
+	// per-value cache (the scope is the request's whole world)...
+	c1 := scope.Code(v)
+	root.mu.RLock()
+	var cached uint32
+	if len(root.byVal) > 0 {
+		cached = root.byVal[0]
+	}
+	rootExt := len(root.ext)
+	root.mu.RUnlock()
+	if cached != codeUnset || rootExt != 0 {
+		t.Fatalf("scope resolution touched the root (byVal=%d, ext=%d)", cached, rootExt)
+	}
+	// ...while repeats inside the scope stay cached and identical.
+	if c2 := scope.Code(v); c2 != c1 {
+		t.Fatalf("scope repeat changed code: %d vs %d", c2, c1)
+	}
+}

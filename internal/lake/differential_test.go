@@ -9,6 +9,7 @@
 package lake_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -91,7 +92,7 @@ var diffMethods = []string{"santos-union", "lsh-join", "josie-join", "syntactic-
 // Scores are rendered from their exact float64 bits: "identical" means
 // identical, not approximately equal.
 func discoverySig(reg *discovery.Registry, l *lake.Lake, q *table.Table, col, k int) string {
-	perMethod, set, err := discovery.Discover(reg, l, q, col, k, diffMethods)
+	perMethod, set, err := discovery.Discover(context.Background(), reg, l, q, col, k, diffMethods)
 	if err != nil {
 		return "err:" + err.Error()
 	}

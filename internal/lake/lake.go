@@ -355,6 +355,33 @@ func (l *Lake) Remove(names ...string) error {
 	return nil
 }
 
+// RefreshKB re-annotates the lake against its knowledge base as compiled
+// now, and reports whether anything was stale. Add already refreshes a
+// mutated KB as a side effect; RefreshKB is the explicit trigger for the
+// remaining case — a KB mutation with no subsequent Add — so live-KB union
+// search never has to wait for the next table churn to see new entities.
+// The annotator is replaced and the SANTOS layer rebuilt in full against
+// the recompiled engine (compiled type IDs are incomparable across KB
+// snapshots); domain extraction, MinHash fingerprints and the
+// KB-independent indexes are untouched. When the annotator is already
+// current this is a cheap no-op returning false. RefreshKB follows Add's
+// concurrency contract. A KB synthesized at build time is not
+// re-synthesized; rebuild the lake to fold mutations into the synthesis.
+func (l *Lake) RefreshKB() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.annotator.UpToDate(l.knowledge) {
+		return false
+	}
+	t0 := time.Now()
+	l.annotator = kb.NewAnnotator(l.knowledge.Compiled(), l.dict)
+	l.stats.KBPrep += time.Since(t0)
+	t0 = time.Now()
+	l.santosIx = santos.BuildWithAnnotator(l.tables, l.annotator)
+	l.stats.Santos += time.Since(t0)
+	return true
+}
+
 // Compact folds accumulated mutation debt out of the discovery indexes:
 // JOSIE merges its delta segment and tombstones back into a dense CSR
 // arena, and the LSH Ensemble drops dead domain slots. Both happen

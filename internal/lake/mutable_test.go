@@ -190,3 +190,57 @@ func TestAddAfterKBMutation(t *testing.T) {
 		}
 	}
 }
+
+// TestRefreshKBAfterMutation pins the explicit re-annotation trigger: a KB
+// mutation with *no* subsequent Add used to leave SANTOS queries on the
+// build-time snapshot until the next Add or rebuild; RefreshKB closes that
+// gap on demand, mirroring TestAddAfterKBMutation without the Add.
+func TestRefreshKBAfterMutation(t *testing.T) {
+	knowledge := kb.Demo()
+	l, err := New(paperdata.CovidLake(), Options{Knowledge: knowledge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.RefreshKB() {
+		t.Fatal("RefreshKB reported work on an up-to-date lake")
+	}
+	oldAnn := l.Annotator()
+	knowledge.AddEntity("atlantis", "City")
+	if oldAnn.UpToDate(knowledge) {
+		t.Fatal("annotator unexpectedly current after KB mutation")
+	}
+	if !l.RefreshKB() {
+		t.Fatal("RefreshKB reported no-op on a stale lake")
+	}
+	if l.Annotator() == oldAnn || !l.Annotator().UpToDate(knowledge) {
+		t.Fatal("RefreshKB did not replace the stale annotator")
+	}
+	// The refreshed lake must agree with a from-scratch build over the
+	// mutated KB — annotations of every table re-ran against the recompiled
+	// engine, not an incomparable old-ID snapshot.
+	fresh, err := New(l.Tables(), Options{Knowledge: knowledge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := paperdata.T1()
+	city, _ := q.ColumnIndex(paperdata.ColCity)
+	got, err1 := l.Santos().Query(q, city, 0)
+	want, err2 := fresh.Santos().Query(q, city, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-refresh results: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Table.Name != want[i].Table.Name || got[i].Score != want[i].Score || got[i].MatchedColumn != want[i].MatchedColumn {
+			t.Errorf("result %d: got %s/%v/%d, want %s/%v/%d", i,
+				got[i].Table.Name, got[i].Score, got[i].MatchedColumn,
+				want[i].Table.Name, want[i].Score, want[i].MatchedColumn)
+		}
+	}
+	// A second refresh with no further mutation is a no-op again.
+	if l.RefreshKB() {
+		t.Fatal("RefreshKB reported work twice for one mutation")
+	}
+}

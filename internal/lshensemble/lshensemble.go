@@ -22,6 +22,7 @@
 package lshensemble
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -585,11 +586,20 @@ type Result struct {
 // intersect an indexed domain, though they still count toward |Q|) are
 // hashed on the fly.
 func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
+	res, _ := ix.QueryCtx(context.Background(), rawQuery, threshold, k)
+	return res
+}
+
+// QueryCtx is Query with cooperative cancellation: the candidate
+// verification loop checks ctx between partitions and amortized across
+// containment verifications, returning (nil, ctx.Err()) once the context is
+// cancelled. Uncancelled results are byte-identical to Query.
+func (ix *Index) QueryCtx(ctx context.Context, rawQuery []string, threshold float64, k int) ([]Result, error) {
 	s := ix.getScratch()
 	defer ix.scratch.Put(s)
 	query := s.valueSet(rawQuery)
 	if len(query) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if cap(s.fps) < len(query) {
 		s.fps = make([]uint64, len(query))
@@ -608,7 +618,7 @@ func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
 	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.query(s.sig, s.qids, len(query), threshold, k, s)
+	return ix.query(ctx, s.sig, s.qids, len(query), threshold, k, s)
 }
 
 // QueryDomain answers a containment query for an already-extracted domain —
@@ -617,8 +627,15 @@ func (ix *Index) Query(rawQuery []string, threshold float64, k int) []Result {
 // domain's Values must be normalized and deduplicated (lake domains are);
 // missing IDs or fingerprints are derived on the fly.
 func (ix *Index) QueryDomain(d *Domain, threshold float64, k int) []Result {
+	res, _ := ix.QueryDomainCtx(context.Background(), d, threshold, k)
+	return res
+}
+
+// QueryDomainCtx is QueryDomain with cooperative cancellation, mirroring
+// QueryCtx.
+func (ix *Index) QueryDomainCtx(ctx context.Context, d *Domain, threshold float64, k int) ([]Result, error) {
 	if d == nil || len(d.Values) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	s := ix.getScratch()
 	defer ix.scratch.Put(s)
@@ -649,13 +666,22 @@ func (ix *Index) QueryDomain(d *Domain, threshold float64, k int) []Result {
 	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.query(s.sig, s.qids, len(d.Values), threshold, k, s)
+	return ix.query(ctx, s.sig, s.qids, len(d.Values), threshold, k, s)
 }
+
+// verifyCancelStride bounds how many candidate verifications run between two
+// context checks: each verification is an O(|X|) token-ID intersection, so
+// the stride keeps cancellation latency bounded without a per-candidate
+// branch dominating small queries.
+const verifyCancelStride = 64
 
 // query probes every partition with the query signature, then verifies the
 // candidates by exact token-ID intersection. qsize is |Q| (including tokens
-// outside the lake vocabulary, which count toward the denominator).
-func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize int, threshold float64, k int, s *queryScratch) []Result {
+// outside the lake vocabulary, which count toward the denominator). ctx is
+// checked between partition probes and every verifyCancelStride candidate
+// verifications.
+func (ix *Index) query(ctx context.Context, qsig minhash.Signature, qids map[uint32]struct{}, qsize int, threshold float64, k int, s *queryScratch) ([]Result, error) {
+	done := ctx.Done()
 	// The candidate-dedup scratch is sized for the index as of a previous
 	// query; the slot arrays grow under mutation, so re-fit it here (fresh
 	// entries are zero, which no live epoch ever equals).
@@ -674,6 +700,14 @@ func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize i
 	candidates := s.cands[:0]
 	keys := s.keys
 	for pi := range ix.parts {
+		if done != nil {
+			select {
+			case <-done:
+				s.cands, s.keys = candidates, keys
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		p := &ix.parts[pi]
 		if len(p.tables) == 0 {
 			continue
@@ -693,7 +727,14 @@ func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize i
 	s.cands = candidates
 	s.keys = keys
 	var results []Result
-	for _, di := range candidates {
+	for vi, di := range candidates {
+		if done != nil && vi%verifyCancelStride == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		d := &ix.domains[di]
 		inter := 0
 		for _, id := range d.IDs {
@@ -715,7 +756,7 @@ func (ix *Index) query(qsig minhash.Signature, qids map[uint32]struct{}, qsize i
 	if k > 0 && len(results) > k {
 		results = results[:k]
 	}
-	return results
+	return results, nil
 }
 
 // Dict returns the token dictionary the index interns through.

@@ -5,6 +5,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,17 +13,36 @@ import (
 
 // For runs fn(0..n-1) across up to GOMAXPROCS workers and returns when all
 // calls have finished. fn must be safe to call concurrently; calls are
-// distributed dynamically, so uneven item costs still balance.
+// distributed dynamically, so uneven item costs still balance. It is
+// ForCtx under an uncancellable context (the nil done channel makes every
+// cancellation poll a predictable branch).
 func For(n int, fn func(i int)) {
+	_ = ForCtx(context.Background(), n, fn)
+}
+
+// ForCtx is For with cooperative cancellation: workers stop claiming new
+// work items once ctx is done, and ForCtx returns ctx.Err() (nil when every
+// item ran). Items already started always run to completion and every
+// worker goroutine has exited before ForCtx returns — cancellation can
+// leave trailing items unprocessed, never a leaked goroutine. fn is
+// responsible for its own intra-item cancellation checks when single items
+// are long-running.
+func ForCtx(ctx context.Context, n int, fn func(i int)) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -31,6 +51,11 @@ func For(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -40,6 +65,7 @@ func For(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Do runs the given functions concurrently and returns when all have

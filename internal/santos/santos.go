@@ -19,6 +19,7 @@
 package santos
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -345,6 +346,18 @@ type Result struct {
 // while foreign query values are canonicalized per query and reclaimed, so
 // query traffic never grows the shared cache.
 func (ix *Index) Query(q *table.Table, intentCol int, k int) ([]Result, error) {
+	return ix.QueryCtx(context.Background(), q, intentCol, k)
+}
+
+// scoreCancelStride bounds how many candidate tables are scored between two
+// context checks in QueryCtx.
+const scoreCancelStride = 64
+
+// QueryCtx is Query with cooperative cancellation: the candidate scoring
+// scan checks ctx every scoreCancelStride tables and returns
+// (nil, ctx.Err()) once the context is cancelled. Uncancelled results are
+// byte-identical to Query.
+func (ix *Index) QueryCtx(ctx context.Context, q *table.Table, intentCol int, k int) ([]Result, error) {
 	if intentCol < 0 || intentCol >= q.NumCols() {
 		return nil, fmt.Errorf("santos: intent column %d out of range for table %q with %d columns", intentCol, q.Name, q.NumCols())
 	}
@@ -364,12 +377,20 @@ func (ix *Index) Query(q *table.Table, intentCol int, k int) ([]Result, error) {
 		return nil, fmt.Errorf("santos: intent column %d of table %q has no semantic annotation (textual KB-covered column required)", intentCol, q.Name)
 	}
 	ck := ix.ann.Compiled()
+	done := ctx.Done()
 	var results []Result
 	// The candidate scan holds the read lock: mutations swap or append to
 	// ix.tables, and scoring reads only immutable per-table graphs.
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	for i := range ix.tables {
+		if done != nil && i%scoreCancelStride == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		cand := &ix.tables[i]
 		if cand.t.Name == q.Name {
 			continue // never return the query itself

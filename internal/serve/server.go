@@ -1,0 +1,506 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/er"
+	"repro/internal/table"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Timeout bounds each request's wall time; the request context expires
+	// at the deadline and every pipeline stage aborts at its next
+	// cancellation checkpoint. 0 means DefaultTimeout; negative disables.
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultTimeout      = 30 * time.Second
+	DefaultMaxBodyBytes = 32 << 20
+)
+
+// Server serves one DIALITE pipeline over HTTP. Handlers are safe for
+// concurrent use: discovery and analysis run concurrently with each other
+// and with lake mutations (the lake's concurrency contract), and every
+// request is independently scoped — context, timeout, and ER annotation
+// cache.
+type Server struct {
+	p   *core.Pipeline
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New builds a server over a constructed pipeline.
+func New(p *core.Pipeline, cfg Config) *Server {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{p: p, cfg: cfg, mux: http.NewServeMux()}
+	endpoints := map[string]struct {
+		method  string
+		handler http.HandlerFunc
+	}{
+		"/v1/discover":    {http.MethodPost, s.handle(s.discover)},
+		"/v1/integrate":   {http.MethodPost, s.handle(s.integrate)},
+		"/v1/pipeline":    {http.MethodPost, s.handle(s.pipeline)},
+		"/v1/correlate":   {http.MethodPost, s.handle(s.correlate)},
+		"/v1/resolve":     {http.MethodPost, s.handle(s.resolve)},
+		"/v1/lake/add":    {http.MethodPost, s.handle(s.lakeAdd)},
+		"/v1/lake/remove": {http.MethodPost, s.handle(s.lakeRemove)},
+		"/v1/lake":        {http.MethodGet, s.handle(s.lakeInfo)},
+		"/healthz": {http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		}},
+	}
+	for path, ep := range endpoints {
+		s.mux.HandleFunc(ep.method+" "+path, ep.handler)
+	}
+	// The fallback keeps every error structured: a known path reached with
+	// the wrong method is 405 (a catch-all "/" pattern preempts the mux's
+	// built-in method check, so it is reproduced here), everything else —
+	// including trailing-slash variants, which are not registered paths —
+	// is 404.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if ep, known := endpoints[r.URL.Path]; known && r.Method != ep.method {
+			w.Header().Set("Allow", ep.method)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", r.URL.Path, ep.method))
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no endpoint %s (see /v1/{discover,integrate,pipeline,correlate,resolve,lake})", r.URL.Path))
+	})
+	return s
+}
+
+// Handler returns the server's routes; mount it on any http.Server (tests
+// use httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves until ctx is cancelled, then shuts down: the
+// listener closes, every in-flight request's context is cancelled — the
+// pipeline stages abort at their next checkpoint and those clients receive
+// a structured 503 — and the handlers get shutdownGrace to unwind. Because
+// requests are cancellable mid-stage, shutdown is prompt even when requests
+// with long deadlines are in flight; nil is returned on a clean stop.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	// Request contexts descend from baseCtx, not context.Background():
+	// http.Server.Shutdown alone never cancels in-flight requests, which
+	// would leave shutdown waiting on whatever per-request deadlines remain.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		cancelBase()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
+const shutdownGrace = 15 * time.Second
+
+// errorBody is the structured error envelope every non-2xx response carries.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	// Marshal before touching the response: encoding can fail after the
+	// fact (a lake cell parsed as ±Inf has no JSON representation), and a
+	// failure discovered after WriteHeader would turn into a silent 200
+	// with a truncated body. This way it becomes an honest 500.
+	buf := &bytes.Buffer{}
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(body); err != nil {
+		if status == http.StatusInternalServerError {
+			// The error envelope itself failed to encode; nothing left to say.
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("response not representable as JSON: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Status: status})
+}
+
+// statusFor maps handler errors to HTTP statuses: an expired per-request
+// deadline is a gateway timeout, a client cancellation is reported (even if
+// rarely read) as service unavailable, an oversized body is 413, a
+// contained discoverer panic (a server-side fault, not the caller's) is
+// 500, and everything else — validation, unknown names, malformed tables —
+// is the caller's error.
+func statusFor(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case strings.Contains(err.Error(), "panicked:"):
+		// discovery.RunAll contains user-hook panics and surfaces them as
+		// errors of this shape; the hook registry has no typed error, so
+		// the message is the contract.
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handle wraps an endpoint with the per-request scope: body limit, timeout
+// context, JSON rendering and structured errors.
+func (s *Server) handle(fn func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if s.cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+			defer cancel()
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		out, err := fn(ctx, r)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// decodeBody strictly decodes the request body: unknown fields and trailing
+// garbage are rejected, and numbers keep full precision (json.Number).
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("malformed request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("malformed request body: trailing data after JSON object")
+	}
+	return nil
+}
+
+// DiscoverRequest is the wire form of the discovery stage input.
+type DiscoverRequest struct {
+	Query       TableJSON `json:"query"`
+	QueryColumn int       `json:"queryColumn"`
+	Methods     []string  `json:"methods,omitempty"`
+	K           int       `json:"k,omitempty"`
+}
+
+// DiscoverResult is one ranked discovery answer.
+type DiscoverResult struct {
+	Table  string  `json:"table"`
+	Score  float64 `json:"score"`
+	Method string  `json:"method"`
+	Column int     `json:"column"`
+}
+
+// DiscoverResponse is the wire form of the discovery stage output. The
+// integration set is reported by name (the query first); full tables are
+// available through /v1/integrate.
+type DiscoverResponse struct {
+	PerMethod      map[string][]DiscoverResult `json:"perMethod"`
+	IntegrationSet []string                    `json:"integrationSet"`
+}
+
+func (s *Server) discover(ctx context.Context, r *http.Request) (any, error) {
+	var req DiscoverRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	q, err := req.Query.DecodeTable()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.p.Discover(ctx, core.DiscoverRequest{Query: q, QueryColumn: req.QueryColumn, Methods: req.Methods, K: req.K})
+	if err != nil {
+		return nil, err
+	}
+	return encodeDiscoverResponse(resp), nil
+}
+
+func encodeDiscoverResponse(resp *core.DiscoverResponse) DiscoverResponse {
+	out := DiscoverResponse{PerMethod: make(map[string][]DiscoverResult, len(resp.PerMethod))}
+	for m, rs := range resp.PerMethod {
+		list := make([]DiscoverResult, 0, len(rs))
+		for _, res := range rs {
+			list = append(list, DiscoverResult{Table: res.Table.Name, Score: res.Score, Method: res.Method, Column: res.Column})
+		}
+		out.PerMethod[m] = list
+	}
+	for _, t := range resp.IntegrationSet {
+		out.IntegrationSet = append(out.IntegrationSet, t.Name)
+	}
+	return out
+}
+
+// IntegrateRequest names lake tables and/or carries inline tables to
+// integrate, in order: named lake tables first, then inline ones.
+type IntegrateRequest struct {
+	Names          []string    `json:"names,omitempty"`
+	Tables         []TableJSON `json:"tables,omitempty"`
+	Operator       string      `json:"operator,omitempty"`
+	WithProvenance bool        `json:"withProvenance,omitempty"`
+}
+
+// IntegrateResponse carries the integrated table.
+type IntegrateResponse struct {
+	Table    TableJSON `json:"table"`
+	Operator string    `json:"operator"`
+}
+
+// integrationSet resolves an IntegrateRequest's table list.
+func (s *Server) integrationSet(req IntegrateRequest) ([]*table.Table, error) {
+	set := make([]*table.Table, 0, len(req.Names)+len(req.Tables))
+	for _, name := range req.Names {
+		t, ok := s.p.Lake().Get(name)
+		if !ok {
+			return nil, fmt.Errorf("no table %q in lake", name)
+		}
+		set = append(set, t)
+	}
+	for _, tj := range req.Tables {
+		t, err := tj.DecodeTable()
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, t)
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("empty integration set: provide names and/or tables")
+	}
+	return set, nil
+}
+
+func (s *Server) integrate(ctx context.Context, r *http.Request) (any, error) {
+	var req IntegrateRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	set, err := s.integrationSet(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.p.Integrate(ctx, core.IntegrateRequest{Tables: set, Operator: req.Operator, WithProvenance: req.WithProvenance})
+	if err != nil {
+		return nil, err
+	}
+	return IntegrateResponse{Table: EncodeTable(resp.Table), Operator: resp.Operator}, nil
+}
+
+// PipelineRequest runs discover-then-integrate end to end.
+type PipelineRequest struct {
+	Query          TableJSON `json:"query"`
+	QueryColumn    int       `json:"queryColumn"`
+	Methods        []string  `json:"methods,omitempty"`
+	K              int       `json:"k,omitempty"`
+	Operator       string    `json:"operator,omitempty"`
+	WithProvenance bool      `json:"withProvenance,omitempty"`
+}
+
+// PipelineResponse bundles both stage outputs.
+type PipelineResponse struct {
+	Discovery   DiscoverResponse  `json:"discovery"`
+	Integration IntegrateResponse `json:"integration"`
+}
+
+func (s *Server) pipeline(ctx context.Context, r *http.Request) (any, error) {
+	var req PipelineRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	q, err := req.Query.DecodeTable()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.p.Run(ctx, core.RunRequest{
+		Query:          q,
+		QueryColumn:    req.QueryColumn,
+		Methods:        req.Methods,
+		K:              req.K,
+		Operator:       req.Operator,
+		WithProvenance: req.WithProvenance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return PipelineResponse{
+		Discovery:   encodeDiscoverResponse(res.Discovery),
+		Integration: IntegrateResponse{Table: EncodeTable(res.Integration.Table), Operator: res.Integration.Operator},
+	}, nil
+}
+
+// CorrelateRequest asks for a Pearson correlation between two columns (by
+// header name) of an inline table — typically an integration result.
+type CorrelateRequest struct {
+	Table TableJSON `json:"table"`
+	ColA  string    `json:"colA"`
+	ColB  string    `json:"colB"`
+}
+
+// CorrelateResponse carries the coefficient and the pair count it was
+// computed over.
+type CorrelateResponse struct {
+	R float64 `json:"r"`
+	N int     `json:"n"`
+}
+
+func (s *Server) correlate(ctx context.Context, r *http.Request) (any, error) {
+	var req CorrelateRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	t, err := req.Table.DecodeTable()
+	if err != nil {
+		return nil, err
+	}
+	rho, n, err := s.p.Correlate(ctx, t, req.ColA, req.ColB)
+	if err != nil {
+		return nil, err
+	}
+	return CorrelateResponse{R: rho, N: n}, nil
+}
+
+// ResolveRequest asks for entity resolution over an inline table with the
+// pipeline's knowledge base (request-scoped annotation cache).
+type ResolveRequest struct {
+	Table     TableJSON `json:"table"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Veto      float64   `json:"veto,omitempty"`
+}
+
+// ResolveResponse reports the clusters (row indices of the input), the
+// merged canonical table, and how many candidate pairs were compared.
+type ResolveResponse struct {
+	Clusters [][]int   `json:"clusters"`
+	Resolved TableJSON `json:"resolved"`
+	Pairs    int       `json:"pairs"`
+}
+
+func (s *Server) resolve(ctx context.Context, r *http.Request) (any, error) {
+	var req ResolveRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	t, err := req.Table.DecodeTable()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.p.ResolveEntities(ctx, t, er.Options{Threshold: req.Threshold, Veto: req.Veto})
+	if err != nil {
+		return nil, err
+	}
+	return ResolveResponse{Clusters: res.Clusters, Resolved: EncodeTable(res.Resolved), Pairs: len(res.Pairs)}, nil
+}
+
+// LakeAddRequest carries tables to index incrementally.
+type LakeAddRequest struct {
+	Tables []TableJSON `json:"tables"`
+}
+
+// LakeRemoveRequest names tables to drop.
+type LakeRemoveRequest struct {
+	Names []string `json:"names"`
+}
+
+// LakeResponse reports the lake's shape after a query or mutation.
+type LakeResponse struct {
+	Size   int      `json:"size"`
+	Tables []string `json:"tables,omitempty"`
+}
+
+// Lake mutations are transactional, not cancellable: once Lake.Add/Remove
+// starts, it runs to completion (aborting a half-applied index delta would
+// be worse than finishing it), so the per-request timeout bounds only the
+// wait to start — the deadline is checked after decoding, and an already-
+// expired request mutates nothing. The worst case is a KB-stale Add, which
+// re-annotates the SANTOS layer in full while holding the lake write lock;
+// trigger RefreshKB out of band after KB mutations to keep adds cheap.
+func (s *Server) lakeAdd(ctx context.Context, r *http.Request) (any, error) {
+	var req LakeAddRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Tables) == 0 {
+		return nil, fmt.Errorf("no tables to add")
+	}
+	tables := make([]*table.Table, 0, len(req.Tables))
+	for _, tj := range req.Tables {
+		t, err := tj.DecodeTable()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.p.AddTables(tables...); err != nil {
+		return nil, err
+	}
+	return LakeResponse{Size: s.p.Lake().Size()}, nil
+}
+
+// lakeRemove follows lakeAdd's transactional (run-to-completion) contract.
+func (s *Server) lakeRemove(ctx context.Context, r *http.Request) (any, error) {
+	var req LakeRemoveRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Names) == 0 {
+		return nil, fmt.Errorf("no tables to remove")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.p.RemoveTables(req.Names...); err != nil {
+		return nil, err
+	}
+	return LakeResponse{Size: s.p.Lake().Size()}, nil
+}
+
+func (s *Server) lakeInfo(ctx context.Context, r *http.Request) (any, error) {
+	tables := s.p.Lake().Tables()
+	names := make([]string, 0, len(tables))
+	for _, t := range tables {
+		names = append(names, t.Name)
+	}
+	return LakeResponse{Size: len(names), Tables: names}, nil
+}

@@ -1,0 +1,51 @@
+// Package testutil holds test-only helpers shared across packages. It is
+// imported exclusively from _test.go files; nothing in it ships in a
+// production binary.
+package testutil
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitGoroutinesSettle waits for the process goroutine count to return to
+// the given baseline — the goleak-style leak check the cancellation tests
+// run after aborting fan-outs and closures. It fails the test with a full
+// stack dump when the count has not settled within five seconds.
+func WaitGoroutinesSettle(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not settle: baseline %d, now %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// FreeLocalAddr reserves an ephemeral localhost TCP port and returns its
+// address, for tests that must pass a listen address to code that binds it
+// itself. The listener is closed before returning, so a different process
+// could in principle grab the port in between — vastly less likely than a
+// hardcoded port colliding.
+func FreeLocalAddr(t testing.TB) string {
+	t.Helper()
+	ln, err := listenLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func listenLoopback() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
