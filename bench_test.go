@@ -22,6 +22,7 @@ import (
 	"repro/internal/lake"
 	"repro/internal/lshensemble"
 	"repro/internal/paperdata"
+	"repro/internal/persist"
 	"repro/internal/schemamatch"
 	"repro/internal/synth"
 	"repro/internal/table"
@@ -341,6 +342,36 @@ func BenchmarkLakeRebuild(b *testing.B) {
 		if _, err := lake.New(all, lake.Options{Knowledge: kb.Demo()}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures recovering the 360-table lake through the
+// durability layer (persist.Open: read the checksummed snapshot, verify,
+// decode, lake.Restore, replay the empty WAL) — the warm-restart path that
+// displaces the from-scratch rebuild measured by BenchmarkLakeRebuild.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	sl := experiments.JoinSearchLake(17)
+	l, err := lake.New(sl.Tables, lake.Options{Knowledge: kb.Demo()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsys := persist.NewMemFS()
+	st, err := persist.Create("lake", l, persist.Options{FS: fsys})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := persist.Open("lake", persist.Options{FS: fsys})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
 	}
 }
 

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	dialite serve     -lake DIR [-addr :8080] [-timeout 30s]
+//	dialite serve     -lake DIR [-persist DIR] [-addr :8080] [-timeout 30s]
+//	dialite snapshot  -persist DIR [-lake DIR]
 //	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K] [-grow DIR] [-drop t1,t2]
 //	dialite integrate -lake DIR -tables a,b,c [-op alite-fd|outer-join|inner-join|union] [-prov]
 //	dialite pipeline  -lake DIR -query Q.csv -col N [-op OP] [-prov]
@@ -18,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/er"
 	"repro/internal/kb"
+	"repro/internal/persist"
 	"repro/internal/serve"
 	"repro/internal/table"
 )
@@ -60,6 +63,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -78,6 +83,7 @@ func usage() {
 
 commands:
   serve      serve the pipeline over HTTP (JSON endpoints, mutable lake)
+  snapshot   compact a durable lake directory: fold the WAL into a snapshot
   discover   find unionable/joinable tables for a query table
   integrate  align and integrate a set of lake tables
   pipeline   discover then integrate, end to end
@@ -125,22 +131,117 @@ func mutateLake(p *core.Pipeline, growDir, drop string) error {
 // discover/integrate/pipeline/correlate/resolve and lake add/remove, with
 // per-request timeouts and graceful shutdown on SIGINT/SIGTERM (the
 // process-level signal context).
+//
+// With -persist the lake is durable: a new directory is created from the
+// -lake CSVs (snapshot + write-ahead log), an existing one is recovered —
+// the listener comes up immediately and answers 503 + Retry-After until
+// replay finishes, and shutdown drains in-flight mutations and syncs the
+// log before the process exits.
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	lakeDir := fs.String("lake", "", "directory of lake CSVs")
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request timeout (0 uses the default, negative disables)")
 	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
+	persistDir := fs.String("persist", "", "durable lake directory (snapshot + WAL); created from -lake when new, recovered otherwise")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := serve.Config{Timeout: *timeout}
+	if *persistDir == "" {
+		p, err := newPipeline(*lakeDir, *synthKB)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dialite: serving %d-table lake from %s on %s (request timeout %s)\n",
+			p.Lake().Size(), *lakeDir, *addr, *timeout)
+		return serve.New(p, cfg).ListenAndServe(ctx, *addr)
+	}
+	if persist.Exists(*persistDir, persist.Options{}) {
+		// Warm restart: the lake lives in the snapshot + WAL, not in -lake.
+		// Listen immediately and recover in the background; endpoints answer
+		// 503 + Retry-After until the replayed lake is attached.
+		s := serve.NewWarming(cfg)
+		ctx, fail := context.WithCancelCause(ctx)
+		defer fail(nil)
+		go func() {
+			st, err := persist.Open(*persistDir, persist.Options{})
+			if err != nil {
+				fail(fmt.Errorf("recovering %s: %w", *persistDir, err))
+				return
+			}
+			fmt.Fprintf(os.Stderr, "dialite: recovered %d-table lake from %s (seq %d)\n",
+				st.Lake().Size(), *persistDir, st.Status().Seq)
+			s.Attach(core.FromLake(st.Lake()), st)
+		}()
+		fmt.Fprintf(os.Stderr, "dialite: serving on %s while recovering lake from %s (request timeout %s)\n",
+			*addr, *persistDir, *timeout)
+		err := s.ListenAndServe(ctx, *addr)
+		if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+			return cause
+		}
+		return err
+	}
+	// Cold start: build from the -lake CSVs, then make the directory the
+	// lake's durable home before taking traffic.
 	p, err := newPipeline(*lakeDir, *synthKB)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dialite: serving %d-table lake from %s on %s (request timeout %s)\n",
-		p.Lake().Size(), *lakeDir, *addr, *timeout)
-	return serve.New(p, serve.Config{Timeout: *timeout}).ListenAndServe(ctx, *addr)
+	st, err := persist.Create(*persistDir, p.Lake(), persist.Options{})
+	if err != nil {
+		return err
+	}
+	s := serve.NewWarming(cfg)
+	s.Attach(p, st)
+	fmt.Fprintf(os.Stderr, "dialite: serving %d-table lake from %s on %s, persisted in %s (request timeout %s)\n",
+		p.Lake().Size(), *lakeDir, *addr, *persistDir, *timeout)
+	return s.ListenAndServe(ctx, *addr)
+}
+
+// cmdSnapshot maintains a durable lake directory offline. An existing
+// directory is recovered and its WAL folded into a fresh snapshot
+// generation, so the next serve -persist starts without replay; a new
+// directory is created from the -lake CSVs.
+func cmdSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	persistDir := fs.String("persist", "", "durable lake directory")
+	lakeDir := fs.String("lake", "", "CSVs to build from when the directory is new")
+	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake (new directories only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *persistDir == "" {
+		return fmt.Errorf("-persist directory is required")
+	}
+	if !persist.Exists(*persistDir, persist.Options{}) {
+		p, err := newPipeline(*lakeDir, *synthKB)
+		if err != nil {
+			return err
+		}
+		st, err := persist.Create(*persistDir, p.Lake(), persist.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created %s: %d tables, snapshot seq %d\n", *persistDir, st.Lake().Size(), st.Status().SnapshotSeq)
+		return st.Close()
+	}
+	st, err := persist.Open(*persistDir, persist.Options{})
+	if err != nil {
+		return err
+	}
+	before := st.Status()
+	if err := st.Snapshot(); err != nil {
+		st.Close()
+		return err
+	}
+	after := st.Status()
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: %d tables, %d WAL records folded into snapshot seq %d\n",
+		*persistDir, st.Lake().Size(), before.WALRecords, after.SnapshotSeq)
+	return nil
 }
 
 func cmdDiscover(ctx context.Context, args []string) error {

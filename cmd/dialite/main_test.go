@@ -1,16 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/analyze"
 	"repro/internal/paperdata"
+	"repro/internal/persist"
+	"repro/internal/serve"
 	"repro/internal/table"
 	"repro/internal/testutil"
 )
@@ -256,5 +261,148 @@ func TestCmdServeRoundTrip(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// startServe launches cmdServe with args in a goroutine and waits until
+// /healthz answers, returning the shutdown function (cancel + wait) and
+// the base URL.
+func startServe(t *testing.T, args []string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addr := testutil.FreeLocalAddr(t)
+	done := make(chan error, 1)
+	go func() { done <- cmdServe(ctx, append([]string{"-addr", addr}, args...)) }()
+	var err error
+	for i := 0; i < 200; i++ {
+		var resp *http.Response
+		if resp, err = http.Get("http://" + addr + "/healthz"); err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		cancel()
+		t.Fatalf("server never came up: %v", err)
+	}
+	var once sync.Once
+	var stopErr error
+	stop := func() error {
+		once.Do(func() {
+			cancel()
+			select {
+			case stopErr = <-done:
+			case <-time.After(10 * time.Second):
+				stopErr = context.DeadlineExceeded
+			}
+		})
+		return stopErr
+	}
+	t.Cleanup(func() { stop() })
+	return "http://" + addr, stop
+}
+
+// TestCmdServePersistLifecycle drives the durable serving story end to end
+// on the real filesystem: cold start creates the directory from -lake, a
+// mutation over HTTP is logged, a warm restart (no -lake at all) recovers
+// it, and the offline snapshot command folds the WAL away.
+func TestCmdServePersistLifecycle(t *testing.T) {
+	lakeDir, _ := writeDemoLake(t)
+	persistDir := filepath.Join(t.TempDir(), "durable")
+
+	// Cold start: -lake + -persist creates the durable directory.
+	base, stop := startServe(t, []string{"-lake", lakeDir, "-persist", persistDir})
+	extra := table.New("T9", "City", "Cases")
+	extra.MustAddRow(table.StringValue("Berlin"), table.IntValue(10))
+	raw, err := json.Marshal(serve.LakeAddRequest{Tables: []serve.TableJSON{serve.EncodeTable(extra)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/lake/add", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("durable add over HTTP = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if err := stop(); err != nil {
+		t.Fatalf("cold-start shutdown returned %v", err)
+	}
+
+	// Warm restart: no -lake; the directory alone restores lake + mutation,
+	// and /healthz carries the persistence counters.
+	base, stop = startServe(t, []string{"-persist", persistDir})
+	var body []byte
+	for i := 0; i < 200; i++ { // the listener is up before replay finishes
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), `"status":"ok"`) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(string(body), `"persistence"`) || !strings.Contains(string(body), `"wal_records":1`) {
+		t.Fatalf("healthz after warm restart = %s", body)
+	}
+	resp, err = http.Get(base + "/v1/lake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "T9") {
+		t.Fatalf("warm-restarted lake lost the durable add: %s", body)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("warm shutdown returned %v", err)
+	}
+
+	// Offline compaction folds the WAL record into a fresh snapshot
+	// generation. The previous generation and the record it may still need
+	// are retained (the two-generation fallback), but the newest snapshot
+	// now covers every mutation, so recovery replays nothing.
+	if err := cmdSnapshot([]string{"-persist", persistDir}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := persist.Open(persistDir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Status(); got.SnapshotSeq != got.Seq || got.Snapshots != 2 {
+		t.Fatalf("status after compaction = %+v", got)
+	}
+	if _, ok := st.Lake().Get("T9"); !ok {
+		t.Fatal("compaction lost the durable add")
+	}
+}
+
+// TestCmdSnapshotValidation pins the snapshot command's edges: a missing
+// -persist flag errors, and a new directory can be seeded from -lake.
+func TestCmdSnapshotValidation(t *testing.T) {
+	if err := cmdSnapshot([]string{}); err == nil {
+		t.Error("missing -persist must error")
+	}
+	if err := cmdSnapshot([]string{"-persist", filepath.Join(t.TempDir(), "new")}); err == nil {
+		t.Error("new directory without -lake must error")
+	}
+	lakeDir, _ := writeDemoLake(t)
+	dir := filepath.Join(t.TempDir(), "seeded")
+	if err := cmdSnapshot([]string{"-persist", dir, "-lake", lakeDir}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Lake().Size() != 2 {
+		t.Fatalf("seeded lake size = %d", st.Lake().Size())
 	}
 }

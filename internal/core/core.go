@@ -59,6 +59,16 @@ func New(tables []*table.Table, cfg Config) (*Pipeline, error) {
 	}, nil
 }
 
+// FromLake wraps an already-built lake — typically one recovered from a
+// persisted snapshot + WAL — with the built-in discoverers and operators.
+func FromLake(l *lake.Lake) *Pipeline {
+	return &Pipeline{
+		lake:        l,
+		discoverers: discovery.NewRegistry(),
+		operators:   integrate.NewRegistry(),
+	}
+}
+
 // FromDir loads a CSV directory as the lake and builds the pipeline.
 func FromDir(dir string, cfg Config) (*Pipeline, error) {
 	lopts := cfg.LakeOptions

@@ -6,136 +6,22 @@
 // a from-scratch lake.New over the surviving tables. This is the same
 // cross-check discipline that pinned the PR 2 integer-index and PR 3
 // compiled-KB refactors, applied to mutation schedules instead of layouts.
+//
+// The vocabulary, table generator and signature renderers live in
+// internal/difftest (DiffKB, DiffTable, DiscoverySig, IndexSig) so the
+// persistence crash-recovery matrix can reuse them against recovered lakes.
 package lake_test
 
 import (
-	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/difftest"
 	"repro/internal/discovery"
-	"repro/internal/kb"
 	"repro/internal/lake"
 	"repro/internal/table"
 )
-
-// The differential vocabulary: enough shared values that joinable and
-// unionable overlaps are dense, small enough that schedules stay fast.
-var (
-	diffCities    = []string{"berlin", "paris", "tokyo", "boston", "lyon", "madrid", "rome", "oslo", "cairo", "lima", "new york", "sydney"}
-	diffCountries = []string{"germany", "france", "japan", "usa", "spain", "italy"}
-)
-
-// diffCountryOf maps each city to one fixed country so the city->country
-// relationship annotates consistently across every generated table.
-func diffCountryOf(city string) string {
-	for i, c := range diffCities {
-		if c == city {
-			return diffCountries[i%len(diffCountries)]
-		}
-	}
-	return diffCountries[0]
-}
-
-// diffKB is the curated knowledge base of the differential lake: city and
-// country types under a shared root, a located-in relationship, and a few
-// aliases. It is fixed per schedule — the harness exercises lake mutation,
-// not KB mutation (TestAddAfterKBMutation covers that path).
-func diffKB() *kb.KB {
-	k := kb.New()
-	k.AddType("place", "")
-	k.AddType("city", "place")
-	k.AddType("country", "place")
-	for _, c := range diffCities {
-		k.AddEntity(c, "city")
-	}
-	for _, c := range diffCountries {
-		k.AddEntity(c, "country")
-	}
-	for _, c := range diffCities {
-		k.AddRelation(c, "located in", diffCountryOf(c))
-	}
-	k.AddAlias("nyc", "new york")
-	k.AddAlias("deutschland", "germany")
-	return k
-}
-
-// diffTable fabricates one lake table: a city column, usually a country
-// column (row-aligned with the cities, so SANTOS sees the located-in
-// relationship), and a numeric measure column.
-func diffTable(rng *rand.Rand, name string) *table.Table {
-	withCountry := rng.Intn(4) != 0
-	cols := []string{"city", "metric"}
-	if withCountry {
-		cols = []string{"city", "country", "metric"}
-	}
-	t := table.New(name, cols...)
-	rows := 4 + rng.Intn(7)
-	for r := 0; r < rows; r++ {
-		city := diffCities[rng.Intn(len(diffCities))]
-		metric := table.IntValue(int64(rng.Intn(1000)))
-		if withCountry {
-			t.MustAddRow(table.StringValue(city), table.StringValue(diffCountryOf(city)), metric)
-		} else {
-			t.MustAddRow(table.StringValue(city), metric)
-		}
-	}
-	return t
-}
-
-var diffMethods = []string{"santos-union", "lsh-join", "josie-join", "syntactic-union"}
-
-// discoverySig renders one full discovery run — every method's ranked
-// results and the merged integration set — into a byte-comparable string.
-// Scores are rendered from their exact float64 bits: "identical" means
-// identical, not approximately equal.
-func discoverySig(reg *discovery.Registry, l *lake.Lake, q *table.Table, col, k int) string {
-	perMethod, set, err := discovery.Discover(context.Background(), reg, l, q, col, k, diffMethods)
-	if err != nil {
-		return "err:" + err.Error()
-	}
-	s := ""
-	for _, m := range diffMethods {
-		s += m + ":"
-		for _, r := range perMethod[m] {
-			s += fmt.Sprintf("%s|%016x|%d;", r.Table.Name, math.Float64bits(r.Score), r.Column)
-		}
-		s += "\n"
-	}
-	s += "set:"
-	for _, t := range set {
-		s += t.Name + ";"
-	}
-	return s
-}
-
-// indexSig renders raw index-level answers — JOSIE exact top-k, LSH
-// Ensemble containment, SANTOS union search — for one query table. Unlike
-// the discovery layer, which filters results through the lake catalog (and
-// so would mask an index still returning a removed table as a ghost), this
-// compares what the indexes themselves answer.
-func indexSig(l *lake.Lake, q *table.Table, col int) string {
-	vals := q.DistinctStrings(col)
-	s := "josie:"
-	for _, r := range l.Josie().TopK(vals, 5) {
-		s += fmt.Sprintf("%s|%d;", r.Set.Key(), r.Overlap)
-	}
-	s += "\nlsh:"
-	for _, r := range l.Join().Query(vals, 0.4, 0) {
-		s += fmt.Sprintf("%s|%016x;", r.Domain.Key(), math.Float64bits(r.Containment))
-	}
-	s += "\nsantos:"
-	if res, err := l.Santos().Query(q, col, 0); err != nil {
-		s += "err:" + err.Error()
-	} else {
-		for _, r := range res {
-			s += fmt.Sprintf("%s|%016x|%d;", r.Table.Name, math.Float64bits(r.Score), r.MatchedColumn)
-		}
-	}
-	return s
-}
 
 // verifyRebuildEquivalence compares the mutated lake against a from-scratch
 // lake.New over its surviving tables, across several query tables (both
@@ -156,12 +42,12 @@ func verifyRebuildEquivalence(t *testing.T, l *lake.Lake, opts lake.Options, poo
 			col = rng.Intn(query.NumCols())
 		}
 		k := rng.Intn(3) * 3 // 0 = all
-		got := discoverySig(reg, l, query, col, k)
-		want := discoverySig(reg, fresh, query, col, k)
+		got := difftest.DiscoverySig(reg, l, query, col, k)
+		want := difftest.DiscoverySig(reg, fresh, query, col, k)
 		if got != want {
 			t.Fatalf("%s: query %q col %d k %d diverged from rebuild\n got:\n%s\nwant:\n%s", ctx, query.Name, col, k, got, want)
 		}
-		if got, want := indexSig(l, query, col), indexSig(fresh, query, col); got != want {
+		if got, want := difftest.IndexSig(l, query, col), difftest.IndexSig(fresh, query, col); got != want {
 			t.Fatalf("%s: raw index answers for %q col %d diverged from rebuild\n got:\n%s\nwant:\n%s", ctx, query.Name, col, got, want)
 		}
 	}
@@ -178,7 +64,7 @@ func TestDifferentialRebuildEquivalence(t *testing.T) {
 	if testing.Short() {
 		schedules = 25
 	}
-	knowledge := diffKB()
+	knowledge := difftest.DiffKB()
 	for seed := 0; seed < schedules; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("schedule%03d", seed), func(t *testing.T) {
@@ -186,7 +72,7 @@ func TestDifferentialRebuildEquivalence(t *testing.T) {
 			opts := lake.Options{Knowledge: knowledge}
 			pool := make([]*table.Table, 12)
 			for i := range pool {
-				pool[i] = diffTable(rng, fmt.Sprintf("p%02d", i))
+				pool[i] = difftest.DiffTable(rng, fmt.Sprintf("p%02d", i))
 			}
 			inLake := make([]bool, len(pool))
 			var initial []*table.Table
@@ -230,7 +116,7 @@ func TestDifferentialRebuildEquivalence(t *testing.T) {
 				default: // mid-churn query against the mutated lake only
 					reg := discovery.NewRegistry()
 					q := pool[rng.Intn(len(pool))]
-					_ = discoverySig(reg, l, q, 0, 5)
+					_ = difftest.DiscoverySig(reg, l, q, 0, 5)
 				}
 				if op == ops/2 {
 					verifyRebuildEquivalence(t, l, opts, pool, rng, fmt.Sprintf("seed %d op %d", seed, op))

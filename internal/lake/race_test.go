@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/difftest"
 	"repro/internal/lake"
 	"repro/internal/table"
 )
@@ -18,16 +19,16 @@ func TestQueriesConcurrentWithMutation(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	pool := make([]*table.Table, 16)
 	for i := range pool {
-		pool[i] = diffTable(rng, fmt.Sprintf("r%02d", i))
+		pool[i] = difftest.DiffTable(rng, fmt.Sprintf("r%02d", i))
 	}
-	opts := lake.Options{Knowledge: diffKB()}
+	opts := lake.Options{Knowledge: difftest.DiffKB()}
 	l, err := lake.New(pool[:8], opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A foreign query table: never added, so query-side extraction and
 	// SANTOS query annotation run while the lake churns underneath.
-	foreign := diffTable(rng, "foreign")
+	foreign := difftest.DiffTable(rng, "foreign")
 	const rounds = 40
 	var wg sync.WaitGroup
 	stop := make(chan struct{})

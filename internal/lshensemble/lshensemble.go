@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/minhash"
 	"repro/internal/par"
@@ -129,6 +130,14 @@ type Index struct {
 	liveCount  int
 	order      []int // live slots sorted by (domain size, key): the equi-depth order
 	parts      []partition
+	// partsStale is set by Restore, which defers the equi-depth partitioning
+	// and band-table build to the first query or mutation: signatures are the
+	// expensive part of a build and they are already cached, so a restored
+	// process reaches "ready" without paying for derived structures it may
+	// never probe (e.g. a snapshot-compaction run). Banding is deterministic
+	// given signatures, so the deferred build is query-identical to an eager
+	// one. The flag is one atomic load on warmed indexes.
+	partsStale atomic.Bool
 	scratch    sync.Pool // *queryScratch
 }
 
@@ -235,6 +244,35 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 		ix.alive[i] = true
 		ix.partOf[i] = -1
 	})
+	ix.initPartitions()
+	return ix
+}
+
+// ensureParts builds the deferred partitioning of a restored index on its
+// first use. Queries call it before taking the read lock; mutations hold the
+// write lock and use ensurePartsLocked directly.
+func (ix *Index) ensureParts() {
+	if !ix.partsStale.Load() {
+		return
+	}
+	ix.mu.Lock()
+	ix.ensurePartsLocked()
+	ix.mu.Unlock()
+}
+
+func (ix *Index) ensurePartsLocked() {
+	if ix.partsStale.Load() {
+		ix.initPartitions()
+		ix.partsStale.Store(false)
+	}
+}
+
+// initPartitions computes the equi-depth partitioning and band tables from
+// scratch over the (fully signed) domain slots — the tail of a fresh build,
+// shared by BuildWithDict and the deferred warm-up of a restored index.
+// Partitions band independently; they are built in parallel and collected in
+// partition order, so the index layout stays deterministic.
+func (ix *Index) initPartitions() {
 	// Equi-depth partitioning by domain size.
 	ix.order = make([]int, len(ix.domains))
 	for i := range ix.order {
@@ -243,17 +281,15 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 	sort.SliceStable(ix.order, func(a, b int) bool {
 		return ix.orderLess(ix.order[a], ix.order[b])
 	})
-	nparts := opts.NumPartitions
+	nparts := ix.opts.NumPartitions
 	if nparts > len(ix.order) {
 		nparts = len(ix.order)
 	}
-	// Partitions band independently; build them in parallel and collect in
-	// partition order, so the index layout stays deterministic.
 	ix.parts = make([]partition, nparts)
 	par.For(nparts, func(p int) {
 		lo := p * len(ix.order) / nparts
 		hi := (p + 1) * len(ix.order) / nparts
-		part := partition{}
+		part := partition{domains: make([]int, 0, hi-lo)}
 		for _, di := range ix.order[lo:hi] {
 			part.domains = append(part.domains, di)
 			ix.partOf[di] = int32(p)
@@ -261,23 +297,50 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 				part.upper = n
 			}
 		}
-		var keys []uint64
+		var flat []uint64
 		for _, r := range rChoices {
-			if r > opts.NumHashes {
+			if r > ix.opts.NumHashes {
 				continue
 			}
-			bt := bandTable{r: r, buckets: make(map[uint64][]int32)}
+			// Bulk band build: hash every domain's band keys once into a flat
+			// slice, count bucket sizes, then carve all buckets out of one
+			// arena. Appending per (domain, band) instead allocates a tiny
+			// slice per bucket and regrows both it and the map incrementally —
+			// the dominant cost of large restores.
+			nb := ix.opts.NumHashes / r
+			if cap(flat) < len(part.domains)*nb {
+				flat = make([]uint64, 0, len(part.domains)*nb)
+			}
+			flat = flat[:0]
 			for _, di := range part.domains {
-				keys = bandKeys(ix.signatures[di], r, keys[:0])
-				for _, key := range keys {
-					bt.buckets[key] = append(bt.buckets[key], int32(di))
+				flat = appendBandKeys(ix.signatures[di], r, flat)
+			}
+			cursors := make(map[uint64]int32, len(flat))
+			for _, key := range flat {
+				cursors[key]++
+			}
+			bt := bandTable{r: r, buckets: make(map[uint64][]int32, len(cursors))}
+			arena := make([]int32, len(flat))
+			off := int32(0)
+			for key, n := range cursors {
+				bt.buckets[key] = arena[off : off+n : off+n]
+				cursors[key] = off // becomes the bucket's fill cursor
+				off += n
+			}
+			ki := 0
+			for _, di := range part.domains {
+				for b := 0; b < nb; b++ {
+					key := flat[ki]
+					ki++
+					at := cursors[key]
+					arena[at] = int32(di)
+					cursors[key] = at + 1
 				}
 			}
 			part.tables = append(part.tables, bt)
 		}
 		ix.parts[p] = part
 	})
-	return ix
 }
 
 // orderLess is the equi-depth sort order: ascending domain size, ties
@@ -303,6 +366,7 @@ func (ix *Index) Add(domains []Domain) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.ensurePartsLocked()
 	newSlots := make([]int, 0, len(domains))
 	for _, d := range domains {
 		slot := len(ix.domains)
@@ -354,6 +418,7 @@ func (ix *Index) Remove(tables []string) int {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.ensurePartsLocked()
 	removed := 0
 	var dying []int
 	for slot := range ix.domains {
@@ -398,6 +463,7 @@ func (ix *Index) Remove(tables []string) int {
 func (ix *Index) Compact() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.ensurePartsLocked()
 	if ix.liveCount == len(ix.domains) {
 		return
 	}
@@ -520,15 +586,22 @@ func (ix *Index) unband(p, slot int) {
 // two little-endian bytes followed by each signature word as eight — but
 // with no hash.Hash allocation per band.
 func bandKeys(sig minhash.Signature, r int, dst []uint64) []uint64 {
+	nb := len(sig) / r
+	if cap(dst) < nb {
+		dst = make([]uint64, 0, nb)
+	}
+	return appendBandKeys(sig, r, dst[:0])
+}
+
+// appendBandKeys is bandKeys without the reset: it appends the band keys to
+// dst, letting the bulk band build in initPartitions collect every domain's
+// keys into one flat slice.
+func appendBandKeys(sig minhash.Signature, r int, dst []uint64) []uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	nb := len(sig) / r
-	if cap(dst) < nb {
-		dst = make([]uint64, 0, nb)
-	}
-	dst = dst[:0]
 	for b := 0; b < nb; b++ {
 		h := uint64(offset64)
 		h = (h ^ uint64(byte(b))) * prime64
@@ -616,6 +689,7 @@ func (ix *Index) QueryCtx(ctx context.Context, rawQuery []string, threshold floa
 		}
 	}
 	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
+	ix.ensureParts()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.query(ctx, s.sig, s.qids, len(query), threshold, k, s)
@@ -664,6 +738,7 @@ func (ix *Index) QueryDomainCtx(ctx context.Context, d *Domain, threshold float6
 		}
 	}
 	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
+	ix.ensureParts()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.query(ctx, s.sig, s.qids, len(d.Values), threshold, k, s)

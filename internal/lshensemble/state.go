@@ -1,0 +1,98 @@
+package lshensemble
+
+import (
+	"fmt"
+
+	"repro/internal/minhash"
+	"repro/internal/table"
+)
+
+// This file is the persistence surface of the LSH Ensemble. MinHash signing
+// dominates a build (NumHashes permutation mixes per fingerprint); the
+// signatures are small, deterministic (fixed family seed) and immutable per
+// slot, so Export hands them out and Restore rebuilds the whole index from
+// cached signatures without signing a single domain — the equi-depth
+// partitioning and band tables are derived from those signatures lazily, on
+// the first query or mutation. Banding is deterministic given signatures and
+// options, so a restored index is query-identical to the exporting one.
+
+// Options returns the index's construction options (defaults applied).
+func (ix *Index) Options() Options { return ix.opts }
+
+// ExportSignatures returns the cached MinHash signature of every live
+// domain, keyed by domain key ("table[col]"). The signatures are the
+// index's own immutable per-slot arrays; callers must not modify them.
+func (ix *Index) ExportSignatures() map[string][]uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[string][]uint64, ix.liveCount)
+	for slot := range ix.domains {
+		if ix.alive[slot] {
+			out[ix.domains[slot].key] = ix.signatures[slot]
+		}
+	}
+	return out
+}
+
+// Restore constructs the ensemble over domains whose MinHash signatures are
+// already known, skipping the signing pass. signatures is parallel to
+// domains and every signature must have exactly opts.NumHashes words
+// (after defaulting) — the restored index probes and re-signs queries with
+// a fresh family from opts.Seed, which only agrees with foreign signatures
+// of matching geometry. dict follows the BuildWithDict contract: when
+// non-nil, precomputed Domain.IDs are trusted as interned in it.
+//
+// The partition layout, band tables and query behavior of the result are
+// identical to BuildWithDict over the same domains and options.
+func Restore(domains []Domain, signatures [][]uint64, opts Options, dict *table.TokenDict) (*Index, error) {
+	if len(signatures) != len(domains) {
+		return nil, fmt.Errorf("lshensemble: restore: %d signatures for %d domains", len(signatures), len(domains))
+	}
+	opts = opts.withDefaults()
+	trustIDs := dict != nil
+	if dict == nil {
+		dict = table.NewTokenDict()
+	}
+	ix := &Index{
+		opts:      opts,
+		family:    minhash.NewFamily(opts.NumHashes, opts.Seed),
+		dict:      dict,
+		trustIDs:  trustIDs,
+		domains:   append([]Domain(nil), domains...),
+		alive:     make([]bool, len(domains)),
+		partOf:    make([]int32, len(domains)),
+		liveCount: len(domains),
+	}
+	ix.scratch.New = func() any {
+		return &queryScratch{
+			seenTok: make(map[string]struct{}),
+			qids:    make(map[uint32]struct{}),
+		}
+	}
+	ix.signatures = make([]minhash.Signature, len(ix.domains))
+	sigArena := make([]uint64, len(ix.domains)*opts.NumHashes)
+	for i := range ix.domains {
+		if len(signatures[i]) != opts.NumHashes {
+			return nil, fmt.Errorf("lshensemble: restore: signature %d has %d words, want %d", i, len(signatures[i]), opts.NumHashes)
+		}
+		d := &ix.domains[i]
+		d.key = fmt.Sprintf("%s[%d]", d.Table, d.Column)
+		if d.IDs == nil || !trustIDs {
+			d.IDs = dict.InternAll(d.Values, nil)
+		}
+		// Fingerprints are deliberately left as given (usually nil): they
+		// are only read to sign a domain, and every restored domain carries
+		// its persisted signature. Domains added after restore arrive with
+		// their own cached fingerprints from lake extraction.
+		slot := sigArena[i*opts.NumHashes : (i+1)*opts.NumHashes : (i+1)*opts.NumHashes]
+		copy(slot, signatures[i])
+		ix.signatures[i] = slot
+		ix.alive[i] = true
+		ix.partOf[i] = -1
+	}
+	// The partitioning and band tables are derived purely from the
+	// signatures above; defer them to the first query or mutation so restore
+	// itself stays proportional to the persisted bytes.
+	ix.partsStale.Store(true)
+	return ix, nil
+}

@@ -1,0 +1,553 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"repro/internal/kb"
+	"repro/internal/lake"
+	"repro/internal/par"
+	"repro/internal/santos"
+	"repro/internal/table"
+)
+
+// The codec: little-endian fixed-width integers for structure (lengths,
+// checksums, bit patterns) and uvarints for counts and IDs. Decoding is
+// sticky-error — after the first failure every read returns zeros and the
+// error survives — so decode paths read straight through and check once.
+
+// enc is an append-only encode buffer.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) u8(v byte)        { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)     { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)     { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)     { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) f64(v float64)    { e.u64(math.Float64bits(v)) }
+
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec is a sticky-error decode cursor over a byte slice.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("persist: decode: "+format, args...)
+	}
+}
+
+// take returns the next n bytes, or nil after setting the sticky error.
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b)-d.off {
+		d.fail("truncated: need %d bytes at offset %d of %d", n, d.off, len(d.b))
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *dec) u8() byte {
+	if p := d.take(1); p != nil {
+		return p[0]
+	}
+	return 0
+}
+
+func (d *dec) u16() uint16 {
+	if p := d.take(2); p != nil {
+		return binary.LittleEndian.Uint16(p)
+	}
+	return 0
+}
+
+func (d *dec) u32() uint32 {
+	if p := d.take(4); p != nil {
+		return binary.LittleEndian.Uint32(p)
+	}
+	return 0
+}
+
+func (d *dec) u64() uint64 {
+	if p := d.take(8); p != nil {
+		return binary.LittleEndian.Uint64(p)
+	}
+	return 0
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) uvarint() uint64 {
+	// One- to three-byte forms cover counts, kinds, token IDs and cell
+	// indexes (the value dictionary holds tens of thousands of entries);
+	// inlining them keeps the per-cell decode loops out of binary.Uvarint's
+	// generic path.
+	if b := d.b; d.err == nil && d.off < len(b) {
+		if c := b[d.off]; c < 0x80 {
+			d.off++
+			return uint64(c)
+		} else if d.off+1 < len(b) && b[d.off+1] < 0x80 {
+			v := uint64(c&0x7f) | uint64(b[d.off+1])<<7
+			d.off += 2
+			return v
+		} else if d.off+2 < len(b) && b[d.off+2] < 0x80 {
+			v := uint64(c&0x7f) | uint64(b[d.off+1]&0x7f)<<7 | uint64(b[d.off+2])<<14
+			d.off += 3
+			return v
+		}
+	}
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads a uvarint element count and sanity-bounds it against the
+// remaining input (each element needs at least min bytes), so corrupt
+// counts fail decoding instead of driving a huge allocation.
+func (d *dec) count(min int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(len(d.b)-d.off)/uint64(min)+1 {
+		d.fail("implausible count %d at offset %d (%d bytes left)", n, d.off, len(d.b)-d.off)
+		return 0
+	}
+	return int(n)
+}
+
+// str decodes a string WITHOUT copying: the result aliases the decode
+// buffer. Decode inputs are private, immutable images (file reads hand out
+// fresh buffers, see FS.ReadFile), so aliasing is safe and turns the ~10^5
+// per-string copies of a large snapshot into one retained image.
+func (d *dec) str() string {
+	n := d.count(1)
+	if p := d.take(n); len(p) > 0 {
+		return unsafe.String(&p[0], len(p))
+	}
+	return ""
+}
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("persist: decode: %d trailing bytes", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// --- Value codec -----------------------------------------------------------
+//
+// Cells round-trip exactly: kind plus the kind's own payload. This matters
+// because the value dictionary Equal-collapses distinct spellings (Int 82
+// and Float 82.0 share an ID, both null kinds share NullID) — an ID-based
+// encoding would lose the spelling, and a restored lake would render and
+// integrate tables differently from a fresh build over the same CSVs.
+
+func (e *enc) value(v table.Value) {
+	e.u8(byte(v.Kind()))
+	switch v.Kind() {
+	case table.Null, table.PNull:
+	case table.String:
+		e.str(v.Str())
+	case table.Int:
+		e.varint(v.IntVal())
+	case table.Float:
+		e.f64(v.FloatVal())
+	case table.Bool:
+		if v.BoolVal() {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+}
+
+func (d *dec) value() table.Value {
+	switch k := table.Kind(d.u8()); k {
+	case table.Null:
+		return table.NullValue()
+	case table.PNull:
+		return table.ProducedNull()
+	case table.String:
+		return table.StringValue(d.str())
+	case table.Int:
+		return table.IntValue(d.varint())
+	case table.Float:
+		return table.FloatValue(d.f64())
+	case table.Bool:
+		return table.BoolValue(d.u8() != 0)
+	default:
+		d.fail("unknown value kind %d", k)
+		return table.Value{}
+	}
+}
+
+// --- Table codec -----------------------------------------------------------
+//
+// A table batch (the snapshot catalog, or one WAL Add record) encodes a
+// batch-local exact-value pool followed by rows as pool indexes: open-data
+// tables repeat cells heavily, and unlike dictionary IDs the pool preserves
+// exact spellings (it is keyed by kind and raw payload bits, so NaN — which
+// cannot key a map — and 82 vs 82.0 all get distinct entries).
+//
+// When the batch travels next to a value-dictionary snapshot (the catalog
+// section does; WAL records do not), pool entries whose exact spelling is a
+// dictionary representative are encoded as references into that dictionary
+// instead of re-encoded values — in practice nearly the whole pool — so the
+// decoded dictionary doubles as the decoded pool. Callers without a
+// dictionary pass nil and get the self-contained form.
+
+// cellKey identifies an exact cell value in the pool map.
+type cellKey struct {
+	kind table.Kind
+	s    string
+	bits uint64
+}
+
+func keyOf(v table.Value) cellKey {
+	k := cellKey{kind: v.Kind()}
+	switch v.Kind() {
+	case table.String:
+		k.s = v.Str()
+	case table.Int:
+		k.bits = uint64(v.IntVal())
+	case table.Float:
+		k.bits = math.Float64bits(v.FloatVal())
+	case table.Bool:
+		if v.BoolVal() {
+			k.bits = 1
+		}
+	}
+	return k
+}
+
+func (e *enc) tables(ts []*table.Table, dictVals []table.Value) {
+	// Cells encode as uvarint indexes into a combined value space: index i
+	// below len(dictVals) is dictionary ID i+1's value verbatim; extras —
+	// cells whose exact spelling is not a dictionary representative — are
+	// numbered past the dictionary in first-seen order and carried in full
+	// ahead of the table bodies. A snapshot's catalog therefore stores
+	// almost no cell payloads (the lake dictionary interns every distinct
+	// cell), and the decoder resolves cells straight off the already-decoded
+	// dictionary section, materializing no per-catalog pool. A WAL record
+	// passes nil dictVals and is self-contained: every cell is an extra.
+	var dictIdx map[cellKey]uint64
+	if dictVals != nil {
+		dictIdx = make(map[cellKey]uint64, len(dictVals))
+		for i, v := range dictVals {
+			dictIdx[keyOf(v)] = uint64(i)
+		}
+	}
+	nd := uint64(len(dictVals))
+	var extras []table.Value
+	extraIdx := make(map[cellKey]uint64)
+	cellAt := func(v table.Value) uint64 {
+		k := keyOf(v)
+		if di, ok := dictIdx[k]; ok {
+			return di
+		}
+		ei, ok := extraIdx[k]
+		if !ok {
+			ei = uint64(len(extras))
+			extraIdx[k] = ei
+			extras = append(extras, v)
+		}
+		return nd + ei
+	}
+	// Pre-pass to collect the extras: they must be written before any body
+	// that references them.
+	for _, t := range ts {
+		for _, row := range t.Rows {
+			for _, v := range row {
+				cellAt(v)
+			}
+		}
+	}
+	e.uvarint(uint64(len(extras)))
+	for _, v := range extras {
+		e.value(v)
+	}
+	e.uvarint(uint64(len(ts)))
+	for _, t := range ts {
+		// Fixed-width byte-length prefix, patched once the body is encoded:
+		// the decoder slices per-table extents up front and decodes the
+		// bodies in parallel (the catalog is the largest snapshot section).
+		lenAt := len(e.b)
+		e.u64(0)
+		e.str(t.Name)
+		e.uvarint(uint64(len(t.Columns)))
+		for _, c := range t.Columns {
+			e.str(c)
+		}
+		e.uvarint(uint64(len(t.Rows)))
+		for _, row := range t.Rows {
+			if len(row) != len(t.Columns) {
+				panic(fmt.Sprintf("persist: table %q: row width %d != %d columns", t.Name, len(row), len(t.Columns)))
+			}
+			for _, v := range row {
+				e.uvarint(cellAt(v))
+			}
+		}
+		binary.LittleEndian.PutUint64(e.b[lenAt:], uint64(len(e.b)-lenAt-8))
+	}
+}
+
+func (d *dec) tables(dictVals []table.Value) []*table.Table {
+	nex := d.count(1)
+	var extras []table.Value
+	if nex > 0 {
+		extras = make([]table.Value, 0, nex)
+	}
+	for i := 0; i < nex && d.err == nil; i++ {
+		extras = append(extras, d.value())
+	}
+	nt := d.count(2)
+	// Slice out each table's framed body first, then decode the bodies in
+	// parallel: tables only share the (read-only) dictionary and extras,
+	// and the catalog is the bulk of a snapshot.
+	bodies := make([][]byte, 0, nt)
+	for i := 0; i < nt && d.err == nil; i++ {
+		blen := d.u64()
+		bodies = append(bodies, d.take(int(blen)))
+	}
+	if d.err != nil {
+		return nil
+	}
+	out := make([]*table.Table, len(bodies))
+	errs := make([]error, len(bodies))
+	par.For(len(bodies), func(i int) {
+		td := &dec{b: bodies[i]}
+		out[i] = td.tableBody(dictVals, extras)
+		if td.err == nil && td.off != len(td.b) {
+			td.fail("table %d: %d trailing bytes", i, len(td.b)-td.off)
+		}
+		errs[i] = td.err
+	})
+	for _, err := range errs {
+		if err != nil && d.err == nil {
+			d.err = err
+		}
+	}
+	return out
+}
+
+// tableBody decodes one framed table. Cell indexes resolve against the
+// shared value dictionary first, then the catalog's extras (see
+// enc.tables for the combined index space).
+func (d *dec) tableBody(dict, extras []table.Value) *table.Table {
+	t := &table.Table{Name: d.str()}
+	ncols := d.count(1)
+	t.Columns = make([]string, ncols)
+	for c := range t.Columns {
+		t.Columns[c] = d.str()
+	}
+	nrows := d.count(1)
+	// Every cell costs at least one encoded byte, so an arena bigger than
+	// the remaining input is a fabricated size, not a real table — the
+	// same over-allocation bound count() enforces per dimension.
+	if d.err == nil && uint64(nrows)*uint64(ncols) > uint64(len(d.b)-d.off) {
+		d.fail("table %q: %d x %d cells overrun the remaining %d bytes", t.Name, nrows, ncols, len(d.b)-d.off)
+	}
+	if d.err != nil {
+		return t
+	}
+	nd := uint64(len(dict))
+	// One allocation for all rows instead of one per row: cell copying out
+	// of the dictionary is the decode hot loop.
+	arena := make([]table.Value, nrows*ncols)
+	t.Rows = make([][]table.Value, 0, nrows)
+	for r := 0; r < nrows && d.err == nil; r++ {
+		row := arena[r*ncols : (r+1)*ncols : (r+1)*ncols]
+		for c := range row {
+			pi := d.uvarint()
+			switch {
+			case pi < nd:
+				row[c] = dict[pi]
+			case pi-nd < uint64(len(extras)):
+				row[c] = extras[pi-nd]
+			case d.err == nil:
+				d.fail("table %q: cell index %d out of %d dictionary + %d extra values", t.Name, pi, nd, len(extras))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// --- KB codec --------------------------------------------------------------
+
+func (e *enc) kbDump(k kb.Dump) {
+	e.uvarint(uint64(len(k.Types)))
+	for _, t := range k.Types {
+		e.str(t.Type)
+		e.str(t.Parent)
+	}
+	e.uvarint(uint64(len(k.Entities)))
+	for _, en := range k.Entities {
+		e.str(en.Entity)
+		e.uvarint(uint64(len(en.Types)))
+		for _, t := range en.Types {
+			e.str(t)
+		}
+	}
+	e.uvarint(uint64(len(k.Aliases)))
+	for _, a := range k.Aliases {
+		e.str(a.Alias)
+		e.str(a.Canonical)
+	}
+	e.uvarint(uint64(len(k.Relations)))
+	for _, r := range k.Relations {
+		e.str(r.Subject)
+		e.str(r.Object)
+		e.uvarint(uint64(len(r.Labels)))
+		for _, l := range r.Labels {
+			e.str(l)
+		}
+	}
+}
+
+func (d *dec) kbDump() kb.Dump {
+	var k kb.Dump
+	for i, n := 0, d.count(2); i < n && d.err == nil; i++ {
+		k.Types = append(k.Types, kb.TypeDecl{Type: d.str(), Parent: d.str()})
+	}
+	for i, n := 0, d.count(2); i < n && d.err == nil; i++ {
+		en := kb.EntityDecl{Entity: d.str()}
+		for j, m := 0, d.count(1); j < m && d.err == nil; j++ {
+			en.Types = append(en.Types, d.str())
+		}
+		k.Entities = append(k.Entities, en)
+	}
+	for i, n := 0, d.count(2); i < n && d.err == nil; i++ {
+		k.Aliases = append(k.Aliases, kb.AliasDecl{Alias: d.str(), Canonical: d.str()})
+	}
+	for i, n := 0, d.count(3); i < n && d.err == nil; i++ {
+		r := kb.RelationDecl{Subject: d.str(), Object: d.str()}
+		for j, m := 0, d.count(1); j < m && d.err == nil; j++ {
+			r.Labels = append(r.Labels, d.str())
+		}
+		k.Relations = append(k.Relations, r)
+	}
+	return k
+}
+
+// --- Domain and SANTOS codecs ----------------------------------------------
+
+func (e *enc) domains(ds []lake.DomainState) {
+	e.uvarint(uint64(len(ds)))
+	for i := range ds {
+		d := &ds[i]
+		e.str(d.Table)
+		e.uvarint(uint64(d.Column))
+		e.str(d.ColumnName)
+		e.uvarint(uint64(len(d.TokenIDs)))
+		for _, id := range d.TokenIDs {
+			e.uvarint(uint64(id))
+		}
+		e.uvarint(uint64(len(d.Signature)))
+		for _, w := range d.Signature {
+			e.u64(w)
+		}
+	}
+}
+
+func (d *dec) domains() []lake.DomainState {
+	n := d.count(4)
+	out := make([]lake.DomainState, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		ds := lake.DomainState{Table: d.str(), Column: int(d.uvarint()), ColumnName: d.str()}
+		nids := d.count(1)
+		ds.TokenIDs = make([]uint32, nids)
+		for j := range ds.TokenIDs {
+			ds.TokenIDs[j] = uint32(d.uvarint())
+		}
+		nsig := d.count(8)
+		ds.Signature = make([]uint64, nsig)
+		for j := range ds.Signature {
+			ds.Signature[j] = d.u64()
+		}
+		out = append(out, ds)
+	}
+	return out
+}
+
+func (e *enc) santosStates(ss []santos.TableState) {
+	e.uvarint(uint64(len(ss)))
+	for i := range ss {
+		s := &ss[i]
+		e.str(s.Table)
+		e.uvarint(uint64(len(s.Cols)))
+		for _, c := range s.Cols {
+			e.uvarint(uint64(c.Col))
+			e.str(c.Type)
+			e.f64(c.Confidence)
+			e.u32(c.TypeID)
+			e.uvarint(uint64(len(c.Edges)))
+			for _, edge := range c.Edges {
+				e.u64(edge)
+			}
+		}
+	}
+}
+
+func (d *dec) santosStates() []santos.TableState {
+	n := d.count(2)
+	out := make([]santos.TableState, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		s := santos.TableState{Table: d.str()}
+		ncols := d.count(1)
+		for j := 0; j < ncols && d.err == nil; j++ {
+			c := santos.ColumnState{Col: int(d.uvarint()), Type: d.str(), Confidence: d.f64(), TypeID: d.u32()}
+			nedges := d.count(8)
+			c.Edges = make([]uint64, nedges)
+			for k := range c.Edges {
+				c.Edges[k] = d.u64()
+			}
+			s.Cols = append(s.Cols, c)
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package persist
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/lake"
+	"repro/internal/table"
+)
+
+// The fuzz targets attack the two parsers that consume bytes straight off
+// disk after a crash: whatever the input, they must fail with a typed
+// error (ErrCorrupt or VersionError) — never panic, never over-allocate on
+// a fabricated count, never accept garbage. CI runs both in its fuzz
+// smoke; longer local runs grow the corpus.
+
+// fuzzWALImage renders a small valid WAL (header plus an add and a remove
+// record) as seed material.
+func fuzzWALImage() []byte {
+	rng := rand.New(rand.NewSource(5))
+	img := walHeader()
+	img = append(img, encodeAddRecord(1, []*table.Table{difftest.DiffTable(rng, "w0"), difftest.DiffTable(rng, "w1")})...)
+	img = append(img, encodeRemoveRecord(2, []string{"w0"})...)
+	return img
+}
+
+// FuzzWALDecode pins decodeWAL's contract on arbitrary bytes: no panics,
+// validLen always a parseable prefix (re-decoding it reproduces the same
+// records), sequence numbers strictly monotonic, and the only error ever
+// surfaced a version refusal.
+func FuzzWALDecode(f *testing.F) {
+	img := fuzzWALImage()
+	f.Add([]byte{})
+	f.Add(walHeader())
+	f.Add(img)
+	f.Add(img[:len(img)-3])          // torn tail
+	f.Add(append(img, img[16:]...))  // duplicated records: seq regression
+	f.Add([]byte(walMagic + "tail")) // magic without a full header
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recs, validLen, err := decodeWAL(b)
+		if err != nil {
+			var ve *VersionError
+			if !errors.As(err, &ve) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if validLen < 0 || validLen > len(b) {
+			t.Fatalf("validLen %d out of range for %d input bytes", validLen, len(b))
+		}
+		if validLen > 0 && validLen < walHeaderLen {
+			t.Fatalf("validLen %d shorter than the header", validLen)
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].seq <= recs[i-1].seq {
+				t.Fatalf("sequence regression %d -> %d accepted", recs[i-1].seq, recs[i].seq)
+			}
+		}
+		// The valid prefix must be stable: decoding it again yields the same
+		// records and consumes all of it. This is what recovery relies on
+		// when it truncates the log at validLen.
+		recs2, validLen2, err2 := decodeWAL(b[:validLen])
+		if err2 != nil || validLen2 != validLen || len(recs2) != len(recs) {
+			t.Fatalf("prefix not stable: %d recs/%d bytes re-decoded to %d recs/%d bytes (err %v)",
+				len(recs), validLen, len(recs2), validLen2, err2)
+		}
+	})
+}
+
+// FuzzSnapshotHeader pins decodeSnapshot on arbitrary bytes: every failure
+// is a typed refusal, and anything that passes all checksums must survive
+// lake.Restore's own validation or fail it cleanly — not panic.
+func FuzzSnapshotHeader(f *testing.F) {
+	rng := rand.New(rand.NewSource(6))
+	l, err := lake.New([]*table.Table{difftest.DiffTable(rng, "s0"), difftest.DiffTable(rng, "s1")},
+		lake.Options{Knowledge: difftest.DiffKB()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	st, err := l.Export()
+	if err != nil {
+		f.Fatal(err)
+	}
+	img := encodeSnapshot(st, 3)
+	f.Add([]byte{})
+	f.Add(img)
+	f.Add(img[:snapHeaderLen])
+	f.Add(img[:len(img)-5])
+	f.Add([]byte(snapMagic + "short"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, _, err := decodeSnapshot("fuzz", b)
+		if err != nil {
+			var ve *VersionError
+			if !errors.Is(err, ErrCorrupt) && !errors.As(err, &ve) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if _, err := lake.Restore(st); err != nil {
+			// A checksum-valid snapshot that fails restore validation is
+			// acceptable for the fuzzer (it fabricated the checksums too);
+			// panics and hangs are what this target exists to rule out.
+			t.Logf("restore rejected decoded state: %v", err)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package santos
+
+import (
+	"fmt"
+
+	"repro/internal/kb"
+	"repro/internal/table"
+)
+
+// This file is the persistence surface of the SANTOS index. Annotation —
+// resolving every cell to a canonical entity and voting column types and
+// pair relationships — is the expensive part of a build; the result is a
+// small per-table semantic graph over compiled KB IDs. Export flattens
+// those graphs, Restore rebuilds an Index from them without re-annotating
+// anything.
+//
+// The packed edge keys and type IDs embedded in the graphs are only
+// meaningful relative to one compiled KB. kb.Compile assigns dense IDs in
+// sorted content order, so recompiling a KB restored from the same dump
+// (kb.FromDump) reproduces every ID — the caller's contract is exactly
+// that: Restore's annotator must be compiled from KB content equal to the
+// exporting index's build-time snapshot.
+
+// ColumnState is the serializable annotation of one table column.
+type ColumnState struct {
+	Col        int
+	Type       string   // winning semantic type ("" never occurs: unannotated columns are omitted)
+	Confidence float64  // ColumnAnnotation.Confidence, bit-exact
+	TypeID     uint32   // compiled ID of Type
+	Edges      []uint64 // sorted unique packed edge keys (see edgeKeyID)
+}
+
+// TableState is the serializable semantic graph of one table. Tables whose
+// columns carry no semantics still export a TableState (with empty Cols):
+// the index tracks every lake table, matchable or not.
+type TableState struct {
+	Table string
+	Cols  []ColumnState
+}
+
+// Export flattens the semantic graphs of all indexed tables, in index
+// order. The result shares no mutable state with the index.
+func (ix *Index) Export() []TableState {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]TableState, len(ix.tables))
+	for i := range ix.tables {
+		ts := &ix.tables[i]
+		st := TableState{Table: ts.t.Name}
+		for _, cs := range ts.cols {
+			st.Cols = append(st.Cols, ColumnState{
+				Col:        cs.col,
+				Type:       cs.ann.Type,
+				Confidence: cs.ann.Confidence,
+				TypeID:     cs.typeID,
+				Edges:      append([]uint64(nil), cs.edges...),
+			})
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Restore rebuilds an Index over lakeTables from exported semantic graphs,
+// skipping annotation entirely. states must cover exactly the named tables
+// (order-independent: they are matched by name and the index takes
+// lakeTables order, so a restored index ranks ties identically to the
+// exporting one). ann must be compiled from the same KB content the
+// exporting index was built against; it serves queries and future Adds.
+func Restore(lakeTables []*table.Table, ann *kb.Annotator, states []TableState) (*Index, error) {
+	if len(states) != len(lakeTables) {
+		return nil, fmt.Errorf("santos: restore: %d semantic graphs for %d tables", len(states), len(lakeTables))
+	}
+	byName := make(map[string]*TableState, len(states))
+	for i := range states {
+		st := &states[i]
+		if _, dup := byName[st.Table]; dup {
+			return nil, fmt.Errorf("santos: restore: duplicate semantic graph for table %q", st.Table)
+		}
+		byName[st.Table] = st
+	}
+	ix := &Index{ann: ann, tables: make([]tableSemantics, len(lakeTables))}
+	ix.scratch.New = func() any { return ann.Compiled().NewScratch() }
+	for i, t := range lakeTables {
+		st, ok := byName[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("santos: restore: no semantic graph for table %q", t.Name)
+		}
+		ts := tableSemantics{t: t}
+		for _, cs := range st.Cols {
+			if cs.Col < 0 || cs.Col >= t.NumCols() {
+				return nil, fmt.Errorf("santos: restore: table %q: column %d out of range", t.Name, cs.Col)
+			}
+			ts.cols = append(ts.cols, columnSemantics{
+				col:    cs.Col,
+				ann:    kb.ColumnAnnotation{Type: cs.Type, Confidence: cs.Confidence},
+				typeID: cs.TypeID,
+				edges:  append([]uint64(nil), cs.Edges...),
+			})
+		}
+		ix.tables[i] = ts
+	}
+	return ix, nil
+}

@@ -9,10 +9,13 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/er"
+	"repro/internal/persist"
 	"repro/internal/table"
 )
 
@@ -37,21 +40,44 @@ const (
 // and with lake mutations (the lake's concurrency contract), and every
 // request is independently scoped — context, timeout, and ER annotation
 // cache.
+//
+// A server may start before its pipeline exists (NewWarming): while a
+// persisted lake replays its write-ahead log, the listener is already up
+// and answers every pipeline endpoint with 503 + Retry-After, and /healthz
+// reports the replay. Attach flips it live once recovery finishes.
 type Server struct {
-	p   *core.Pipeline
-	cfg Config
-	mux *http.ServeMux
+	pipe  atomic.Pointer[core.Pipeline]
+	store atomic.Pointer[persist.Store]
+	cfg   Config
+	mux   *http.ServeMux
+
+	// Shutdown ordering: closing refuses new mutations, mutGate drains the
+	// in-flight ones (mutations hold it shared; shutdown takes it exclusive),
+	// and only then is the WAL synced and closed — so ListenAndServe never
+	// returns with an acknowledged mutation still volatile.
+	closing atomic.Bool
+	mutGate sync.RWMutex
 }
 
 // New builds a server over a constructed pipeline.
 func New(p *core.Pipeline, cfg Config) *Server {
+	s := NewWarming(cfg)
+	s.Attach(p, nil)
+	return s
+}
+
+// NewWarming builds a server with no pipeline yet: every pipeline endpoint
+// answers 503 with a Retry-After hint until Attach is called. It exists so
+// a warm restart can bind its port (and expose /healthz) immediately,
+// while snapshot load + WAL replay proceed behind it.
+func NewWarming(cfg Config) *Server {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
 	}
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{p: p, cfg: cfg, mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	endpoints := map[string]struct {
 		method  string
 		handler http.HandlerFunc
@@ -64,9 +90,7 @@ func New(p *core.Pipeline, cfg Config) *Server {
 		"/v1/lake/add":    {http.MethodPost, s.handle(s.lakeAdd)},
 		"/v1/lake/remove": {http.MethodPost, s.handle(s.lakeRemove)},
 		"/v1/lake":        {http.MethodGet, s.handle(s.lakeInfo)},
-		"/healthz": {http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-		}},
+		"/healthz":        {http.MethodGet, s.healthz},
 	}
 	for path, ep := range endpoints {
 		s.mux.HandleFunc(ep.method+" "+path, ep.handler)
@@ -85,6 +109,50 @@ func New(p *core.Pipeline, cfg Config) *Server {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no endpoint %s (see /v1/{discover,integrate,pipeline,correlate,resolve,lake})", r.URL.Path))
 	})
 	return s
+}
+
+// Attach binds the pipeline (and, for a persisted lake, its store) and
+// flips the server live. store may be nil for an in-memory lake; p must
+// not be nil. When a store is attached, lake mutations route through it —
+// logged and fsynced before they are acknowledged — and shutdown syncs
+// and closes its WAL after draining in-flight mutations.
+func (s *Server) Attach(p *core.Pipeline, store *persist.Store) {
+	if store != nil {
+		s.store.Store(store)
+	}
+	s.pipe.Store(p) // last: readiness is observed through this pointer
+}
+
+// p returns the attached pipeline, or nil while warming.
+func (s *Server) p() *core.Pipeline { return s.pipe.Load() }
+
+// HealthResponse is the /healthz body. Persistence is present only when
+// the lake is persisted; ReplayInProgress is true while the server is up
+// but the pipeline is still recovering (warming restarts).
+type HealthResponse struct {
+	Status           string          `json:"status"` // "ok", "warming" or "stopping"
+	ReplayInProgress bool            `json:"replay_in_progress"`
+	Persistence      *persist.Status `json:"persistence,omitempty"`
+}
+
+// healthz reports liveness plus the durability state: during a warm
+// restart it answers 200 with status "warming" (the process is healthy,
+// the lake is not ready), and once attached to a persisted lake it carries
+// the store's snapshot/WAL counters and last-fsync time.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok"}
+	switch {
+	case s.p() == nil:
+		resp.Status = "warming"
+		resp.ReplayInProgress = true
+	case s.closing.Load():
+		resp.Status = "stopping"
+	}
+	if st := s.store.Load(); st != nil {
+		status := st.Status()
+		resp.Persistence = &status
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Handler returns the server's routes; mount it on any http.Server (tests
@@ -115,10 +183,24 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Shutdown ordering matters for durability: first refuse new
+		// mutations (503), then drain the in-flight ones and sync + close
+		// the WAL — all while the listener still answers queries — and only
+		// then close the listener and unwind the remaining handlers. A
+		// SIGTERM therefore never races an acknowledged mutation out of the
+		// log, and a mutation that got its 200 is on disk before the
+		// process exits.
+		s.closing.Store(true)
+		s.mutGate.Lock() // drains: mutations hold this shared while applying
+		var flushErr error
+		if st := s.store.Load(); st != nil {
+			flushErr = st.Close()
+		}
+		s.mutGate.Unlock()
 		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		cancelBase()
-		return srv.Shutdown(shutCtx)
+		return errors.Join(flushErr, srv.Shutdown(shutCtx))
 	}
 }
 
@@ -167,7 +249,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled), errors.Is(err, errShuttingDown):
 		return http.StatusServiceUnavailable
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
@@ -181,10 +263,15 @@ func statusFor(err error) int {
 	}
 }
 
-// handle wraps an endpoint with the per-request scope: body limit, timeout
-// context, JSON rendering and structured errors.
+// handle wraps an endpoint with the per-request scope: readiness gate,
+// body limit, timeout context, JSON rendering and structured errors.
 func (s *Server) handle(fn func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.p() == nil {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "lake recovery in progress; retry shortly")
+			return
+		}
 		ctx := r.Context()
 		if s.cfg.Timeout > 0 {
 			var cancel context.CancelFunc
@@ -249,7 +336,7 @@ func (s *Server) discover(ctx context.Context, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := s.p.Discover(ctx, core.DiscoverRequest{Query: q, QueryColumn: req.QueryColumn, Methods: req.Methods, K: req.K})
+	resp, err := s.p().Discover(ctx, core.DiscoverRequest{Query: q, QueryColumn: req.QueryColumn, Methods: req.Methods, K: req.K})
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +377,7 @@ type IntegrateResponse struct {
 func (s *Server) integrationSet(req IntegrateRequest) ([]*table.Table, error) {
 	set := make([]*table.Table, 0, len(req.Names)+len(req.Tables))
 	for _, name := range req.Names {
-		t, ok := s.p.Lake().Get(name)
+		t, ok := s.p().Lake().Get(name)
 		if !ok {
 			return nil, fmt.Errorf("no table %q in lake", name)
 		}
@@ -318,7 +405,7 @@ func (s *Server) integrate(ctx context.Context, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := s.p.Integrate(ctx, core.IntegrateRequest{Tables: set, Operator: req.Operator, WithProvenance: req.WithProvenance})
+	resp, err := s.p().Integrate(ctx, core.IntegrateRequest{Tables: set, Operator: req.Operator, WithProvenance: req.WithProvenance})
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +437,7 @@ func (s *Server) pipeline(ctx context.Context, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.p.Run(ctx, core.RunRequest{
+	res, err := s.p().Run(ctx, core.RunRequest{
 		Query:          q,
 		QueryColumn:    req.QueryColumn,
 		Methods:        req.Methods,
@@ -391,7 +478,7 @@ func (s *Server) correlate(ctx context.Context, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	rho, n, err := s.p.Correlate(ctx, t, req.ColA, req.ColB)
+	rho, n, err := s.p().Correlate(ctx, t, req.ColA, req.ColB)
 	if err != nil {
 		return nil, err
 	}
@@ -423,7 +510,7 @@ func (s *Server) resolve(ctx context.Context, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.p.ResolveEntities(ctx, t, er.Options{Threshold: req.Threshold, Veto: req.Veto})
+	res, err := s.p().ResolveEntities(ctx, t, er.Options{Threshold: req.Threshold, Veto: req.Veto})
 	if err != nil {
 		return nil, err
 	}
@@ -444,6 +531,31 @@ type LakeRemoveRequest struct {
 type LakeResponse struct {
 	Size   int      `json:"size"`
 	Tables []string `json:"tables,omitempty"`
+}
+
+// errShuttingDown refuses mutations that arrive after shutdown began: the
+// WAL is being (or has been) flushed and closed, so acknowledging more
+// writes would break the durability contract.
+var errShuttingDown = errors.New("server shutting down; lake mutations refused")
+
+// mutate runs one lake mutation under the shutdown drain gate, routing it
+// through the durable store when one is attached (logged + fsynced before
+// acknowledgement) and straight to the pipeline otherwise.
+func (s *Server) mutate(direct func() error, durable func(*persist.Store) error) error {
+	if s.closing.Load() {
+		return errShuttingDown
+	}
+	s.mutGate.RLock()
+	defer s.mutGate.RUnlock()
+	if s.closing.Load() {
+		// Shutdown began while this request waited for the gate; the WAL
+		// flush may already be underway, so refuse rather than append.
+		return errShuttingDown
+	}
+	if st := s.store.Load(); st != nil {
+		return durable(st)
+	}
+	return direct()
 }
 
 // Lake mutations are transactional, not cancellable: once Lake.Add/Remove
@@ -472,10 +584,14 @@ func (s *Server) lakeAdd(ctx context.Context, r *http.Request) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := s.p.AddTables(tables...); err != nil {
+	err := s.mutate(
+		func() error { return s.p().AddTables(tables...) },
+		func(st *persist.Store) error { return st.Add(tables...) },
+	)
+	if err != nil {
 		return nil, err
 	}
-	return LakeResponse{Size: s.p.Lake().Size()}, nil
+	return LakeResponse{Size: s.p().Lake().Size()}, nil
 }
 
 // lakeRemove follows lakeAdd's transactional (run-to-completion) contract.
@@ -490,14 +606,18 @@ func (s *Server) lakeRemove(ctx context.Context, r *http.Request) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := s.p.RemoveTables(req.Names...); err != nil {
+	err := s.mutate(
+		func() error { return s.p().RemoveTables(req.Names...) },
+		func(st *persist.Store) error { return st.Remove(req.Names...) },
+	)
+	if err != nil {
 		return nil, err
 	}
-	return LakeResponse{Size: s.p.Lake().Size()}, nil
+	return LakeResponse{Size: s.p().Lake().Size()}, nil
 }
 
 func (s *Server) lakeInfo(ctx context.Context, r *http.Request) (any, error) {
-	tables := s.p.Lake().Tables()
+	tables := s.p().Lake().Tables()
 	names := make([]string, 0, len(tables))
 	for _, t := range tables {
 		names = append(names, t.Name)

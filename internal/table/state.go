@@ -1,0 +1,73 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/minhash"
+)
+
+// Persistence surface of the interners. Both dictionaries are append-only
+// ID-order logs at heart (vals[id-1], toks[id-1]), so their snapshot form
+// is just that log: re-interning it sequentially reproduces every ID
+// assignment — and, for TokenDict, every cached fingerprint — exactly.
+
+// Snapshot returns a copy of the interned values in ID order: element i was
+// interned under ID i+1. Interning the snapshot into a fresh Dict in order
+// reproduces the dictionary, including every ID.
+func (d *Dict) Snapshot() []Value {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]Value(nil), d.vals...)
+}
+
+// Snapshot returns a copy of the interned tokens in ID order: element i was
+// interned under ID i+1. Interning the snapshot into a fresh TokenDict in
+// order reproduces the dictionary, including every ID and fingerprint.
+func (d *TokenDict) Snapshot() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.toks...)
+}
+
+// RestoreDict rebuilds a dictionary from a Snapshot: element i is
+// registered under ID i+1, exactly as sequential re-interning would assign.
+// Only the ID-order log is materialized here; the kind maps that answer
+// value→ID are built lazily on first use (see Dict.ensureMaps), so restoring
+// a lake that only serves reads never pays for them. RestoreDict rejects
+// null entries — a null can never be interned, so its presence means the
+// log is not a dictionary snapshot.
+//
+// RestoreDict takes ownership of vals: the caller must not reuse or mutate
+// the slice afterwards. (Restoring a multi-megabyte lake dictionary is on
+// the warm-restart critical path; a defensive copy here is pure cost.)
+func RestoreDict(vals []Value) (*Dict, error) {
+	for i, v := range vals {
+		switch v.kind {
+		case String, Int, Float, Bool:
+		default:
+			return nil, fmt.Errorf("table: restore: null dictionary value at ID %d", i+1)
+		}
+	}
+	d := &Dict{vals: vals}
+	d.mapsStale.Store(true)
+	return d, nil
+}
+
+// RestoreTokenDict rebuilds a token dictionary from a Snapshot: element i
+// is registered under ID i+1 with its fingerprint recomputed (fingerprints
+// feed domain reconstruction immediately, so they are not deferred). The
+// token→ID map is built lazily on first use, like Dict's kind maps.
+//
+// Like RestoreDict, it takes ownership of toks: the caller must not mutate
+// the slice afterwards.
+func RestoreTokenDict(toks []string) (*TokenDict, error) {
+	d := &TokenDict{
+		toks: toks,
+		fps:  make([]uint64, len(toks)),
+	}
+	for i, tok := range toks {
+		d.fps[i] = minhash.Fingerprint(tok)
+	}
+	d.idsStale.Store(true)
+	return d, nil
+}
