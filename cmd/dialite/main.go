@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	dialite serve     -lake DIR [-persist DIR] [-addr :8080] [-timeout 30s]
-//	dialite snapshot  -persist DIR [-lake DIR]
-//	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K] [-grow DIR] [-drop t1,t2]
+//	dialite serve     -lake DIR [-persist DIR] [-addr :8080] [-timeout 30s] [-sketch minhash|kmv]
+//	dialite snapshot  -persist DIR [-lake DIR] [-sketch minhash|kmv]
+//	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K] [-grow DIR] [-drop t1,t2] [-sketch minhash|kmv]
 //	dialite integrate -lake DIR -tables a,b,c [-op alite-fd|outer-join|inner-join|union] [-prov]
-//	dialite pipeline  -lake DIR -query Q.csv -col N [-op OP] [-prov]
+//	dialite pipeline  -lake DIR -query Q.csv -col N [-op OP] [-prov] [-sketch minhash|kmv]
 //	dialite analyze   -table T.csv -corr colA,colB | -groupby key,val,agg | -profile
 //	dialite resolve   -table T.csv
 //	dialite generate  -prompt "covid cases" [-rows 5] [-cols 5] [-seed 1] [-out Q.csv]
@@ -34,6 +34,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/persist"
 	"repro/internal/serve"
+	"repro/internal/sketch"
 	"repro/internal/table"
 )
 
@@ -92,12 +93,23 @@ commands:
   generate   fabricate a query table from a prompt (GPT-3 substitute)`)
 }
 
-// newPipeline builds the pipeline over -lake with the demo KB.
-func newPipeline(lakeDir string, synthKB bool) (*core.Pipeline, error) {
+// newPipeline builds the pipeline over -lake with the demo KB. engine is
+// the -sketch flag value: the sketch engine the containment index signs
+// with (empty means MinHash; lake.New rejects unknown names).
+func newPipeline(lakeDir string, synthKB bool, engine string) (*core.Pipeline, error) {
 	if lakeDir == "" {
 		return nil, fmt.Errorf("-lake directory is required")
 	}
-	return core.FromDir(lakeDir, core.Config{Knowledge: kb.Demo(), SynthesizeKB: synthKB})
+	cfg := core.Config{Knowledge: kb.Demo(), SynthesizeKB: synthKB}
+	cfg.LakeOptions.LSH.Engine = sketch.Engine(engine)
+	return core.FromDir(lakeDir, cfg)
+}
+
+// sketchFlag registers the -sketch engine flag on commands that build a
+// lake from CSVs. Warm restarts ignore it: a persisted lake's engine is
+// recorded in its snapshot.
+func sketchFlag(fs *flag.FlagSet) *string {
+	return fs.String("sketch", "", `sketch engine for the containment index: "minhash" (default) or "kmv"`)
 }
 
 // mutateLake applies the -grow / -drop lake mutations: growDir's CSVs are
@@ -144,12 +156,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request timeout (0 uses the default, negative disables)")
 	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
 	persistDir := fs.String("persist", "", "durable lake directory (snapshot + WAL); created from -lake when new, recovered otherwise")
+	engine := sketchFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := serve.Config{Timeout: *timeout}
 	if *persistDir == "" {
-		p, err := newPipeline(*lakeDir, *synthKB)
+		p, err := newPipeline(*lakeDir, *synthKB, *engine)
 		if err != nil {
 			return err
 		}
@@ -161,6 +174,9 @@ func cmdServe(ctx context.Context, args []string) error {
 		// Warm restart: the lake lives in the snapshot + WAL, not in -lake.
 		// Listen immediately and recover in the background; endpoints answer
 		// 503 + Retry-After until the replayed lake is attached.
+		if *engine != "" {
+			fmt.Fprintf(os.Stderr, "dialite: -sketch %s ignored: %s exists and its snapshot records the engine\n", *engine, *persistDir)
+		}
 		s := serve.NewWarming(cfg)
 		ctx, fail := context.WithCancelCause(ctx)
 		defer fail(nil)
@@ -184,7 +200,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	// Cold start: build from the -lake CSVs, then make the directory the
 	// lake's durable home before taking traffic.
-	p, err := newPipeline(*lakeDir, *synthKB)
+	p, err := newPipeline(*lakeDir, *synthKB, *engine)
 	if err != nil {
 		return err
 	}
@@ -208,6 +224,7 @@ func cmdSnapshot(args []string) error {
 	persistDir := fs.String("persist", "", "durable lake directory")
 	lakeDir := fs.String("lake", "", "CSVs to build from when the directory is new")
 	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake (new directories only)")
+	engine := sketchFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,7 +232,7 @@ func cmdSnapshot(args []string) error {
 		return fmt.Errorf("-persist directory is required")
 	}
 	if !persist.Exists(*persistDir, persist.Options{}) {
-		p, err := newPipeline(*lakeDir, *synthKB)
+		p, err := newPipeline(*lakeDir, *synthKB, *engine)
 		if err != nil {
 			return err
 		}
@@ -254,10 +271,11 @@ func cmdDiscover(ctx context.Context, args []string) error {
 	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
 	growDir := fs.String("grow", "", "directory of CSVs to add to the lake incrementally after the build")
 	drop := fs.String("drop", "", "comma-separated table names to remove from the lake before querying")
+	engine := sketchFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := newPipeline(*lakeDir, *synthKB)
+	p, err := newPipeline(*lakeDir, *synthKB, *engine)
 	if err != nil {
 		return err
 	}
@@ -304,7 +322,7 @@ func cmdIntegrate(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := newPipeline(*lakeDir, *synthKB)
+	p, err := newPipeline(*lakeDir, *synthKB, "")
 	if err != nil {
 		return err
 	}
@@ -339,10 +357,11 @@ func cmdPipeline(ctx context.Context, args []string) error {
 	prov := fs.Bool("prov", false, "include the TIDs provenance column")
 	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
 	out := fs.String("out", "", "write the integrated table to this CSV path")
+	engine := sketchFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := newPipeline(*lakeDir, *synthKB)
+	p, err := newPipeline(*lakeDir, *synthKB, *engine)
 	if err != nil {
 		return err
 	}

@@ -115,9 +115,9 @@ func Similarity(a, b []table.Value, opts Options) (score float64, comparable boo
 // similarityCodes is Similarity over pre-resolved annotation codes: the
 // entity-identity shortcut is an integer comparison instead of two
 // canonicalizations per compared cell. opts must already have defaults.
-func similarityCodes(a, b []table.Value, ca, cb []uint32, opts Options) (float64, bool) {
+func similarityCodes(a, b []table.Value, ca, cb []uint32, opts Options, tc *textCache) (float64, bool) {
 	return similarityWith(a, b, opts, func(i int) float64 {
-		return cellSimilarityCodes(a[i], b[i], ca[i], cb[i])
+		return cellSimilarityCodes(a[i], b[i], ca[i], cb[i], tc)
 	})
 }
 
@@ -177,7 +177,7 @@ func cellSimilarity(a, b table.Value, knowledge *kb.KB) float64 {
 // stays ahead of the code check, exactly as in the reference — distinct
 // numbers may share a canonical form ("-5" and "5" both normalize to "5")
 // and must keep their numeric score.
-func cellSimilarityCodes(a, b table.Value, ca, cb uint32) float64 {
+func cellSimilarityCodes(a, b table.Value, ca, cb uint32, tc *textCache) float64 {
 	if a.Equal(b) {
 		return 1
 	}
@@ -189,7 +189,50 @@ func cellSimilarityCodes(a, b table.Value, ca, cb uint32) float64 {
 	if kb.SameCode(ca, cb) {
 		return 1
 	}
-	return textSimilarity(a.String(), b.String())
+	fa, fb := tc.get(ca, a.String()), tc.get(cb, b.String())
+	lev := levenshteinRatio(fa.norm, fb.norm)
+	jac := tokenize.Jaccard(fa.words, fb.words)
+	if jac > lev {
+		return jac
+	}
+	return lev
+}
+
+// textFeat is the memoized text-fallback view of one cell rendering: its
+// normalized form (Levenshtein input) and word set (Jaccard input).
+type textFeat struct {
+	raw   string
+	norm  string
+	words []string
+}
+
+// textCache memoizes textFeat per (annotation code, raw rendering) for one
+// resolution run. A cell value reaching the text fallback is re-compared
+// against every blocking partner, so without the cache Normalize and Words
+// re-derive the same strings once per candidate pair instead of once per
+// distinct rendering. Keying by code alone would be unsound — alias
+// renderings ("USA", "United States") share a code but have different word
+// sets — so each code holds a small list keyed by the raw string (almost
+// always length 1; aliases rarely reach the fallback at all, since equal
+// codes already scored 1).
+type textCache struct {
+	feats map[uint32][]textFeat
+}
+
+func newTextCache() *textCache {
+	return &textCache{feats: make(map[uint32][]textFeat)}
+}
+
+func (tc *textCache) get(code uint32, raw string) *textFeat {
+	l := tc.feats[code]
+	for i := range l {
+		if l[i].raw == raw {
+			return &l[i]
+		}
+	}
+	l = append(l, textFeat{raw: raw, norm: tokenize.Normalize(raw), words: tokenize.Words(raw)})
+	tc.feats[code] = l
+	return &l[len(l)-1]
 }
 
 // numericSimilarity scores two numeric cells by relative closeness.
@@ -295,6 +338,7 @@ func Resolve(ctx context.Context, t *table.Table, opts Options) (*Resolution, er
 	opts = opts.withDefaults()
 	codes := cellCodes(t, opts.annotator())
 	candidates := blockPairsCodes(codes)
+	tc := newTextCache()
 	done := ctx.Done()
 	parent := make([]int, t.NumRows())
 	for i := range parent {
@@ -317,7 +361,7 @@ func Resolve(ctx context.Context, t *table.Table, opts Options) (*Resolution, er
 			default:
 			}
 		}
-		score, comparable := similarityCodes(t.Rows[p[0]], t.Rows[p[1]], codes[p[0]], codes[p[1]], opts)
+		score, comparable := similarityCodes(t.Rows[p[0]], t.Rows[p[1]], codes[p[0]], codes[p[1]], opts, tc)
 		if !comparable {
 			continue
 		}

@@ -30,9 +30,9 @@ func Features(a, b []table.Value, knowledge *kb.KB) ([]float64, bool) {
 
 // featuresCodes is Features over pre-resolved annotation codes, the
 // ResolveLearned hot path.
-func featuresCodes(a, b []table.Value, ca, cb []uint32) ([]float64, bool) {
+func featuresCodes(a, b []table.Value, ca, cb []uint32, tc *textCache) ([]float64, bool) {
 	return featuresWith(a, b, func(i int) float64 {
-		return cellSimilarityCodes(a[i], b[i], ca[i], cb[i])
+		return cellSimilarityCodes(a[i], b[i], ca[i], cb[i], tc)
 	})
 }
 
@@ -199,6 +199,7 @@ func ResolveLearned(ctx context.Context, t *table.Table, model *LogisticModel, k
 	}
 	codes := cellCodes(t, Options{Knowledge: knowledge}.annotator())
 	candidates := blockPairsCodes(codes)
+	tc := newTextCache()
 	done := ctx.Done()
 	parent := make([]int, t.NumRows())
 	for i := range parent {
@@ -221,7 +222,7 @@ func ResolveLearned(ctx context.Context, t *table.Table, model *LogisticModel, k
 			default:
 			}
 		}
-		x, ok := featuresCodes(t.Rows[p[0]], t.Rows[p[1]], codes[p[0]], codes[p[1]])
+		x, ok := featuresCodes(t.Rows[p[0]], t.Rows[p[1]], codes[p[0]], codes[p[1]], tc)
 		if !ok {
 			continue
 		}

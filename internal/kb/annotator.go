@@ -74,6 +74,16 @@ type Annotator struct {
 	// root, so codes are identity-comparable within the scope. See ERScope.
 	erScope  bool
 	nextDown uint32
+	// rootByVal is an ER scope's read-only snapshot of the root's per-value-ID
+	// code cache, taken once at ERScope() creation: lake-interned String
+	// values whose codes the root had already computed resolve by one array
+	// load, with no rendering, normalization or map traffic. Immutable after
+	// creation, so it needs no locking and keeps scope answers independent of
+	// concurrent root growth. Reusing these codes verbatim is sound because
+	// computeCode publishes root.ext[n] before codeForInterned writes byVal
+	// and root.ext is append-only — any rendering of the same canonical that
+	// reaches the scope's slow path borrows the identical code from the root.
+	rootByVal []uint32
 
 	mu    sync.RWMutex
 	byVal []uint32          // per dict value ID (index id-1): cached code
@@ -160,22 +170,31 @@ func (a *Annotator) QueryScope() *Annotator {
 // Unlike QueryScope, an ERScope never writes to the root (not even for lake
 // values — a first-touch lake value would otherwise have to publish a code
 // the scope might already have allocated differently); each distinct
-// rendered value is normalized at most once per scope. Use it for
-// request-bounded entity resolution; use QueryScope for SANTOS-style
-// annotation where only CodeEmpty gating matters.
+// rendered value is normalized at most once per scope. Lake values the root
+// has already canonicalized cost even less: the scope snapshots the root's
+// per-value-ID cache at creation and serves those codes by array load (see
+// rootByVal). Use it for request-bounded entity resolution; use QueryScope
+// for SANTOS-style annotation where only CodeEmpty gating matters.
 func (a *Annotator) ERScope() *Annotator {
 	root := a
 	if a.parent != nil {
 		root = a.parent
 	}
-	return &Annotator{
+	s := &Annotator{
 		ck:       root.ck,
+		dict:     root.dict,
 		parent:   root,
 		erScope:  true,
 		nextDown: 1<<32 - 1,
 		raw:      make(map[string]uint32),
 		ext:      make(map[string]uint32),
 	}
+	if root.dict != nil {
+		root.mu.RLock()
+		s.rootByVal = append([]uint32(nil), root.byVal...)
+		root.mu.RUnlock()
+	}
+	return s
 }
 
 // scopeCode resolves a rendered value inside an ER scope. The raw-string
@@ -278,6 +297,13 @@ func (a *Annotator) computeCode(s string) uint32 {
 // they resolve through the rendering-keyed cache instead.
 func (a *Annotator) codeAndID(v table.Value) (code, id uint32, interned bool) {
 	if a.erScope {
+		if a.dict != nil && v.Kind() == table.String {
+			if id, ok := a.dict.Lookup(v); ok && id != table.NullID && int(id) <= len(a.rootByVal) {
+				if c := a.rootByVal[id-1]; c != codeUnset {
+					return c, id, true
+				}
+			}
+		}
 		return a.scopeCode(v.String()), 0, false
 	}
 	if a.dict != nil && v.Kind() == table.String {

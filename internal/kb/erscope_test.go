@@ -93,6 +93,53 @@ func TestERScopeNeverWritesRoot(t *testing.T) {
 	}
 }
 
+// TestERScopeSnapshotsRootByVal pins the creation-time snapshot of the
+// root's per-value-ID cache: codes the root had already computed for lake
+// values are served from the snapshot (still without writing the root), they
+// agree with every other rendering of the same canonical resolved through
+// the scope's slow path, and codes the root learns after the scope was
+// created are invisible to it.
+func TestERScopeSnapshotsRootByVal(t *testing.T) {
+	dict := table.NewDict()
+	known := table.StringValue("Gotham City")
+	late := table.StringValue("Metropolis")
+	dict.Intern(known)
+	dict.Intern(late)
+	root := NewAnnotator(scopeKB().Compiled(), dict)
+	rc := root.Code(known) // populates root.byVal before the scope exists
+
+	scope := root.ERScope()
+	if got := scope.Code(known); got != rc {
+		t.Fatalf("snapshot code = %d, want root's %d", got, rc)
+	}
+	// The borrowed code and the slow-path resolution of another rendering of
+	// the same canonical must agree — the identity ER depends on.
+	if got := scope.CodeString("  GOTHAM  city "); got != rc {
+		t.Fatalf("slow-path rendering got %d, want snapshot code %d", got, rc)
+	}
+	// Serving from the snapshot wrote nothing into the root.
+	root.mu.RLock()
+	rootExt := len(root.ext)
+	root.mu.RUnlock()
+	if rootExt != 1 {
+		t.Fatalf("root ext has %d entries after scope reads, want 1", rootExt)
+	}
+
+	// A value outside the snapshot (the root had not canonicalized it at
+	// scope creation) takes the slow path and allocates in the scope band;
+	// when the root learns the same canonical mid-request, the snapshot-miss
+	// path must keep answering with the scope's code — a live root code never
+	// displaces an identity the scope already answered.
+	scopeLate := scope.Code(late)
+	if scopeLate < scopeBandStart {
+		t.Fatalf("snapshot-miss value got code %d, want a scope-band allocation", scopeLate)
+	}
+	root.Code(late)
+	if again := scope.Code(late); again != scopeLate {
+		t.Fatalf("scope identity drifted after root growth: %d vs %d", again, scopeLate)
+	}
+}
+
 func TestERScopeDictBackedRootStaysBounded(t *testing.T) {
 	dict := table.NewDict()
 	v := table.StringValue("Quahog")

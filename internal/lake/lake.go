@@ -27,6 +27,7 @@ import (
 	"repro/internal/lshensemble"
 	"repro/internal/par"
 	"repro/internal/santos"
+	"repro/internal/sketch"
 	"repro/internal/table"
 	"repro/internal/tokenize"
 )
@@ -39,7 +40,10 @@ type Options struct {
 	// SynthesizeKB additionally synthesizes a KB from the lake tables and
 	// merges it with Knowledge, as SANTOS does for uncovered domains.
 	SynthesizeKB bool
-	// LSH configures the LSH Ensemble index.
+	// LSH configures the LSH Ensemble index, including the sketch engine
+	// (LSH.Engine): sketch.MinHash (default, banded probing) or sketch.KMV
+	// (faster signing, linear-scan candidates). New validates the engine and
+	// rejects names this build does not implement.
 	LSH lshensemble.Options
 }
 
@@ -101,6 +105,9 @@ type colRef struct {
 // concurrently. All results are collected in table order, so the lake is
 // byte-identical to a sequential build.
 func New(tables []*table.Table, opts Options) (*Lake, error) {
+	if !sketch.Known(opts.LSH.Engine) {
+		return nil, fmt.Errorf("lake: unknown sketch engine %q", opts.LSH.Engine)
+	}
 	l := &Lake{
 		byName: make(map[string]*table.Table, len(tables)),
 		dict:   table.NewDict(),
@@ -562,6 +569,11 @@ func (l *Lake) Santos() *santos.Index {
 
 // Join returns the LSH Ensemble containment index.
 func (l *Lake) Join() *lshensemble.Index { return l.joinIx }
+
+// SketchEngine reports the sketch engine the containment index runs on
+// (defaults applied) — surfaced by dialite serve's health endpoint so
+// operators can tell which engine a running lake was built or restored with.
+func (l *Lake) SketchEngine() sketch.Engine { return l.joinIx.Options().Engine }
 
 // Josie returns the exact top-k overlap index.
 func (l *Lake) Josie() *josie.Index { return l.josieIx }

@@ -34,8 +34,9 @@ type DomainState struct {
 	Column     int
 	ColumnName string
 	TokenIDs   []uint32
-	// Signature is the domain's cached MinHash signature under State.LSH's
-	// family geometry.
+	// Signature is the domain's cached sketch under State.LSH's engine and
+	// geometry: a MinHash signature (exactly NumHashes words) or a KMV
+	// bottom-k sketch (at most NumHashes words, strictly ascending).
 	Signature []uint64
 }
 

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/minhash"
+	"repro/internal/sketch"
 	"repro/internal/table"
 	"repro/internal/tokenize"
 )
@@ -53,7 +54,7 @@ func TestBandKeysMatchFNV(t *testing.T) {
 			if r > n {
 				continue
 			}
-			got := bandKeys(sig, r, nil)
+			got := bandKeys(sketch.Sketch(sig), r, nil)
 			want := referenceBandKeys(sig, r)
 			if len(got) != len(want) {
 				t.Fatalf("n=%d r=%d: %d keys, want %d", n, r, len(got), len(want))
@@ -81,7 +82,9 @@ func referenceQuery(ix *Index, rawQuery []string, threshold float64, k int) []re
 		return nil
 	}
 	candidates := make(map[int32]bool)
-	qsig := ix.family.Sign(query)
+	// The reference signs with its own family — it shares nothing with the
+	// index's sketch builder beyond the (size, seed) parameters.
+	qsig := minhash.NewFamily(ix.opts.NumHashes, ix.opts.Seed).Sign(query)
 	for pi := range ix.parts {
 		p := &ix.parts[pi]
 		if len(p.tables) == 0 {

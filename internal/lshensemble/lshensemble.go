@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/minhash"
 	"repro/internal/par"
+	"repro/internal/sketch"
 	"repro/internal/table"
 	"repro/internal/tokenize"
 )
@@ -68,12 +69,22 @@ func (d *Domain) Key() string {
 
 // Options configures index construction.
 type Options struct {
-	// NumHashes is the MinHash signature length. Default 128.
+	// NumHashes is the sketch size: the MinHash signature length, or the KMV
+	// bottom-k capacity. Default 128.
 	NumHashes int
 	// NumPartitions is the number of equi-depth size partitions. Default 8.
 	NumPartitions int
-	// Seed makes signatures deterministic. Default 1.
+	// Seed makes sketches deterministic. Default 1.
 	Seed int64
+	// Engine selects the sketch implementation (see internal/sketch):
+	// sketch.MinHash (the default) bands signatures for sub-linear LSH
+	// probing; sketch.KMV signs an order of magnitude faster but generates
+	// candidates by a linear estimate scan. Either way candidates are
+	// verified by exact token-ID containment, so the engine changes recall
+	// and speed, never precision. Validate foreign values with sketch.Known
+	// before building — Build panics on an engine this build does not
+	// implement (Restore, the persistence path, returns an error instead).
+	Engine sketch.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -86,7 +97,15 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Engine == "" {
+		o.Engine = sketch.MinHash
+	}
 	return o
+}
+
+// sketchParams maps defaulted options onto the sketch builder's parameters.
+func (o Options) sketchParams() sketch.Params {
+	return sketch.Params{Engine: o.Engine, Size: o.NumHashes, Seed: o.Seed}
 }
 
 // rChoices are the band-row counts precomputed per partition. At query time
@@ -114,17 +133,17 @@ type bandTable struct {
 // slots whose partition assignment changed move between band tables, so the
 // index is at all times identical in query behavior to a fresh Build over
 // the live domains (partition boundaries, per-partition size bounds and
-// bucket membership all match; cached per-slot MinHash signatures make the
-// moves re-banding work, never re-signing work). Mutations take the write
-// lock, queries the read lock.
+// bucket membership all match; cached per-slot sketches make the moves
+// re-banding work, never re-signing work). Mutations take the write lock,
+// queries the read lock.
 type Index struct {
 	mu         sync.RWMutex
 	opts       Options
-	family     *minhash.Family
+	builder    sketch.Builder
 	dict       *table.TokenDict
 	trustIDs   bool // precomputed Domain.IDs belong to dict (caller-supplied dict)
 	domains    []Domain
-	signatures []minhash.Signature
+	signatures []sketch.Sketch
 	alive      []bool  // per slot: false once removed
 	partOf     []int32 // per slot: partition index, -1 when unassigned/dead
 	liveCount  int
@@ -151,7 +170,7 @@ type queryScratch struct {
 	seenTok map[string]struct{}
 	fps     []uint64
 	qids    map[uint32]struct{}
-	sig     minhash.Signature
+	sig     sketch.Sketch
 	seen    []uint32 // per domain index: epoch stamp
 	epoch   uint32
 	cands   []int32
@@ -205,9 +224,17 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 	if dict == nil {
 		dict = table.NewTokenDict()
 	}
+	builder, err := sketch.New(opts.sketchParams())
+	if err != nil {
+		// Foreign engine names arrive through lake options or persisted
+		// snapshots, both of which validate with sketch.Known before
+		// reaching here; at this point an unknown engine is a programming
+		// error.
+		panic("lshensemble: " + err.Error())
+	}
 	ix := &Index{
 		opts:      opts,
-		family:    minhash.NewFamily(opts.NumHashes, opts.Seed),
+		builder:   builder,
 		dict:      dict,
 		trustIDs:  trustIDs,
 		domains:   append([]Domain(nil), domains...),
@@ -221,14 +248,15 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 			qids:    make(map[uint32]struct{}),
 		}
 	}
-	// Sign domains in parallel: each signature depends only on its own
+	// Sign domains in parallel: each sketch depends only on its own
 	// domain, so the result is deterministic regardless of scheduling.
 	// Token IDs and fingerprints are computed once per domain and cached on
 	// it; fingerprints of freshly interned domains come from the
-	// dictionary's cache rather than re-hashing the strings. Signatures
+	// dictionary's cache rather than re-hashing the strings. Sketches
 	// live in one contiguous arena (workers write disjoint ranges) instead
-	// of one allocation per domain.
-	ix.signatures = make([]minhash.Signature, len(ix.domains))
+	// of one allocation per domain; KMV sketches may fill less than their
+	// slot's NumHashes capacity.
+	ix.signatures = make([]sketch.Sketch, len(ix.domains))
 	sigArena := make([]uint64, len(ix.domains)*opts.NumHashes)
 	par.For(len(ix.domains), func(i int) {
 		d := &ix.domains[i]
@@ -239,14 +267,21 @@ func BuildWithDict(domains []Domain, opts Options, dict *table.TokenDict) *Index
 		if d.Fingerprints == nil {
 			d.Fingerprints = dict.Fingerprints(d.IDs, nil)
 		}
-		slot := sigArena[i*opts.NumHashes : (i+1)*opts.NumHashes : (i+1)*opts.NumHashes]
-		ix.signatures[i] = ix.family.SignFingerprintsInto(d.Fingerprints, slot)
+		slot := sigArena[i*opts.NumHashes : i*opts.NumHashes : (i+1)*opts.NumHashes]
+		ix.signatures[i] = ix.builder.SignInto(d.Fingerprints, slot)
 		ix.alive[i] = true
 		ix.partOf[i] = -1
 	})
 	ix.initPartitions()
 	return ix
 }
+
+// banded reports whether this index probes band tables for candidates
+// (MinHash engine) or scans sketches linearly (KMV engine). Partition
+// structure is maintained either way — the equi-depth layout is what keeps
+// mutations incremental — but only the MinHash engine materializes band
+// tables inside the partitions.
+func (ix *Index) banded() bool { return ix.opts.Engine == sketch.MinHash }
 
 // ensureParts builds the deferred partitioning of a restored index on its
 // first use. Queries call it before taking the read lock; mutations hold the
@@ -297,47 +332,49 @@ func (ix *Index) initPartitions() {
 				part.upper = n
 			}
 		}
-		var flat []uint64
-		for _, r := range rChoices {
-			if r > ix.opts.NumHashes {
-				continue
-			}
-			// Bulk band build: hash every domain's band keys once into a flat
-			// slice, count bucket sizes, then carve all buckets out of one
-			// arena. Appending per (domain, band) instead allocates a tiny
-			// slice per bucket and regrows both it and the map incrementally —
-			// the dominant cost of large restores.
-			nb := ix.opts.NumHashes / r
-			if cap(flat) < len(part.domains)*nb {
-				flat = make([]uint64, 0, len(part.domains)*nb)
-			}
-			flat = flat[:0]
-			for _, di := range part.domains {
-				flat = appendBandKeys(ix.signatures[di], r, flat)
-			}
-			cursors := make(map[uint64]int32, len(flat))
-			for _, key := range flat {
-				cursors[key]++
-			}
-			bt := bandTable{r: r, buckets: make(map[uint64][]int32, len(cursors))}
-			arena := make([]int32, len(flat))
-			off := int32(0)
-			for key, n := range cursors {
-				bt.buckets[key] = arena[off : off+n : off+n]
-				cursors[key] = off // becomes the bucket's fill cursor
-				off += n
-			}
-			ki := 0
-			for _, di := range part.domains {
-				for b := 0; b < nb; b++ {
-					key := flat[ki]
-					ki++
-					at := cursors[key]
-					arena[at] = int32(di)
-					cursors[key] = at + 1
+		if ix.banded() {
+			var flat []uint64
+			for _, r := range rChoices {
+				if r > ix.opts.NumHashes {
+					continue
 				}
+				// Bulk band build: hash every domain's band keys once into a flat
+				// slice, count bucket sizes, then carve all buckets out of one
+				// arena. Appending per (domain, band) instead allocates a tiny
+				// slice per bucket and regrows both it and the map incrementally —
+				// the dominant cost of large restores.
+				nb := ix.opts.NumHashes / r
+				if cap(flat) < len(part.domains)*nb {
+					flat = make([]uint64, 0, len(part.domains)*nb)
+				}
+				flat = flat[:0]
+				for _, di := range part.domains {
+					flat = appendBandKeys(ix.signatures[di], r, flat)
+				}
+				cursors := make(map[uint64]int32, len(flat))
+				for _, key := range flat {
+					cursors[key]++
+				}
+				bt := bandTable{r: r, buckets: make(map[uint64][]int32, len(cursors))}
+				arena := make([]int32, len(flat))
+				off := int32(0)
+				for key, n := range cursors {
+					bt.buckets[key] = arena[off : off+n : off+n]
+					cursors[key] = off // becomes the bucket's fill cursor
+					off += n
+				}
+				ki := 0
+				for _, di := range part.domains {
+					for b := 0; b < nb; b++ {
+						key := flat[ki]
+						ki++
+						at := cursors[key]
+						arena[at] = int32(di)
+						cursors[key] = at + 1
+					}
+				}
+				part.tables = append(part.tables, bt)
 			}
-			part.tables = append(part.tables, bt)
 		}
 		ix.parts[p] = part
 	})
@@ -378,7 +415,7 @@ func (ix *Index) Add(domains []Domain) {
 			d.Fingerprints = ix.dict.Fingerprints(d.IDs, nil)
 		}
 		ix.domains = append(ix.domains, d)
-		ix.signatures = append(ix.signatures, ix.family.SignFingerprintsInto(d.Fingerprints, nil))
+		ix.signatures = append(ix.signatures, ix.builder.SignInto(d.Fingerprints, nil))
 		ix.alive = append(ix.alive, true)
 		ix.partOf = append(ix.partOf, -1)
 		ix.liveCount++
@@ -473,7 +510,7 @@ func (ix *Index) Compact() {
 func (ix *Index) compactLocked() {
 	n := ix.liveCount
 	domains := make([]Domain, 0, n)
-	sigs := make([]minhash.Signature, 0, n)
+	sigs := make([]sketch.Sketch, 0, n)
 	for slot := range ix.domains {
 		if ix.alive[slot] {
 			domains = append(domains, ix.domains[slot])
@@ -510,11 +547,13 @@ func (ix *Index) reshard() {
 	}
 	for len(ix.parts) < nparts {
 		part := partition{}
-		for _, r := range rChoices {
-			if r > ix.opts.NumHashes {
-				continue
+		if ix.banded() {
+			for _, r := range rChoices {
+				if r > ix.opts.NumHashes {
+					continue
+				}
+				part.tables = append(part.tables, bandTable{r: r, buckets: make(map[uint64][]int32)})
 			}
-			part.tables = append(part.tables, bandTable{r: r, buckets: make(map[uint64][]int32)})
 		}
 		ix.parts = append(ix.parts, part)
 	}
@@ -585,7 +624,7 @@ func (ix *Index) unband(p, slot int) {
 // FNV-1a loop, byte-identical to feeding hash/fnv.New64a the band index as
 // two little-endian bytes followed by each signature word as eight — but
 // with no hash.Hash allocation per band.
-func bandKeys(sig minhash.Signature, r int, dst []uint64) []uint64 {
+func bandKeys(sig sketch.Sketch, r int, dst []uint64) []uint64 {
 	nb := len(sig) / r
 	if cap(dst) < nb {
 		dst = make([]uint64, 0, nb)
@@ -596,7 +635,7 @@ func bandKeys(sig minhash.Signature, r int, dst []uint64) []uint64 {
 // appendBandKeys is bandKeys without the reset: it appends the band keys to
 // dst, letting the bulk band build in initPartitions collect every domain's
 // keys into one flat slice.
-func appendBandKeys(sig minhash.Signature, r int, dst []uint64) []uint64 {
+func appendBandKeys(sig sketch.Sketch, r int, dst []uint64) []uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -688,7 +727,7 @@ func (ix *Index) QueryCtx(ctx context.Context, rawQuery []string, threshold floa
 			fps[i] = minhash.Fingerprint(tok)
 		}
 	}
-	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
+	s.sig = ix.builder.SignInto(fps, s.sig)
 	ix.ensureParts()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -737,7 +776,7 @@ func (ix *Index) QueryDomainCtx(ctx context.Context, d *Domain, threshold float6
 			s.qids[id] = struct{}{}
 		}
 	}
-	s.sig = ix.family.SignFingerprintsInto(fps, s.sig)
+	s.sig = ix.builder.SignInto(fps, s.sig)
 	ix.ensureParts()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -750,12 +789,36 @@ func (ix *Index) QueryDomainCtx(ctx context.Context, d *Domain, threshold float6
 // branch dominating small queries.
 const verifyCancelStride = 64
 
-// query probes every partition with the query signature, then verifies the
-// candidates by exact token-ID intersection. qsize is |Q| (including tokens
-// outside the lake vocabulary, which count toward the denominator). ctx is
-// checked between partition probes and every verifyCancelStride candidate
-// verifications.
-func (ix *Index) query(ctx context.Context, qsig minhash.Signature, qids map[uint32]struct{}, qsize int, threshold float64, k int, s *queryScratch) ([]Result, error) {
+// kmvSlack is the admission slack of the KMV candidate scan: two standard
+// deviations of the containment estimator for a pair sitting exactly at
+// containment t. With j_t the Jaccard equivalent of t (j = tq/(q+x-tq)) the
+// KMV Jaccard estimate has σ_J ≈ sqrt(j_t(1-j_t)/k), and propagating through
+// I = J(q+x)/(1+J), c = I/q gives σ_c ≈ σ_J·(q+x)/(q(1+j_t)²) — an error
+// that grows with the size skew x/q, the regime the accuracy harness tracks.
+// Admitting estimates down to t − 2σ_c keeps threshold-straddling true
+// positives with ~97.7% probability; verification is exact, so the slack
+// widens the candidate set, never the result set.
+func kmvSlack(t float64, qsize, xsize int, k float64) float64 {
+	q, x := float64(qsize), float64(xsize)
+	denom := q + x - t*q
+	if denom <= 0 {
+		return 0
+	}
+	jt := t * q / denom
+	if jt <= 0 || jt >= 1 {
+		return 0
+	}
+	sigJ := math.Sqrt(jt * (1 - jt) / k)
+	return 2 * sigJ * (q + x) / (q * (1 + jt) * (1 + jt))
+}
+
+// query generates candidates from the query sketch — band-table probes per
+// partition under the MinHash engine, a linear containment-estimate scan
+// with kmvSlack under KMV — then verifies them by exact token-ID
+// intersection. qsize is |Q| (including tokens outside the lake vocabulary,
+// which count toward the denominator). ctx is checked between partition
+// probes and every verifyCancelStride candidate verifications.
+func (ix *Index) query(ctx context.Context, qsig sketch.Sketch, qids map[uint32]struct{}, qsize int, threshold float64, k int, s *queryScratch) ([]Result, error) {
 	done := ctx.Done()
 	// The candidate-dedup scratch is sized for the index as of a previous
 	// query; the slot arrays grow under mutation, so re-fit it here (fresh
@@ -774,27 +837,60 @@ func (ix *Index) query(ctx context.Context, qsig minhash.Signature, qids map[uin
 	}
 	candidates := s.cands[:0]
 	keys := s.keys
-	for pi := range ix.parts {
-		if done != nil {
-			select {
-			case <-done:
-				s.cands, s.keys = candidates, keys
-				return nil, ctx.Err()
-			default:
+	if ix.banded() {
+		for pi := range ix.parts {
+			if done != nil {
+				select {
+				case <-done:
+					s.cands, s.keys = candidates, keys
+					return nil, ctx.Err()
+				default:
+				}
+			}
+			p := &ix.parts[pi]
+			if len(p.tables) == 0 {
+				continue
+			}
+			j := minhash.JaccardForContainment(threshold, qsize, p.upper)
+			bt := p.chooseTable(j, ix.opts.NumHashes)
+			keys = bandKeys(qsig, bt.r, keys[:0])
+			for _, key := range keys {
+				for _, di := range bt.buckets[key] {
+					if s.seen[di] != s.epoch {
+						s.seen[di] = s.epoch
+						candidates = append(candidates, di)
+					}
+				}
 			}
 		}
-		p := &ix.parts[pi]
-		if len(p.tables) == 0 {
-			continue
-		}
-		j := minhash.JaccardForContainment(threshold, qsize, p.upper)
-		bt := p.chooseTable(j, ix.opts.NumHashes)
-		keys = bandKeys(qsig, bt.r, keys[:0])
-		for _, key := range keys {
-			for _, di := range bt.buckets[key] {
-				if s.seen[di] != s.epoch {
+	} else {
+		// KMV sketches are not coordinate-aligned, so there are no band
+		// tables to probe; candidates come from a containment-estimate scan
+		// over the partitions' live slots instead (partitions jointly cover
+		// every live domain exactly once).
+		sketchK := float64(ix.opts.NumHashes)
+		for pi := range ix.parts {
+			if done != nil {
+				select {
+				case <-done:
+					s.cands, s.keys = candidates, keys
+					return nil, ctx.Err()
+				default:
+				}
+			}
+			for _, di := range ix.parts[pi].domains {
+				if !ix.alive[di] {
+					continue
+				}
+				admit := threshold <= 0
+				if !admit {
+					xsize := len(ix.domains[di].Values)
+					est := ix.builder.Containment(qsig, ix.signatures[di], qsize, xsize)
+					admit = est >= threshold-kmvSlack(threshold, qsize, xsize, sketchK)
+				}
+				if admit && s.seen[di] != s.epoch {
 					s.seen[di] = s.epoch
-					candidates = append(candidates, di)
+					candidates = append(candidates, int32(di))
 				}
 			}
 		}

@@ -104,16 +104,119 @@ func (f *Family) SignFingerprints(fps []uint64) Signature {
 	return f.SignFingerprintsInto(fps, nil)
 }
 
+// signBlock is the number of fingerprints each permutation pass evaluates.
+// Eight gives the superscalar core eight independent multiply chains per
+// (a_i, b_i) load while the block of reduced fingerprints still lives in
+// registers.
+const signBlock = 8
+
+// mix61 evaluates one hash: (a*x + b) mod 2^61-1 for x and b already below
+// the modulus. The 128-bit product folds via 2^61 ≡ 1 (mod p); the folded
+// value is < 2^62 ≤ 2p+1, so at most two conditional subtractions replace
+// mulmod's reduction loop — same values at every step, so results are
+// bit-identical to mulmod.
+func mix61(a, x, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, x)
+	v := (hi<<3 | lo>>61) + (lo & mersennePrime)
+	if v >= mersennePrime {
+		v -= mersennePrime
+	}
+	if v >= mersennePrime {
+		v -= mersennePrime
+	}
+	v += b
+	if v >= mersennePrime {
+		v -= mersennePrime
+	}
+	return v
+}
+
 // SignFingerprintsInto is SignFingerprints writing into dst (reused when it
 // has capacity, discarding its previous contents), the allocation-free form
 // query-scratch pools and index builds use.
 //
-// The inner loop is mulmod with the loop-invariant reductions hoisted: the
-// fingerprint is reduced modulo 2^61-1 once per member instead of once per
-// hash function, and the b_i are already below the modulus by construction
-// (NewFamily draws them from [0, p)). Bit-identical to calling mulmod per
-// (member, hash) pair — pinned by TestSignMatchesMulmod.
+// The kernel is batched: fingerprints are reduced modulo 2^61-1 once and
+// processed signBlock at a time with the hash-function loop outermost, so
+// each a_i/b_i (and the running minimum sig[i]) is loaded once per block
+// instead of once per member, and the eight hash evaluations per iteration
+// are independent multiply chains the CPU can overlap. min is commutative
+// and each (a_i, x, b_i) evaluation is exactly mulmod, so the signature is
+// bit-identical to the scalar reference — pinned by TestSignMatchesMulmod
+// and the randomized batched-vs-scalar cross-check.
 func (f *Family) SignFingerprintsInto(fps []uint64, dst Signature) Signature {
+	sig := dst
+	if cap(sig) < f.k {
+		sig = make(Signature, f.k)
+	}
+	sig = sig[:f.k]
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	a, b := f.a, f.b
+	var xs [signBlock]uint64
+	n := len(fps)
+	base := 0
+	for ; n-base >= signBlock; base += signBlock {
+		for j := range xs {
+			xs[j] = fps[base+j] % mersennePrime
+		}
+		x0, x1, x2, x3 := xs[0], xs[1], xs[2], xs[3]
+		x4, x5, x6, x7 := xs[4], xs[5], xs[6], xs[7]
+		for i := 0; i < f.k; i++ {
+			ai, bi := a[i], b[i]
+			m := sig[i]
+			if v := mix61(ai, x0, bi); v < m {
+				m = v
+			}
+			if v := mix61(ai, x1, bi); v < m {
+				m = v
+			}
+			if v := mix61(ai, x2, bi); v < m {
+				m = v
+			}
+			if v := mix61(ai, x3, bi); v < m {
+				m = v
+			}
+			if v := mix61(ai, x4, bi); v < m {
+				m = v
+			}
+			if v := mix61(ai, x5, bi); v < m {
+				m = v
+			}
+			if v := mix61(ai, x6, bi); v < m {
+				m = v
+			}
+			if v := mix61(ai, x7, bi); v < m {
+				m = v
+			}
+			sig[i] = m
+		}
+	}
+	if base < n {
+		blk := n - base
+		for j := 0; j < blk; j++ {
+			xs[j] = fps[base+j] % mersennePrime
+		}
+		for i := 0; i < f.k; i++ {
+			ai, bi := a[i], b[i]
+			m := sig[i]
+			for j := 0; j < blk; j++ {
+				if v := mix61(ai, xs[j], bi); v < m {
+					m = v
+				}
+			}
+			sig[i] = m
+		}
+	}
+	return sig
+}
+
+// SignScalarInto is the retained pre-batching signing kernel: one fingerprint
+// per permutation pass, mulmod with the loop-invariant reductions hoisted. It
+// exists as the reference the batched SignFingerprintsInto is cross-checked
+// and benchmarked against (BenchmarkSignKernel); production paths use the
+// batched kernel.
+func (f *Family) SignScalarInto(fps []uint64, dst Signature) Signature {
 	sig := dst
 	if cap(sig) < f.k {
 		sig = make(Signature, f.k)

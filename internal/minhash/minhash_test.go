@@ -207,3 +207,60 @@ func TestSignMatchesMulmod(t *testing.T) {
 		}
 	}
 }
+
+// TestSignBatchedMatchesScalar cross-checks the batched kernel against the
+// retained scalar reference across fingerprint-count edge cases: empty, a
+// single member, counts around the block size (so both the full-block body
+// and every tail length run), and a set far larger than any block. Random
+// fingerprints cover values at and above the modulus.
+func TestSignBatchedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	families := []*Family{NewFamily(1, 3), NewFamily(96, 7), NewFamily(128, 1)}
+	counts := []int{0, 1, 2, signBlock - 1, signBlock, signBlock + 1,
+		3*signBlock - 2, 8 * signBlock, 1000, 4097}
+	for _, f := range families {
+		for _, n := range counts {
+			fps := make([]uint64, 0, n+5)
+			for i := 0; i < n; i++ {
+				fps = append(fps, rng.Uint64())
+			}
+			if n > 0 {
+				// Pin the modulus edge values into every non-empty case.
+				fps[0] = 0
+				fps = append(fps[:n-1], mersennePrime-1, mersennePrime, mersennePrime+1, ^uint64(0))
+			}
+			got := f.SignFingerprintsInto(fps, nil)
+			want := f.SignScalarInto(fps, nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d n=%d component %d: batched %d != scalar %d",
+						f.k, len(fps), i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSignKernel compares the batched signing kernel against the
+// retained scalar reference over a lake-typical domain (the root-package
+// BenchmarkSignKernel feeds the same comparison into BENCH_<PR>.json).
+func BenchmarkSignKernel(b *testing.B) {
+	f := NewFamily(128, 1)
+	rng := rand.New(rand.NewSource(9))
+	fps := make([]uint64, 512)
+	for i := range fps {
+		fps[i] = rng.Uint64()
+	}
+	var sink Signature
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = f.SignFingerprintsInto(fps, sink)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = f.SignScalarInto(fps, sink)
+		}
+	})
+	_ = sink
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/difftest"
 	"repro/internal/lake"
+	"repro/internal/sketch"
 	"repro/internal/table"
 )
 
@@ -117,10 +118,22 @@ func runCrashSchedule(fsys FS, pool []*table.Table, initial int, steps []crashSt
 	return acked, issued
 }
 
-// TestCrashMatrix is the fault-injection matrix described above.
+// TestCrashMatrix is the fault-injection matrix described above, run once
+// per sketch engine: the 1.1 engine record rides in every snapshot the
+// matrix writes, so both engines' sketches cross crash/recovery under every
+// injected fault.
 func TestCrashMatrix(t *testing.T) {
+	for _, eng := range []sketch.Engine{sketch.MinHash, sketch.KMV} {
+		t.Run(string(eng), func(t *testing.T) {
+			lopts := lake.Options{Knowledge: difftest.DiffKB()}
+			lopts.LSH.Engine = eng
+			runCrashMatrix(t, lopts)
+		})
+	}
+}
+
+func runCrashMatrix(t *testing.T, lopts lake.Options) {
 	pool, initial, steps := crashSchedule()
-	lopts := lake.Options{Knowledge: difftest.DiffKB()}
 	states := crashStates(pool, initial, steps)
 	queries := []*table.Table{pool[0], pool[4], pool[7]}
 

@@ -1,0 +1,246 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/lake"
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// These tests pin the 1.1 sketch-engine evolution of the snapshot format:
+// the domains section opens with an (engine, size, seed) record, 1.0 files
+// legacy-decode as MinHash, minors newer than this build are refused, and
+// engine-record inconsistencies are refusals — intact-checksum errors that
+// must NOT be tagged ErrCorrupt, so recovery never "fixes" them by falling
+// back to an older snapshot generation.
+
+// engineTestImage builds a small lake under the given engine and returns
+// its encoded snapshot plus the source lake.
+func engineTestImage(t *testing.T, eng sketch.Engine) ([]byte, *lake.Lake) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	pool := make([]*table.Table, 6)
+	for i := range pool {
+		pool[i] = difftest.DiffTable(rng, fmt.Sprintf("e%02d", i))
+	}
+	opts := lake.Options{Knowledge: difftest.DiffKB()}
+	opts.LSH.Engine = eng
+	l, err := lake.New(pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := l.Export()
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	return encodeSnapshot(st, 3), l
+}
+
+// patchHeader mutates the snapshot header in place (first 28 bytes) and
+// re-seals its checksum.
+func patchHeader(img []byte, mutate func(h []byte)) {
+	mutate(img[:snapHeaderLen-4])
+	crc := crc32.Checksum(img[:snapHeaderLen-4], castagnoli)
+	for i := 0; i < 4; i++ {
+		img[snapHeaderLen-4+i] = byte(crc >> (8 * i))
+	}
+}
+
+// rewriteSection rebuilds the image with section id's payload replaced by
+// rewrite(old payload), re-framing lengths and checksums.
+func rewriteSection(t *testing.T, img []byte, id uint32, rewrite func([]byte) []byte) []byte {
+	t.Helper()
+	out := append([]byte(nil), img[:snapHeaderLen]...)
+	rest := img[snapHeaderLen:]
+	found := false
+	for len(rest) > 0 {
+		sd := &dec{b: rest}
+		sid := sd.u32()
+		plen := sd.u64()
+		payload := rest[12 : 12+plen]
+		if sid == id {
+			payload = rewrite(append([]byte(nil), payload...))
+			found = true
+		}
+		var e enc
+		e.u32(sid)
+		e.u64(uint64(len(payload)))
+		e.b = append(e.b, payload...)
+		e.u32(crc32.Checksum(e.b, castagnoli))
+		out = append(out, e.b...)
+		rest = rest[12+plen+4:]
+	}
+	if !found {
+		t.Fatalf("section id %d not found in image", id)
+	}
+	return out
+}
+
+// engineRecord splits a 1.1 domains payload into its engine record fields
+// and the remainder of the payload.
+func engineRecord(t *testing.T, payload []byte) (eng string, size uint64, seed int64, rest []byte) {
+	t.Helper()
+	d := &dec{b: payload}
+	eng = d.str()
+	size = d.uvarint()
+	seed = d.varint()
+	if err := d.err; err != nil {
+		t.Fatalf("domains payload prefix: %v", err)
+	}
+	return eng, size, seed, payload[d.off:]
+}
+
+func TestSnapshotRoundTripKMVEngine(t *testing.T) {
+	img, l := engineTestImage(t, sketch.KMV)
+	st, _, err := decodeSnapshot("snap", img)
+	if err != nil {
+		t.Fatalf("decodeSnapshot: %v", err)
+	}
+	if st.LSH.Engine != sketch.KMV {
+		t.Fatalf("decoded engine %q, want kmv", st.LSH.Engine)
+	}
+	r, err := lake.Restore(st)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if r.SketchEngine() != sketch.KMV {
+		t.Fatalf("restored engine %q, want kmv", r.SketchEngine())
+	}
+	queries := l.Tables()[:3]
+	if got, want := difftest.LakeSig(r, queries), difftest.LakeSig(l, queries); got != want {
+		t.Fatalf("restored KMV lake diverged from original\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotNewerMinorRefused: a minor version beyond this build's is a
+// VersionError refusal — additive evolution is never guessed at backward.
+func TestSnapshotNewerMinorRefused(t *testing.T) {
+	img, _ := engineTestImage(t, sketch.MinHash)
+	patchHeader(img, func(h []byte) {
+		h[10] = FormatMinor + 1
+		h[11] = 0
+	})
+	_, _, err := decodeSnapshot("snap", img)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("decode = %v, want VersionError", err)
+	}
+	if ve.Major != FormatMajor || ve.Minor != FormatMinor+1 {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("version refusal must not be tagged ErrCorrupt")
+	}
+}
+
+// TestSnapshotLegacyMinorZero: a 1.0 file — no engine record in the domains
+// section — decodes as the MinHash engine and restores normally.
+func TestSnapshotLegacyMinorZero(t *testing.T) {
+	img, l := engineTestImage(t, sketch.MinHash)
+	legacy := rewriteSection(t, img, secDomains, func(payload []byte) []byte {
+		_, _, _, rest := engineRecord(t, payload)
+		return rest
+	})
+	patchHeader(legacy, func(h []byte) { h[10], h[11] = 0, 0 })
+	st, _, err := decodeSnapshot("snap", legacy)
+	if err != nil {
+		t.Fatalf("decode 1.0 image: %v", err)
+	}
+	if st.LSH.Engine != sketch.MinHash {
+		t.Fatalf("legacy engine %q, want minhash", st.LSH.Engine)
+	}
+	r, err := lake.Restore(st)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	queries := l.Tables()[:3]
+	if got, want := difftest.LakeSig(r, queries), difftest.LakeSig(l, queries); got != want {
+		t.Fatalf("legacy-decoded lake diverged from original\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotUnknownEngineRefused: an engine name this build does not
+// implement is a refusal distinct from corruption — checksums are intact, so
+// generation fallback must not engage.
+func TestSnapshotUnknownEngineRefused(t *testing.T) {
+	img, _ := engineTestImage(t, sketch.KMV)
+	bad := rewriteSection(t, img, secDomains, func(payload []byte) []byte {
+		_, size, seed, rest := engineRecord(t, payload)
+		var e enc
+		e.str("hll")
+		e.uvarint(size)
+		e.varint(seed)
+		return append(e.b, rest...)
+	})
+	_, _, err := decodeSnapshot("snap", bad)
+	if err == nil {
+		t.Fatal("unknown engine must be refused")
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown-engine refusal tagged ErrCorrupt: %v", err)
+	}
+	var ve *VersionError
+	if errors.As(err, &ve) {
+		t.Fatalf("unknown-engine refusal reported as VersionError: %v", err)
+	}
+}
+
+// TestSnapshotEngineParamMismatchRefused: the domains-section size/seed must
+// agree with the meta section; disagreement is a refusal, not a corruption.
+func TestSnapshotEngineParamMismatchRefused(t *testing.T) {
+	img, _ := engineTestImage(t, sketch.MinHash)
+	bad := rewriteSection(t, img, secDomains, func(payload []byte) []byte {
+		eng, size, seed, rest := engineRecord(t, payload)
+		var e enc
+		e.str(eng)
+		e.uvarint(size + 1)
+		e.varint(seed)
+		return append(e.b, rest...)
+	})
+	_, _, err := decodeSnapshot("snap", bad)
+	if err == nil {
+		t.Fatal("size mismatch between sections must be refused")
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("param-mismatch refusal tagged ErrCorrupt: %v", err)
+	}
+}
+
+// TestStoreKMVEndToEnd drives a durable KMV lake through mutations, a
+// snapshot and a reopen: the recovered lake must stay on the KMV engine and
+// answer discovery byte-identically to a fresh KMV build over the surviving
+// tables.
+func TestStoreKMVEndToEnd(t *testing.T) {
+	pool, lopts := newStorePool(67, 8)
+	lopts.LSH.Engine = sketch.KMV
+	fsys := NewMemFS()
+	s := mustCreate(t, fsys, pool[:5], lopts, Options{SnapshotEvery: -1})
+	if err := s.Add(pool[5], pool[6]); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := s.Remove(pool[1].Name); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := Open(testDir, Options{FS: fsys, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if got := r.Lake().SketchEngine(); got != sketch.KMV {
+		t.Fatalf("reopened engine %q, want kmv", got)
+	}
+	surviving := []*table.Table{pool[0], pool[2], pool[3], pool[4], pool[5], pool[6]}
+	expectLake(t, "kmv reopen", r.Lake(), surviving, lopts, []*table.Table{pool[0], pool[6], pool[7]})
+}

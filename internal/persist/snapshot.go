@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/lake"
 	"repro/internal/par"
+	"repro/internal/sketch"
 	"repro/internal/table"
 )
 
@@ -31,16 +32,26 @@ import (
 // name what it damaged; the header checksum rejects torn or foreign files
 // before any section is trusted. Unknown section IDs are skipped (minor
 // versions may add sections); a major version bump means the layout is not
-// decodable and readSnapshot refuses with a VersionError.
+// decodable and readSnapshot refuses with a VersionError, as does a minor
+// version newer than this build writes — additive evolution is readable
+// forward (old files under new builds), never guessed at backward.
+//
+// Format history:
+//
+//	1.0  initial durable format; domains carry MinHash signatures.
+//	1.1  the domains section opens with a sketch-engine record
+//	     (engine name, sketch size, seed); 1.0 files decode as the
+//	     "minhash" engine.
 
 const (
 	snapMagic = "DLSNAP\x00\x01"
 	walMagic  = "DLWAL\x00\x00\x01"
 
 	// FormatMajor changes when the layout becomes incompatible; readers
-	// refuse other majors. FormatMinor changes on additive evolution.
+	// refuse other majors. FormatMinor changes on additive evolution;
+	// readers accept older minors and refuse newer ones.
 	FormatMajor = 1
-	FormatMinor = 0
+	FormatMinor = 1
 
 	snapHeaderLen = 32
 )
@@ -52,7 +63,7 @@ const (
 	secDict    = 3 // value dictionary, ID order
 	secTokens  = 4 // token dictionary, ID order
 	secCatalog = 5 // tables (exact cells via the batch value pool)
-	secDomains = 6 // extracted domains: token IDs + MinHash signatures
+	secDomains = 6 // sketch-engine record (since 1.1) + domains: token IDs + sketches
 	secSantos  = 7 // SANTOS semantic graphs over compiled KB IDs
 )
 
@@ -68,16 +79,17 @@ func corruptf(format string, args ...any) error {
 }
 
 // VersionError reports a snapshot or WAL written by an incompatible format
-// major version. It is a refusal, not a corruption: the bytes are intact
-// but this build cannot interpret them.
+// version: a different major, or a minor newer than this build writes. It
+// is a refusal, not a corruption: the bytes are intact but this build
+// cannot (or will not guess how to) interpret them.
 type VersionError struct {
 	File         string
 	Major, Minor uint16
 }
 
 func (e *VersionError) Error() string {
-	return fmt.Sprintf("persist: %s: format version %d.%d not supported (this build reads major %d); upgrade or rebuild the lake directory",
-		e.File, e.Major, e.Minor, FormatMajor)
+	return fmt.Sprintf("persist: %s: format version %d.%d not supported (this build reads %d.0 through %d.%d); upgrade or rebuild the lake directory",
+		e.File, e.Major, e.Minor, FormatMajor, FormatMajor, FormatMinor)
 }
 
 // snapName formats the snapshot file name for a sequence number. The fixed
@@ -129,7 +141,22 @@ func encodeSnapshot(st lake.State, seq uint64) []byte {
 		}
 	})
 	section(secCatalog, func(e *enc) { e.tables(st.Tables, st.DictVals) })
-	section(secDomains, func(e *enc) { e.domains(st.Domains) })
+	section(secDomains, func(e *enc) {
+		// Since 1.1 the domains section opens with the sketch-engine record:
+		// the engine the persisted sketches were signed under plus the size
+		// and seed they are only meaningful with. Size and seed repeat the
+		// meta section on purpose — the decoder cross-checks them, so a
+		// snapshot whose sections disagree is refused rather than restored
+		// into an index that would silently mis-estimate.
+		eng := st.LSH.Engine
+		if eng == "" {
+			eng = sketch.MinHash
+		}
+		e.str(string(eng))
+		e.uvarint(uint64(st.LSH.NumHashes))
+		e.varint(st.LSH.Seed)
+		e.domains(st.Domains)
+	})
 	section(secSantos, func(e *enc) { e.santosStates(st.Santos) })
 
 	var h enc
@@ -168,7 +195,7 @@ func decodeSnapshot(file string, b []byte) (lake.State, uint64, error) {
 	if h.err != nil {
 		return st, 0, fmt.Errorf("%w (%s)", ErrCorrupt, h.err)
 	}
-	if major != FormatMajor {
+	if major != FormatMajor || minor > FormatMinor {
 		return st, 0, &VersionError{File: file, Major: major, Minor: minor}
 	}
 	// Frame pass: verify every section frame and checksum sequentially (CRC
@@ -208,6 +235,11 @@ func decodeSnapshot(file string, b []byte) (lake.State, uint64, error) {
 		id     uint32
 		decode func(d *dec)
 	}
+	var (
+		domEngine sketch.Engine
+		domSize   int
+		domSeed   int64
+	)
 	decodeOne := func(s section) error {
 		body, ok := bodies[s.id]
 		if !ok {
@@ -246,7 +278,18 @@ func decodeSnapshot(file string, b []byte) (lake.State, uint64, error) {
 			}
 		}},
 		{secCatalog, func(d *dec) { st.Tables = d.tables(st.DictVals) }},
-		{secDomains, func(d *dec) { st.Domains = d.domains() }},
+		{secDomains, func(d *dec) {
+			if minor >= 1 {
+				domEngine = sketch.Engine(d.str())
+				domSize = int(d.uvarint())
+				domSeed = d.varint()
+			} else {
+				// 1.0 files predate the engine record; their sketches are
+				// MinHash signatures by definition.
+				domEngine = sketch.MinHash
+			}
+			st.Domains = d.domains()
+		}},
 		{secSantos, func(d *dec) { st.Santos = d.santosStates() }},
 	}
 	secErrs := make([]error, len(sections))
@@ -262,6 +305,19 @@ func decodeSnapshot(file string, b []byte) (lake.State, uint64, error) {
 		if !seen[id] {
 			return st, 0, corruptf("%s: missing section id %d", file, id)
 		}
+	}
+	// Sketch-engine refusals, cross-checked after both sections decoded (meta
+	// and domains run concurrently above). These are deliberately NOT tagged
+	// ErrCorrupt: the bytes are intact and every checksum passed, so falling
+	// back to an older snapshot generation would not help — the file is
+	// refused, never guessed at.
+	if !sketch.Known(domEngine) {
+		return st, 0, fmt.Errorf("persist: %s: snapshot sketch engine %q is not implemented by this build; upgrade or rebuild the lake directory", file, domEngine)
+	}
+	st.LSH.Engine = domEngine
+	if minor >= 1 && (domSize != st.LSH.NumHashes || domSeed != st.LSH.Seed) {
+		return st, 0, fmt.Errorf("persist: %s: domains section sketch params (size %d, seed %d) disagree with meta section (size %d, seed %d)",
+			file, domSize, domSeed, st.LSH.NumHashes, st.LSH.Seed)
 	}
 	return st, seq, nil
 }

@@ -132,7 +132,7 @@ func decodeWAL(b []byte) (recs []walRecord, validLen int, err error) {
 	if !magicOK || !crcOK {
 		return nil, 0, nil
 	}
-	if major != FormatMajor {
+	if major != FormatMajor || minor > FormatMinor {
 		return nil, 0, &VersionError{File: walFile, Major: major, Minor: minor}
 	}
 	off := walHeaderLen

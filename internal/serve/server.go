@@ -130,9 +130,13 @@ func (s *Server) p() *core.Pipeline { return s.pipe.Load() }
 // the lake is persisted; ReplayInProgress is true while the server is up
 // but the pipeline is still recovering (warming restarts).
 type HealthResponse struct {
-	Status           string          `json:"status"` // "ok", "warming" or "stopping"
-	ReplayInProgress bool            `json:"replay_in_progress"`
-	Persistence      *persist.Status `json:"persistence,omitempty"`
+	Status           string `json:"status"` // "ok", "warming" or "stopping"
+	ReplayInProgress bool   `json:"replay_in_progress"`
+	// SketchEngine is the containment index's sketch engine ("minhash" or
+	// "kmv"), present once the lake is attached — for a recovered lake it is
+	// whatever the snapshot recorded, not what any flag said.
+	SketchEngine string          `json:"sketch_engine,omitempty"`
+	Persistence  *persist.Status `json:"persistence,omitempty"`
 }
 
 // healthz reports liveness plus the durability state: during a warm
@@ -147,6 +151,9 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		resp.ReplayInProgress = true
 	case s.closing.Load():
 		resp.Status = "stopping"
+	}
+	if p := s.p(); p != nil {
+		resp.SketchEngine = string(p.Lake().SketchEngine())
 	}
 	if st := s.store.Load(); st != nil {
 		status := st.Status()

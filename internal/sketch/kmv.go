@@ -1,0 +1,168 @@
+package sketch
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// kmvBuilder implements KMV (k-minimum-values) bottom-k sketches: the sketch
+// of a set is the Size smallest distinct remixed fingerprints, sorted
+// ascending. Signing is one multiply per member plus a sort — no
+// per-permutation pass — which is what makes KMV the fast-signing engine.
+// The price is query-time candidate generation: KMV sketches are not
+// coordinate-aligned, so they cannot be banded; the ensemble scans them
+// linearly (see lshensemble.query).
+type kmvBuilder struct {
+	size     int
+	mul, xor uint64
+	// scratch pools the remix-and-sort buffer so signing large domains does
+	// not allocate per call on the query path.
+	scratch sync.Pool
+}
+
+func newKMVBuilder(size int, seed int64) *kmvBuilder {
+	b := &kmvBuilder{size: size}
+	b.mul, b.xor = seededMixer(seed)
+	b.scratch.New = func() any {
+		s := make([]uint64, 0, 4*size)
+		return &s
+	}
+	return b
+}
+
+func (b *kmvBuilder) Engine() Engine { return KMV }
+func (b *kmvBuilder) Size() int      { return b.size }
+
+// remix maps a fingerprint through the seeded bijection (xor then odd
+// multiply), so the "k smallest" order is seed-dependent and uncorrelated
+// with the raw FNV values, exactly as a MinHash family's order is.
+func (b *kmvBuilder) remix(fp uint64) uint64 { return (fp ^ b.xor) * b.mul }
+
+func (b *kmvBuilder) SignInto(fps []uint64, dst Sketch) Sketch {
+	if cap(dst) < b.size {
+		dst = make(Sketch, 0, b.size)
+	}
+	dst = dst[:0]
+	if len(fps) == 0 {
+		return dst
+	}
+	bufp := b.scratch.Get().(*[]uint64)
+	buf := (*bufp)[:0]
+	for _, fp := range fps {
+		buf = append(buf, b.remix(fp))
+	}
+	slices.Sort(buf)
+	// Bottom-k distinct: sorted dedupe, truncated at capacity. The result
+	// depends only on the distinct multiset, so duplicates and input order
+	// are irrelevant by construction.
+	var prev uint64
+	for i, v := range buf {
+		if i > 0 && v == prev {
+			continue
+		}
+		dst = append(dst, v)
+		prev = v
+		if len(dst) == b.size {
+			break
+		}
+	}
+	*bufp = buf
+	b.scratch.Put(bufp)
+	return dst
+}
+
+// Containment estimates |Q∩X|/|Q|. The merge walks the two sorted sketches
+// over the value range both observed: an unsaturated sketch (fewer than Size
+// values) is its set's complete remixed image and observes everything, a
+// saturated one observes only values up to its largest. Within that range
+// membership tests are exact, so matches/union is the KMV Jaccard estimate;
+// the exact set sizes then give I = J(q+x)/(1+J) and containment I/q. When
+// both sketches are unsaturated the same walk degenerates to the exact
+// intersection count and the estimate is exact.
+func (b *kmvBuilder) Containment(q, x Sketch, qSize, xSize int) float64 {
+	if qSize <= 0 || len(q) == 0 || len(x) == 0 {
+		return 0
+	}
+	tau := ^uint64(0)
+	if len(q) == b.size && q[len(q)-1] < tau {
+		tau = q[len(q)-1]
+	}
+	if len(x) == b.size && x[len(x)-1] < tau {
+		tau = x[len(x)-1]
+	}
+	matches, union := 0, 0
+	i, j := 0, 0
+	for i < len(q) || j < len(x) {
+		var v uint64
+		both := false
+		switch {
+		case j >= len(x) || (i < len(q) && q[i] < x[j]):
+			v = q[i]
+			i++
+		case i >= len(q) || x[j] < q[i]:
+			v = x[j]
+			j++
+		default:
+			v = q[i]
+			both = true
+			i++
+			j++
+		}
+		if v > tau {
+			break
+		}
+		union++
+		if both {
+			matches++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	if len(q) < b.size && len(x) < b.size {
+		return clamp01(float64(matches) / float64(qSize))
+	}
+	jac := float64(matches) / float64(union)
+	inter := jac * float64(qSize+xSize) / (1 + jac)
+	return clamp01(inter / float64(qSize))
+}
+
+// Merge is a sorted-dedupe merge truncated at capacity. Because every value
+// of bottom-k(A ∪ B) is among the k smallest of the set that contains it —
+// and therefore present in that set's sketch — the merge of two sketches
+// equals the sketch of the union exactly.
+func (b *kmvBuilder) Merge(a, x Sketch, dst Sketch) Sketch {
+	if cap(dst) < b.size {
+		dst = make(Sketch, 0, b.size)
+	}
+	dst = dst[:0]
+	i, j := 0, 0
+	for len(dst) < b.size && (i < len(a) || j < len(x)) {
+		switch {
+		case j >= len(x) || (i < len(a) && a[i] < x[j]):
+			dst = append(dst, a[i])
+			i++
+		case i >= len(a) || x[j] < a[i]:
+			dst = append(dst, x[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+func (b *kmvBuilder) Validate(s Sketch) error {
+	if len(s) > b.size {
+		return fmt.Errorf("sketch: kmv sketch has %d words, capacity is %d", len(s), b.size)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return fmt.Errorf("sketch: kmv sketch not strictly ascending at word %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/minhash"
+)
+
+func mustBuilder(t *testing.T, p Params) Builder {
+	t.Helper()
+	b, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func fpsOf(n, offset int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = minhash.Fingerprint(fmt.Sprintf("member-%d", i+offset))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{Engine: "hll", Size: 64}); err == nil {
+		t.Error("unknown engine must be rejected")
+	}
+	if _, err := New(Params{Engine: KMV, Size: 0}); err == nil {
+		t.Error("non-positive size must be rejected")
+	}
+	b := mustBuilder(t, Params{Size: 32, Seed: 1})
+	if b.Engine() != MinHash {
+		t.Errorf("empty engine resolved to %q, want minhash", b.Engine())
+	}
+	if !Known("") || !Known(MinHash) || !Known(KMV) || Known("hll") {
+		t.Error("Known misclassifies an engine")
+	}
+}
+
+// TestMinHashBuilderMatchesFamily pins the adapter to the minhash package:
+// same size, same seed, bit-identical sketches.
+func TestMinHashBuilderMatchesFamily(t *testing.T) {
+	b := mustBuilder(t, Params{Engine: MinHash, Size: 96, Seed: 7})
+	fam := minhash.NewFamily(96, 7)
+	fps := fpsOf(150, 3)
+	got := b.SignInto(fps, nil)
+	want := fam.SignFingerprints(fps)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("component %d: builder %d != family %d", i, got[i], want[i])
+		}
+	}
+	if err := b.Validate(got); err != nil {
+		t.Errorf("own sketch invalid: %v", err)
+	}
+	if err := b.Validate(got[:10]); err == nil {
+		t.Error("short minhash sketch must be invalid")
+	}
+}
+
+// TestKMVDuplicateInsensitive: the sketch of a multiset equals the sketch of
+// its distinct set, and input order is irrelevant.
+func TestKMVDuplicateInsensitive(t *testing.T) {
+	b := mustBuilder(t, Params{Engine: KMV, Size: 16, Seed: 5})
+	base := fpsOf(60, 0)
+	dup := append(append([]uint64(nil), base...), base...) // every member twice
+	rng := rand.New(rand.NewSource(2))
+	rng.Shuffle(len(dup), func(i, j int) { dup[i], dup[j] = dup[j], dup[i] })
+	a, c := b.SignInto(base, nil), b.SignInto(dup, nil)
+	if len(a) != len(c) {
+		t.Fatalf("sketch lengths differ: %d vs %d", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("word %d differs under duplication/shuffle", i)
+		}
+	}
+	if err := b.Validate(a); err != nil {
+		t.Errorf("own sketch invalid: %v", err)
+	}
+}
+
+// TestKMVContainmentRange: estimates stay in [0,1] across random set pairs
+// of wildly different sizes, including saturated and unsaturated sketches.
+func TestKMVContainmentRange(t *testing.T) {
+	for _, eng := range []Engine{MinHash, KMV} {
+		b := mustBuilder(t, Params{Engine: eng, Size: 32, Seed: 11})
+		rng := rand.New(rand.NewSource(13))
+		for trial := 0; trial < 200; trial++ {
+			qn, xn := 1+rng.Intn(200), 1+rng.Intn(200)
+			off := rng.Intn(100)
+			q := b.SignInto(fpsOf(qn, 0), nil)
+			x := b.SignInto(fpsOf(xn, off), nil)
+			c := b.Containment(q, x, qn, xn)
+			if c < 0 || c > 1 {
+				t.Fatalf("%s: containment %v out of range (|Q|=%d |X|=%d off=%d)", eng, c, qn, xn, off)
+			}
+		}
+		if c := b.Containment(nil, nil, 10, 10); c != 0 {
+			t.Errorf("%s: empty sketches estimate %v, want 0", eng, c)
+		}
+	}
+}
+
+// TestKMVContainmentExactWhenUnsaturated: below the bottom-k capacity a KMV
+// sketch is the complete remixed set, so the estimate is the exact
+// containment — and therefore exactly monotone in the true intersection.
+func TestKMVContainmentExactWhenUnsaturated(t *testing.T) {
+	b := mustBuilder(t, Params{Engine: KMV, Size: 256, Seed: 3})
+	q := fpsOf(40, 0)
+	qs := b.SignInto(q, nil)
+	for overlap := 0; overlap <= 40; overlap += 5 {
+		x := fpsOf(50, 40-overlap) // shares exactly `overlap` members with q
+		c := b.Containment(qs, b.SignInto(x, nil), 40, 50)
+		want := float64(overlap) / 40
+		if c != want {
+			t.Fatalf("overlap %d: estimate %v, want exactly %v", overlap, c, want)
+		}
+	}
+}
+
+// TestKMVContainmentMonotone: growing the indexed set by a superset never
+// decreases the containment estimate of a fixed query (checked exactly in
+// the unsaturated regime, and within estimator noise when saturated).
+func TestKMVContainmentMonotone(t *testing.T) {
+	b := mustBuilder(t, Params{Engine: KMV, Size: 128, Seed: 9})
+	qn := 80
+	q := b.SignInto(fpsOf(qn, 0), nil)
+	prev := -1.0
+	for _, xn := range []int{10, 20, 40, 60, 80} {
+		// X = first xn members of Q: containment xn/qn, strictly growing.
+		c := b.Containment(q, b.SignInto(fpsOf(xn, 0), nil), qn, xn)
+		if c < prev {
+			t.Fatalf("|X|=%d: estimate %v dropped below %v", xn, c, prev)
+		}
+		prev = c
+	}
+	// Saturated regime: a large superset must estimate within the KMV error
+	// bound of the true containment 1 (the error grows with |X|/|Q| — the
+	// skew the lshensemble accuracy harness tracks).
+	big := b.Containment(q, b.SignInto(fpsOf(300, 0), nil), qn, 300)
+	if big < 0.75 {
+		t.Errorf("superset containment estimate %v, want near 1", big)
+	}
+}
+
+// TestMergeIsUnionSketch pins the merge law for both engines:
+// Merge(Sign(A), Sign(B)) == Sign(A ∪ B), bit for bit.
+func TestMergeIsUnionSketch(t *testing.T) {
+	for _, eng := range []Engine{MinHash, KMV} {
+		b := mustBuilder(t, Params{Engine: eng, Size: 48, Seed: 21})
+		a := fpsOf(120, 0)
+		c := fpsOf(90, 70) // overlaps a on [70,120)
+		union := append(append([]uint64(nil), a...), c...)
+		got := b.Merge(b.SignInto(a, nil), b.SignInto(c, nil), nil)
+		want := b.SignInto(union, nil)
+		if len(got) != len(want) {
+			t.Fatalf("%s: merge length %d, union sketch length %d", eng, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: word %d: merge %d != union %d", eng, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKMVValidate(t *testing.T) {
+	b := mustBuilder(t, Params{Engine: KMV, Size: 4, Seed: 1})
+	if err := b.Validate(Sketch{}); err != nil {
+		t.Errorf("empty kmv sketch must be valid: %v", err)
+	}
+	if err := b.Validate(Sketch{1, 2, 3, 4, 5}); err == nil {
+		t.Error("over-capacity sketch must be invalid")
+	}
+	if err := b.Validate(Sketch{3, 2}); err == nil {
+		t.Error("descending sketch must be invalid")
+	}
+	if err := b.Validate(Sketch{2, 2}); err == nil {
+		t.Error("duplicate values must be invalid")
+	}
+}

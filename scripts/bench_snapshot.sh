@@ -14,6 +14,8 @@
 #   {"name": "BenchmarkFig1Pipeline", "iterations": 4897,
 #    "ns_per_op": 217861, "bytes_per_op": 111525, "allocs_per_op": 1791}
 # B/op and allocs/op fields are omitted when -benchmem reports none.
+# Custom b.ReportMetric units (e.g. "f1", "lsh-ns/op", "cancel-ns/op") are
+# captured too, with the unit sanitized into a JSON key ("lsh_ns_per_op").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,9 +31,16 @@ go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . |
 		sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
 		entry = sprintf("{\"name\": \"%s\", \"iterations\": %s", name, $2)
 		for (i = 3; i < NF; i++) {
-			if ($(i+1) == "ns/op")     entry = entry sprintf(", \"ns_per_op\": %s", $i)
-			if ($(i+1) == "B/op")      entry = entry sprintf(", \"bytes_per_op\": %s", $i)
-			if ($(i+1) == "allocs/op") entry = entry sprintf(", \"allocs_per_op\": %s", $i)
+			u = $(i+1)
+			if (u == "ns/op")          entry = entry sprintf(", \"ns_per_op\": %s", $i)
+			else if (u == "B/op")      entry = entry sprintf(", \"bytes_per_op\": %s", $i)
+			else if (u == "allocs/op") entry = entry sprintf(", \"allocs_per_op\": %s", $i)
+			else if ($i ~ /^[0-9.]+$/ && u ~ /^[A-Za-z][A-Za-z0-9_\/-]*$/) {
+				key = u
+				gsub(/\/op$/, "_per_op", key)
+				gsub(/[\/-]/, "_", key)
+				entry = entry sprintf(", \"%s\": %s", key, $i)
+			}
 		}
 		entries[n++] = entry "}"
 	}
