@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	dialite serve     -lake DIR [-persist DIR] [-addr :8080] [-timeout 30s] [-sketch minhash|kmv]
+//	dialite serve     -lake DIR [-persist DIR] [-addr :8080] [-timeout 30s] [-max-inflight N] [-max-queue-wait 1s] [-max-body-bytes N] [-sketch minhash|kmv]
 //	dialite snapshot  -persist DIR [-lake DIR] [-sketch minhash|kmv]
+//	dialite loadtest  -url http://HOST:PORT [-qps N] [-duration 2s] [-saturate]
 //	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K] [-grow DIR] [-drop t1,t2] [-sketch minhash|kmv]
 //	dialite integrate -lake DIR -tables a,b,c [-op alite-fd|outer-join|inner-join|union] [-prov]
 //	dialite pipeline  -lake DIR -query Q.csv -col N [-op OP] [-prov] [-sketch minhash|kmv]
@@ -19,19 +20,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/analyze"
 	"repro/internal/core"
 	"repro/internal/er"
 	"repro/internal/kb"
+	"repro/internal/loadharness"
 	"repro/internal/persist"
 	"repro/internal/serve"
 	"repro/internal/sketch"
@@ -66,6 +72,8 @@ func main() {
 		err = cmdServe(ctx, os.Args[2:])
 	case "snapshot":
 		err = cmdSnapshot(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(ctx, os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -85,6 +93,7 @@ func usage() {
 commands:
   serve      serve the pipeline over HTTP (JSON endpoints, mutable lake)
   snapshot   compact a durable lake directory: fold the WAL into a snapshot
+  loadtest   drive a running server with load and report QPS + p50/p99
   discover   find unionable/joinable tables for a query table
   integrate  align and integrate a set of lake tables
   pipeline   discover then integrate, end to end
@@ -153,14 +162,20 @@ func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	lakeDir := fs.String("lake", "", "directory of lake CSVs")
 	addr := fs.String("addr", ":8080", "listen address")
-	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request timeout (0 uses the default, negative disables)")
+	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request timeout (must be positive)")
 	synthKB := fs.Bool("synth", false, "synthesize a KB from the lake")
 	persistDir := fs.String("persist", "", "durable lake directory (snapshot + WAL); created from -lake when new, recovered otherwise")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing compute requests (0 picks 4x GOMAXPROCS; negative disables the cap)")
+	maxQueueWait := fs.Duration("max-queue-wait", 0, "max time an at-capacity request may queue before shedding with 429 (0 picks the default; negative disables queueing)")
+	maxBodyBytes := fs.Int64("max-body-bytes", 0, "max request body size in bytes (0 picks the 32 MiB default)")
 	engine := sketchFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := serve.Config{Timeout: *timeout}
+	if err := validateServeFlags(*addr, *timeout, *maxBodyBytes, *lakeDir, *persistDir); err != nil {
+		return err
+	}
+	cfg := serve.Config{Timeout: *timeout, MaxBodyBytes: *maxBodyBytes, MaxInflight: *maxInflight, MaxQueueWait: *maxQueueWait}
 	if *persistDir == "" {
 		p, err := newPipeline(*lakeDir, *synthKB, *engine)
 		if err != nil {
@@ -171,7 +186,8 @@ func cmdServe(ctx context.Context, args []string) error {
 		return serve.New(p, cfg).ListenAndServe(ctx, *addr)
 	}
 	if persist.Exists(*persistDir, persist.Options{}) {
-		// Warm restart: the lake lives in the snapshot + WAL, not in -lake.
+		// Warm restart: the lake lives in the snapshot + WAL, not in -lake
+		// (validateServeFlags already refused a conflicting -lake).
 		// Listen immediately and recover in the background; endpoints answer
 		// 503 + Retry-After until the replayed lake is attached.
 		if *engine != "" {
@@ -213,6 +229,83 @@ func cmdServe(ctx context.Context, args []string) error {
 	fmt.Fprintf(os.Stderr, "dialite: serving %d-table lake from %s on %s, persisted in %s (request timeout %s)\n",
 		p.Lake().Size(), *lakeDir, *addr, *persistDir, *timeout)
 	return s.ListenAndServe(ctx, *addr)
+}
+
+// validateServeFlags rejects broken serve flags up front with a one-line
+// error — a bad listen address or a nonsensical timeout should fail before
+// the lake is built, not as a late bind error or a silently applied
+// default.
+func validateServeFlags(addr string, timeout time.Duration, maxBodyBytes int64, lakeDir, persistDir string) error {
+	if timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %s (the per-request deadline is what load shedding budgets against)", timeout)
+	}
+	if _, err := net.ResolveTCPAddr("tcp", addr); err != nil {
+		return fmt.Errorf("-addr %q is not a usable listen address: %v", addr, err)
+	}
+	if maxBodyBytes < 0 {
+		return fmt.Errorf("-max-body-bytes must be >= 0, got %d", maxBodyBytes)
+	}
+	if lakeDir == "" && persistDir == "" {
+		return fmt.Errorf("one of -lake (CSV directory) or -persist (durable lake directory) is required")
+	}
+	if lakeDir != "" && persistDir != "" && persist.Exists(persistDir, persist.Options{}) {
+		return fmt.Errorf("-lake %s conflicts with existing -persist %s: the durable directory already records the lake; drop -lake or point -persist at a new directory", lakeDir, persistDir)
+	}
+	return nil
+}
+
+// cmdLoadtest drives a running dialite server (see internal/loadharness):
+// a fixed-rate or closed-loop run by default, or -saturate to step the
+// rate upward until the server stops keeping up. The measurement is
+// printed as JSON on stdout.
+func cmdLoadtest(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of a running dialite serve")
+	qps := fs.Float64("qps", 100, "paced arrival rate; 0 drives closed-loop instead")
+	workers := fs.Int("workers", 0, "concurrency (0 picks the mode default)")
+	duration := fs.Duration("duration", 2*time.Second, "drive time (per step with -saturate)")
+	method := fs.String("method", http.MethodGet, "request method")
+	path := fs.String("path", "/v1/lake", "request path")
+	body := fs.String("body", "", "inline JSON request body for POST endpoints")
+	saturate := fs.Bool("saturate", false, "step the rate upward to find max sustainable QPS")
+	startQPS := fs.Float64("start-qps", 50, "first step rate with -saturate")
+	steps := fs.Int("steps", 8, "max steps with -saturate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %s", *duration)
+	}
+	if *qps < 0 {
+		return fmt.Errorf("-qps must be >= 0, got %g", *qps)
+	}
+	wl := []loadharness.Request{{Method: *method, Path: *path, Body: []byte(*body)}}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if *saturate {
+		res, err := loadharness.Saturate(ctx, nil, *url, wl, loadharness.SaturateOptions{
+			StartQPS: *startQPS, StepDuration: *duration, MaxSteps: *steps,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dialite: max sustainable %.0f qps (p50 %s, p99 %s) over %d steps\n",
+			res.MaxQPS, res.Best.P50, res.Best.P99, len(res.Steps))
+		return enc.Encode(res)
+	}
+	res, err := loadharness.Run(ctx, nil, *url, loadharness.Options{
+		QPS: *qps, Workers: *workers, Duration: *duration, Requests: wl,
+	})
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d requests errored", res.Errors, res.Sent) // scripts gate on a clean run
+	}
+	return nil
 }
 
 // cmdSnapshot maintains a durable lake directory offline. An existing

@@ -212,8 +212,53 @@ func TestCmdDiscoverGrowDrop(t *testing.T) {
 }
 
 func TestCmdServeValidation(t *testing.T) {
+	lakeDir, _ := writeDemoLake(t)
 	if err := cmdServe(context.Background(), []string{}); err == nil {
-		t.Error("missing -lake must error")
+		t.Error("missing -lake and -persist must error")
+	}
+	if err := cmdServe(context.Background(), []string{"-lake", lakeDir, "-timeout", "-5s"}); err == nil {
+		t.Error("negative -timeout must error")
+	}
+	if err := cmdServe(context.Background(), []string{"-lake", lakeDir, "-timeout", "0"}); err == nil {
+		t.Error("zero -timeout must error")
+	}
+	if err := cmdServe(context.Background(), []string{"-lake", lakeDir, "-addr", "not-an-address:nope"}); err == nil {
+		t.Error("bad -addr must error")
+	}
+	if err := cmdServe(context.Background(), []string{"-lake", lakeDir, "-max-body-bytes", "-1"}); err == nil {
+		t.Error("negative -max-body-bytes must error")
+	}
+	// -lake alongside an existing durable directory is a conflict: the
+	// durable directory already records the lake and -lake would be
+	// silently ignored.
+	persistDir := filepath.Join(t.TempDir(), "durable")
+	if err := cmdSnapshot([]string{"-persist", persistDir, "-lake", lakeDir}); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdServe(context.Background(), []string{"-lake", lakeDir, "-persist", persistDir})
+	if err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Errorf("-lake with existing -persist = %v, want conflict error", err)
+	}
+}
+
+// TestCmdLoadtest drives a live server through the loadtest subcommand:
+// a short fixed-rate run against /v1/lake must come back clean, and flag
+// validation must refuse nonsense up front.
+func TestCmdLoadtest(t *testing.T) {
+	lakeDir, _ := writeDemoLake(t)
+	base, _ := startServe(t, []string{"-lake", lakeDir})
+	if err := cmdLoadtest(context.Background(), []string{"-url", base, "-qps", "50", "-duration", "300ms"}); err != nil {
+		t.Fatalf("loadtest against live server: %v", err)
+	}
+	if err := cmdLoadtest(context.Background(), []string{"-url", base, "-duration", "0"}); err == nil {
+		t.Error("zero -duration must error")
+	}
+	if err := cmdLoadtest(context.Background(), []string{"-url", base, "-qps", "-3"}); err == nil {
+		t.Error("negative -qps must error")
+	}
+	// A dead target is errors, not a hang: the command reports the failure.
+	if err := cmdLoadtest(context.Background(), []string{"-url", "http://127.0.0.1:1", "-qps", "10", "-duration", "200ms"}); err == nil {
+		t.Error("unreachable target must error")
 	}
 }
 

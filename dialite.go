@@ -45,6 +45,14 @@
 // mutation (POST /v1/lake/add, /v1/lake/remove, GET /v1/lake), each request
 // running under its own timeout with request-scoped entity resolution (see
 // examples/serve for a round trip).
+//
+// The server is hardened for heavy traffic: bounded per-class admission
+// control sheds excess load with structured 429/503 + Retry-After before
+// any pipeline work runs, request bodies are capped (413), a persist-store
+// write failure degrades to read-only serving rather than cascading, and
+// GET /metrics publishes per-endpoint counters and latency quantiles
+// (Prometheus text, or ?format=json as []MetricsSnapshot). Semantics,
+// tuning flags and the metrics reference are documented in SERVING.md.
 package dialite
 
 import (
@@ -96,10 +104,17 @@ var DefaultMethods = core.DefaultMethods
 type (
 	// Server serves one pipeline over HTTP (see package-level quickstart).
 	Server = serve.Server
-	// ServeConfig tunes the server (per-request timeout, body limit).
+	// ServeConfig tunes the server (per-request timeout, body limit,
+	// admission capacity and queue-wait budget).
 	ServeConfig = serve.Config
 	// TableJSON is the wire form of a table on the serve endpoints.
 	TableJSON = serve.TableJSON
+	// MetricsSnapshot is one endpoint's point-in-time serving metrics — the
+	// element type of Server.MetricsSnapshot and GET /metrics?format=json.
+	MetricsSnapshot = serve.EndpointMetrics
+	// ServerLoad aggregates the per-endpoint counters, as surfaced on
+	// /healthz.
+	ServerLoad = serve.LoadSummary
 )
 
 // NewServer builds an HTTP server over a constructed pipeline. Mount

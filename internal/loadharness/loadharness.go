@@ -1,0 +1,313 @@
+// Package loadharness drives a live dialite server to a target load and
+// measures what came back: achieved QPS, p50/p99/max latency, and the
+// OK/shed/error split. It exists so serving throughput is a tracked number
+// like ns/op — the benchmark publishes max sustainable QPS into
+// BENCH_<PR>.json via scripts/bench_snapshot.sh, and CI runs a fixed
+// low-QPS smoke asserting zero errors and a bounded p99.
+//
+// Two driving modes:
+//
+//   - Paced (Options.QPS > 0): an open-loop arrival process. A pacer emits
+//     ticks at the target rate and a bounded worker pool serves them; when
+//     every worker is busy the tick is dropped and counted (Missed), so a
+//     saturated server shows up as achieved < target rather than as a
+//     coordinated-omission-flattered latency curve.
+//   - Closed-loop (Options.QPS == 0): Workers goroutines issue requests
+//     back-to-back, measuring the server's ceiling under Workers
+//     concurrent clients.
+//
+// Saturate steps a paced run upward until the server stops keeping up
+// (errors, excess shedding, or achieved falling behind target) and reports
+// the last healthy step as the max sustainable QPS.
+package loadharness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request is one workload element; drivers round-robin over the list.
+type Request struct {
+	Method string
+	Path   string // joined to the target base URL
+	Body   []byte // sent as application/json when non-empty
+}
+
+// Options tunes one measurement run.
+type Options struct {
+	// QPS is the paced arrival rate; 0 runs closed-loop instead.
+	QPS float64
+	// Workers is the concurrency: pool size for paced mode (default 64),
+	// client count for closed-loop mode (default 8).
+	Workers int
+	// Duration is how long to drive (default 2s).
+	Duration time.Duration
+	// Requests is the workload, round-robined. Required.
+	Requests []Request
+}
+
+// Result is what one run measured. OK + Shed + Errors == Sent; a paced run
+// additionally reports Missed ticks the worker pool could not serve (they
+// were never sent, so they appear nowhere else).
+type Result struct {
+	TargetQPS   float64       `json:"target_qps"` // 0 for closed-loop
+	AchievedQPS float64       `json:"achieved_qps"`
+	Duration    time.Duration `json:"duration_ns"`
+	Sent        int64         `json:"sent"`
+	OK          int64         `json:"ok"`     // 2xx
+	Shed        int64         `json:"shed"`   // 429 or 503 (admission, warming, degraded)
+	Errors      int64         `json:"errors"` // anything else, transport errors included
+	Missed      int64         `json:"missed"` // paced ticks dropped: all workers busy
+	P50         time.Duration `json:"p50_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	Max         time.Duration `json:"max_ns"`
+}
+
+// ShedRatio is the shed fraction of everything sent (0 when nothing was).
+func (r Result) ShedRatio() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+// Run drives baseURL with the workload for opts.Duration and reports what
+// happened. client may be nil for http.DefaultClient. Latencies are
+// recorded per request (including shed and error responses — a fast 429 is
+// part of the server's behavior under load).
+func Run(ctx context.Context, client *http.Client, baseURL string, opts Options) (Result, error) {
+	if len(opts.Requests) == 0 {
+		return Result{}, fmt.Errorf("loadharness: empty workload")
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if opts.QPS > 0 {
+		return runPaced(ctx, client, baseURL, opts)
+	}
+	return runClosed(ctx, client, baseURL, opts)
+}
+
+// recorder accumulates per-worker observations; merged after the run so the
+// hot path never contends on a shared lock.
+type recorder struct {
+	ok, shed, errs int64
+	lats           []time.Duration
+}
+
+func (rec *recorder) observe(status int, lat time.Duration, err error) {
+	rec.lats = append(rec.lats, lat)
+	switch {
+	case err != nil:
+		rec.errs++
+	case status >= 200 && status < 300:
+		rec.ok++
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		rec.shed++
+	default:
+		rec.errs++
+	}
+}
+
+func doOne(ctx context.Context, client *http.Client, baseURL string, r Request, rec *recorder) {
+	var body io.Reader
+	if len(r.Body) > 0 {
+		body = bytes.NewReader(r.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, baseURL+r.Path, body)
+	if err != nil {
+		rec.observe(0, 0, err)
+		return
+	}
+	if len(r.Body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		// A request cut off by the run deadline is not the server's fault;
+		// don't count it at all.
+		if ctx.Err() != nil {
+			return
+		}
+		rec.observe(0, lat, err)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rec.observe(resp.StatusCode, lat, nil)
+}
+
+func runPaced(ctx context.Context, client *http.Client, baseURL string, opts Options) (Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	interval := time.Duration(float64(time.Second) / opts.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	ticks := make(chan struct{}, workers)
+	var sent, missed atomic.Int64
+	recs := make([]recorder, workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		wg.Add(1)
+		go func(rec *recorder) {
+			defer wg.Done()
+			idx := 0
+			for range ticks {
+				sent.Add(1)
+				doOne(runCtx, client, baseURL, opts.Requests[idx%len(opts.Requests)], rec)
+				idx++
+			}
+		}(&recs[i])
+	}
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+pace:
+	for {
+		select {
+		case <-runCtx.Done():
+			break pace
+		case <-ticker.C:
+			select {
+			case ticks <- struct{}{}:
+			default:
+				missed.Add(1) // open loop: the arrival happened, service didn't
+			}
+		}
+	}
+	ticker.Stop()
+	close(ticks)
+	wg.Wait()
+	res := merge(recs, time.Since(start))
+	res.TargetQPS = opts.QPS
+	res.Sent = sent.Load()
+	res.Missed = missed.Load()
+	return res, ctx.Err()
+}
+
+func runClosed(ctx context.Context, client *http.Client, baseURL string, opts Options) (Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+	var sent atomic.Int64
+	recs := make([]recorder, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		wg.Add(1)
+		go func(worker int, rec *recorder) {
+			defer wg.Done()
+			for idx := worker; runCtx.Err() == nil; idx++ {
+				sent.Add(1)
+				doOne(runCtx, client, baseURL, opts.Requests[idx%len(opts.Requests)], rec)
+			}
+		}(i, &recs[i])
+	}
+	wg.Wait()
+	res := merge(recs, time.Since(start))
+	res.Sent = sent.Load()
+	return res, ctx.Err()
+}
+
+func merge(recs []recorder, elapsed time.Duration) Result {
+	var res Result
+	res.Duration = elapsed
+	var all []time.Duration
+	for i := range recs {
+		res.OK += recs[i].ok
+		res.Shed += recs[i].shed
+		res.Errors += recs[i].errs
+		all = append(all, recs[i].lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if n := len(all); n > 0 {
+		res.P50 = all[n/2]
+		res.P99 = all[min(n-1, n*99/100)]
+		res.Max = all[n-1]
+	}
+	if elapsed > 0 {
+		res.AchievedQPS = float64(len(all)) / elapsed.Seconds()
+	}
+	return res
+}
+
+// SaturateOptions tunes the step-load search.
+type SaturateOptions struct {
+	StartQPS     float64       // first step (default 50)
+	Factor       float64       // per-step multiplier (default 2)
+	StepDuration time.Duration // per-step drive time (default 2s)
+	MaxSteps     int           // search bound (default 8)
+	MaxShedRatio float64       // shed fraction a healthy step tolerates (default 0.01)
+}
+
+// SaturateResult reports the search outcome: MaxQPS is the highest
+// achieved rate among healthy steps (0 when even the first step failed),
+// Best is that step's full measurement, and Steps is the whole trajectory.
+type SaturateResult struct {
+	MaxQPS float64  `json:"max_qps"`
+	Best   Result   `json:"best"`
+	Steps  []Result `json:"steps"`
+}
+
+// Saturate steps the paced rate upward until a step goes unhealthy —
+// any hard error, shedding past MaxShedRatio, or achieved QPS falling
+// under 90% of target (the pacer is dropping ticks: the server can't keep
+// up). The last healthy step is the max sustainable rate.
+func Saturate(ctx context.Context, client *http.Client, baseURL string, workload []Request, opts SaturateOptions) (SaturateResult, error) {
+	if opts.StartQPS <= 0 {
+		opts.StartQPS = 50
+	}
+	if opts.Factor <= 1 {
+		opts.Factor = 2
+	}
+	if opts.StepDuration <= 0 {
+		opts.StepDuration = 2 * time.Second
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 8
+	}
+	if opts.MaxShedRatio <= 0 {
+		opts.MaxShedRatio = 0.01
+	}
+	var out SaturateResult
+	qps := opts.StartQPS
+	for step := 0; step < opts.MaxSteps; step++ {
+		res, err := Run(ctx, client, baseURL, Options{QPS: qps, Duration: opts.StepDuration, Requests: workload})
+		if err != nil {
+			return out, err
+		}
+		out.Steps = append(out.Steps, res)
+		healthy := res.Errors == 0 &&
+			res.ShedRatio() <= opts.MaxShedRatio &&
+			res.AchievedQPS >= 0.9*res.TargetQPS
+		if !healthy {
+			break
+		}
+		if res.AchievedQPS > out.MaxQPS {
+			out.MaxQPS = res.AchievedQPS
+			out.Best = res
+		}
+		qps *= opts.Factor
+	}
+	return out, nil
+}

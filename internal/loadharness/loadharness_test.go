@@ -1,0 +1,121 @@
+package loadharness
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/paperdata"
+	"repro/internal/serve"
+)
+
+// newHarnessServer starts a live dialite server over the demo lake and
+// returns its base URL and a pooled client.
+func newHarnessServer(tb testing.TB) (string, *http.Client) {
+	tb.Helper()
+	p, err := core.New(paperdata.CovidLake(), core.Config{Knowledge: kb.Demo()})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := serve.New(p, serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return ts.URL, ts.Client()
+}
+
+// workload is the standard mixed workload: mostly cheap catalog reads with
+// a pipeline discovery folded in, so both admission classes see traffic.
+func workload(tb testing.TB) []Request {
+	tb.Helper()
+	disc, err := json.Marshal(serve.DiscoverRequest{Query: serve.EncodeTable(paperdata.T1()), QueryColumn: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reqs := make([]Request, 0, 8)
+	for range 7 {
+		reqs = append(reqs, Request{Method: http.MethodGet, Path: "/v1/lake"})
+	}
+	return append(reqs, Request{Method: http.MethodPost, Path: "/v1/discover", Body: disc})
+}
+
+// TestLoadSmoke is the CI load smoke: a fixed low-QPS paced run must come
+// back with zero errors, zero sheds, and a bounded p99 — if light traffic
+// against the demo lake trips admission control or errors, serving is
+// broken in a way unit tests did not catch.
+func TestLoadSmoke(t *testing.T) {
+	base, client := newHarnessServer(t)
+	res, err := Run(context.Background(), client, base, Options{
+		QPS: 50, Duration: 600 * time.Millisecond, Requests: workload(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors under light load: %+v", res)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("shedding under light load: %+v", res)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no successful requests: %+v", res)
+	}
+	if res.P99 > time.Second {
+		t.Fatalf("p99 %v under light load (want <1s): %+v", res.P99, res)
+	}
+}
+
+// TestClosedLoop sanity-checks the closed-loop driver: all workers drive,
+// accounting adds up, latencies are populated.
+func TestClosedLoop(t *testing.T) {
+	base, client := newHarnessServer(t)
+	res, err := Run(context.Background(), client, base, Options{
+		Workers: 4, Duration: 300 * time.Millisecond,
+		Requests: []Request{{Method: http.MethodGet, Path: "/v1/lake"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK == 0 || res.Errors != 0 {
+		t.Fatalf("closed-loop run: %+v", res)
+	}
+	if got := res.OK + res.Shed + res.Errors; got > res.Sent {
+		t.Fatalf("accounting: ok+shed+errors=%d > sent=%d", got, res.Sent)
+	}
+	if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
+		t.Fatalf("latency ordering: %+v", res)
+	}
+}
+
+func TestEmptyWorkloadRejected(t *testing.T) {
+	if _, err := Run(context.Background(), nil, "http://127.0.0.1:0", Options{}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+// BenchmarkServeSaturation steps a live server to saturation and publishes
+// max sustainable QPS and p50/p99 latency as custom metrics, which
+// scripts/bench_snapshot.sh captures into BENCH_<PR>.json — serving
+// throughput tracked across PRs like ns/op.
+func BenchmarkServeSaturation(b *testing.B) {
+	base, client := newHarnessServer(b)
+	wl := workload(b)
+	b.ResetTimer()
+	var last SaturateResult
+	for range b.N {
+		res, err := Saturate(context.Background(), client, base, wl, SaturateOptions{
+			StartQPS: 100, Factor: 2, StepDuration: 300 * time.Millisecond, MaxSteps: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MaxQPS, "qps")
+	b.ReportMetric(float64(last.Best.P50), "p50-ns")
+	b.ReportMetric(float64(last.Best.P99), "p99-ns")
+}

@@ -1,0 +1,143 @@
+package persist
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// diskFullFS wraps an FS and, while armed, fails every file write and sync
+// with errDiskFull — the disk-full / I/O-error injection for the degraded
+// read-only mode. Reads, directory listings and (for simplicity) creates
+// pass through; it is the Write/Sync failure that must trip the degrade.
+type diskFullFS struct {
+	FS
+	full atomic.Bool
+}
+
+var errDiskFull = errors.New("injected: no space left on device")
+
+func (d *diskFullFS) Create(name string) (File, error) { return d.wrap(d.FS.Create(name)) }
+func (d *diskFullFS) Append(name string) (File, error) { return d.wrap(d.FS.Append(name)) }
+
+func (d *diskFullFS) wrap(f File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &diskFullFile{File: f, fs: d}, nil
+}
+
+type diskFullFile struct {
+	File
+	fs *diskFullFS
+}
+
+func (f *diskFullFile) Write(p []byte) (int, error) {
+	if f.fs.full.Load() {
+		return 0, errDiskFull
+	}
+	return f.File.Write(p)
+}
+
+func (f *diskFullFile) Sync() error {
+	if f.fs.full.Load() {
+		return errDiskFull
+	}
+	return f.File.Sync()
+}
+
+// TestWriteFailureDegradesToReadOnly pins the degraded mode: the first WAL
+// write failure flips the store read-only; the failed mutation took no
+// effect, later mutations are refused fast with ErrReadOnly, queries stay
+// served, and the mode is sticky even after the disk recovers.
+func TestWriteFailureDegradesToReadOnly(t *testing.T) {
+	pool, lopts := newStorePool(77, 6)
+	fsys := &diskFullFS{FS: NewMemFS()}
+	st := mustCreate(t, fsys, pool[:4], lopts, Options{SnapshotEvery: -1})
+
+	if got := st.Status(); got.ReadOnly {
+		t.Fatalf("fresh store already read-only: %+v", got)
+	}
+	fsys.full.Store(true)
+	err := st.Add(pool[4])
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Add under full disk = %v, want ErrReadOnly", err)
+	}
+	if !strings.Contains(err.Error(), "no space left") {
+		t.Errorf("degrade error hides the cause: %v", err)
+	}
+	if _, ok := st.Lake().Get(pool[4].Name); ok {
+		t.Error("failed add still applied in memory")
+	}
+
+	// Sticky: the disk recovering does not clear the mode (the WAL tail is
+	// in an unknown state; only a restart re-truncates it).
+	fsys.full.Store(false)
+	if err := st.Remove(pool[0].Name); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Remove after degrade = %v, want ErrReadOnly", err)
+	}
+	if err := st.Snapshot(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Snapshot after degrade = %v, want ErrReadOnly", err)
+	}
+	status := st.Status()
+	if !status.ReadOnly || !strings.Contains(status.ReadOnlyReason, "wal") {
+		t.Fatalf("status after degrade = %+v", status)
+	}
+	if st.ReadOnly() == nil {
+		t.Fatal("ReadOnly() = nil after degrade")
+	}
+
+	// Queries keep answering from the pre-failure state.
+	if st.Lake().Size() != 4 {
+		t.Fatalf("lake size after degrade = %d, want 4", st.Lake().Size())
+	}
+	st.Close()
+
+	// A restart recovers cleanly: everything acknowledged before the
+	// failure is durable, the failed mutation is gone, and the reopened
+	// store accepts writes again.
+	st2, err := Open(testDir, Options{FS: fsys, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatalf("Open after degraded shutdown: %v", err)
+	}
+	defer st2.Close()
+	if st2.Status().ReadOnly {
+		t.Fatal("reopened store inherited read-only mode")
+	}
+	if st2.Lake().Size() != 4 {
+		t.Fatalf("recovered size = %d, want 4", st2.Lake().Size())
+	}
+	if err := st2.Add(pool[5]); err != nil {
+		t.Fatalf("Add after recovery: %v", err)
+	}
+}
+
+// TestSnapshotWriteFailureDegrades pins the snapshot write path: a failed
+// explicit Snapshot degrades the store, but the mutations acknowledged
+// before it stay durable and recoverable.
+func TestSnapshotWriteFailureDegrades(t *testing.T) {
+	pool, lopts := newStorePool(78, 6)
+	fsys := &diskFullFS{FS: NewMemFS()}
+	st := mustCreate(t, fsys, pool[:4], lopts, Options{SnapshotEvery: -1})
+	if err := st.Add(pool[4]); err != nil {
+		t.Fatal(err)
+	}
+	fsys.full.Store(true)
+	if err := st.Snapshot(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Snapshot under full disk = %v, want ErrReadOnly", err)
+	}
+	if got := st.Status(); !got.ReadOnly || !strings.Contains(got.ReadOnlyReason, "snapshot") {
+		t.Fatalf("status = %+v", got)
+	}
+	fsys.full.Store(false)
+	st.Close()
+	st2, err := Open(testDir, Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("Open after degraded snapshot: %v", err)
+	}
+	defer st2.Close()
+	if _, ok := st2.Lake().Get(pool[4].Name); !ok {
+		t.Fatal("acknowledged add lost after degraded snapshot")
+	}
+}

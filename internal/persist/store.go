@@ -45,7 +45,22 @@ type Status struct {
 	WALRecords  int       `json:"wal_records"`
 	WALBytes    int64     `json:"wal_bytes"`
 	LastSync    time.Time `json:"last_sync"` // completion of the newest WAL or snapshot fsync
+	// ReadOnly reports degraded mode: a WAL or snapshot write failed (disk
+	// full, I/O error), so the store refuses further mutations while queries
+	// keep working. See ErrReadOnly.
+	ReadOnly       bool   `json:"read_only,omitempty"`
+	ReadOnlyReason string `json:"read_only_reason,omitempty"`
 }
+
+// ErrReadOnly is wrapped by every mutation refused in degraded mode. A
+// store degrades the moment a WAL append/sync or snapshot write fails:
+// after a failed append the tail of the log is in an unknown state, so
+// appending more records could land them after garbage and lose them to
+// the recovery-time torn-tail truncation. Reads stay fully served; the
+// state acknowledged before the failure is durable. The mode is sticky for
+// the life of the process — recover by restarting (Open truncates the torn
+// tail) once the underlying condition (disk space, permissions) is fixed.
+var ErrReadOnly = errors.New("persist: store degraded to read-only")
 
 // Store binds a lake to a directory: every Add/Remove is appended to the
 // write-ahead log and fsynced before it is applied in memory and
@@ -77,6 +92,7 @@ type Store struct {
 	snaps      []uint64 // snapshot generations on disk, ascending
 	lastSync   time.Time
 	broken     error
+	readOnly   error // non-nil once a disk write failed; wraps ErrReadOnly
 }
 
 // Exists reports whether dir already holds a persisted lake — at least one
@@ -299,13 +315,26 @@ func (s *Store) Lake() *lake.Lake {
 	return s.l
 }
 
+// degradeLocked flips the store read-only after a disk write failure and
+// returns the sticky refusal error. s.mu must be held. First failure wins:
+// the recorded reason is the root cause operators see on /healthz.
+func (s *Store) degradeLocked(op string, cause error) error {
+	if s.readOnly == nil {
+		s.readOnly = fmt.Errorf("%w: %s failed: %v", ErrReadOnly, op, cause)
+	}
+	return s.readOnly
+}
+
 // appendWAL appends one framed record and fsyncs it. s.mu must be held.
+// Any failure degrades the store to read-only: the log tail is in an
+// unknown state afterwards, and appending past it could corrupt records
+// that a later recovery would otherwise replay.
 func (s *Store) appendWAL(frame []byte) error {
 	if _, err := s.wal.Write(frame); err != nil {
-		return fmt.Errorf("persist: wal append: %w", err)
+		return s.degradeLocked("wal append", err)
 	}
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("persist: wal sync: %w", err)
+		return s.degradeLocked("wal sync", err)
 	}
 	s.walRecords++
 	s.walBytes += int64(len(frame))
@@ -327,6 +356,9 @@ func (s *Store) Add(tables ...*table.Table) error {
 	defer s.mu.Unlock()
 	if s.broken != nil {
 		return s.broken
+	}
+	if s.readOnly != nil {
+		return s.readOnly
 	}
 	// Pre-validate so the log only ever records batches that apply cleanly
 	// (replay depends on it). These are lake.Add's own atomic checks.
@@ -365,6 +397,9 @@ func (s *Store) Remove(names ...string) error {
 	if s.broken != nil {
 		return s.broken
 	}
+	if s.readOnly != nil {
+		return s.readOnly
+	}
 	for _, n := range names {
 		if _, ok := s.l.Get(n); !ok {
 			return fmt.Errorf("persist: remove: no table %q", n)
@@ -401,6 +436,9 @@ func (s *Store) Snapshot() error {
 	if s.broken != nil {
 		return s.broken
 	}
+	if s.readOnly != nil {
+		return s.readOnly
+	}
 	return s.snapshotLocked()
 }
 
@@ -413,7 +451,11 @@ func (s *Store) snapshotLocked() error {
 		return fmt.Errorf("persist: snapshot: %w", err)
 	}
 	if err := writeSnapshot(s.fsys, s.dir, st, s.seq); err != nil {
-		return err
+		// A snapshot that failed to write is a disk-side fault (full disk,
+		// I/O error): degrade rather than keep retrying writes. When the
+		// automatic trigger fired this error from inside Add/Remove, the
+		// mutation itself is already logged, applied and durable.
+		return s.degradeLocked("snapshot write", err)
 	}
 	s.lastSync = time.Now()
 	prev := s.snapSeq
@@ -422,14 +464,14 @@ func (s *Store) snapshotLocked() error {
 	removed := false
 	for len(s.snaps) > 2 {
 		if err := s.fsys.Remove(filepath.Join(s.dir, snapName(s.snaps[0]))); err != nil {
-			return fmt.Errorf("persist: snapshot: retiring generation %d: %w", s.snaps[0], err)
+			return s.degradeLocked("snapshot retire", err)
 		}
 		s.snaps = s.snaps[1:]
 		removed = true
 	}
 	if removed {
 		if err := s.fsys.SyncDir(s.dir); err != nil {
-			return fmt.Errorf("persist: snapshot: %w", err)
+			return s.degradeLocked("snapshot dir sync", err)
 		}
 	}
 	return s.pruneWALLocked(prev)
@@ -458,7 +500,7 @@ func (s *Store) pruneWALLocked(prev uint64) error {
 	}
 	wal, walBytes, err := rewriteWAL(s.fsys, s.dir, frames)
 	if err != nil {
-		return err
+		return s.degradeLocked("wal prune", err)
 	}
 	s.wal = wal
 	s.walBytes = walBytes
@@ -471,7 +513,7 @@ func (s *Store) pruneWALLocked(prev uint64) error {
 func (s *Store) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Status{
+	st := Status{
 		FormatMajor: FormatMajor,
 		FormatMinor: FormatMinor,
 		SnapshotSeq: s.snapSeq,
@@ -481,6 +523,19 @@ func (s *Store) Status() Status {
 		WALBytes:    s.walBytes,
 		LastSync:    s.lastSync,
 	}
+	if s.readOnly != nil {
+		st.ReadOnly = true
+		st.ReadOnlyReason = s.readOnly.Error()
+	}
+	return st
+}
+
+// ReadOnly reports the degraded-mode state: nil when the store accepts
+// mutations, the sticky ErrReadOnly-wrapping cause otherwise.
+func (s *Store) ReadOnly() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readOnly
 }
 
 // Close syncs and closes the log. The store must not be used afterwards;

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: every metered endpoint belongs to a class, and each
+// class owns a bounded slot pool. A request either takes a slot
+// immediately, queues for one under a wait budget, or is shed with a
+// structured 429 + Retry-After before any pipeline work runs — so a burst
+// past capacity degrades into fast, honest rejections instead of N
+// concurrent integrations grinding every client to its deadline.
+//
+// Shedding is deadline-aware: the admitter tracks an EWMA of recent
+// service times and projects the queue wait a new arrival would face
+// (queue position x EWMA / slots). A request whose projection exhausts its
+// own deadline — or the queue-wait budget — is rejected the moment it
+// arrives, never after burning most of its budget waiting for a slot it
+// cannot use.
+
+// endpointClass buckets endpoints by cost so cheap catalog reads are never
+// starved behind expensive discover/integrate work, and mutations (which
+// serialize in the lake anyway) cannot monopolize compute slots.
+type endpointClass int
+
+const (
+	classRead    endpointClass = iota // cheap lake reads (GET /v1/lake)
+	classCompute                      // discover/integrate/pipeline/correlate/resolve
+	classMutate                       // lake add/remove
+	numClasses
+)
+
+// defaultMaxInflight sizes the compute class when Config.MaxInflight is 0:
+// pipeline stages parallelize internally, so a small multiple of the CPU
+// count saturates the machine; more in-flight work only inflates latency.
+func defaultMaxInflight() int {
+	return max(4, 4*runtime.GOMAXPROCS(0))
+}
+
+// DefaultMaxQueueWait bounds how long an admitted-class request may queue
+// for a slot when Config.MaxQueueWait is 0.
+const DefaultMaxQueueWait = time.Second
+
+// shedError is a load-shedding rejection: mapped to 429 Too Many Requests
+// with a Retry-After hint of when capacity is projected to free up.
+type shedError struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("overloaded: %s; retry after %s", e.reason, e.retryAfter.Round(time.Millisecond))
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// admitter is one class's bounded slot pool.
+type admitter struct {
+	slots    chan struct{}
+	capacity int
+	maxQueue int64 // waiters beyond this shed immediately
+	maxWait  time.Duration
+	queued   atomic.Int64
+	ewmaNS   atomic.Int64 // EWMA of service time; 0 until the first completion
+}
+
+func newAdmitter(k int, maxWait time.Duration) *admitter {
+	return &admitter{
+		slots:    make(chan struct{}, k),
+		capacity: k,
+		maxQueue: int64(8 * k),
+		maxWait:  maxWait,
+	}
+}
+
+// projectedWait estimates the queue wait at queue position pos: each of
+// the capacity slots frees on average once per EWMA service time, so the
+// pos-th waiter expects pos/capacity turnovers. Before the first
+// completion the EWMA is 0 and the projection optimistically admits to
+// the queue — the wait-budget timer still bounds the damage.
+func (a *admitter) projectedWait(pos int64) time.Duration {
+	return time.Duration(a.ewmaNS.Load() * pos / int64(a.capacity))
+}
+
+// retryAfter is the Retry-After hint for a shed at queue position pos.
+func (a *admitter) retryAfter(pos int64) time.Duration {
+	if d := a.projectedWait(pos); d > time.Second {
+		return d
+	}
+	return time.Second
+}
+
+// admit blocks until a slot is free, the context dies, or the wait budget
+// runs out. It returns nil exactly when a slot was taken (pair with
+// release); a *shedError means the request was rejected without service.
+// gauge is the endpoint's queued-requests gauge, maintained while waiting.
+func (a *admitter) admit(ctx context.Context, gauge *atomic.Int64) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// All slots busy. Decide up front whether queueing can pay off; every
+	// early shed here answers in microseconds, which is the point.
+	if a.maxWait <= 0 {
+		return &shedError{reason: "at capacity and queueing is disabled", retryAfter: a.retryAfter(1)}
+	}
+	pos := a.queued.Add(1)
+	defer a.queued.Add(-1)
+	if pos > a.maxQueue {
+		return &shedError{reason: fmt.Sprintf("queue full (%d waiting)", pos-1), retryAfter: a.retryAfter(pos)}
+	}
+	proj := a.projectedWait(pos)
+	if proj > a.maxWait {
+		return &shedError{reason: fmt.Sprintf("projected queue wait %s exceeds the %s wait budget", proj.Round(time.Millisecond), a.maxWait), retryAfter: a.retryAfter(pos)}
+	}
+	if dl, ok := ctx.Deadline(); ok && proj >= time.Until(dl) {
+		return &shedError{reason: fmt.Sprintf("projected queue wait %s would exhaust the request deadline", proj.Round(time.Millisecond)), retryAfter: a.retryAfter(pos)}
+	}
+	gauge.Add(1)
+	defer gauge.Add(-1)
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		// The projection under-estimated (or the client hung up): the
+		// deadline died in the queue. Surfaced as the context error so the
+		// status is the honest 504/503, and counted as a shed by the caller
+		// — no service was rendered.
+		return ctx.Err()
+	case <-timer.C:
+		return &shedError{reason: fmt.Sprintf("no slot freed within the %s wait budget", a.maxWait), retryAfter: a.retryAfter(a.queued.Load() + 1)}
+	}
+}
+
+// release frees the slot and folds the observed service time into the
+// EWMA (alpha 1/8) that future admission projections use.
+func (a *admitter) release(serviceStart time.Time) {
+	<-a.slots
+	obs := int64(time.Since(serviceStart))
+	for {
+		old := a.ewmaNS.Load()
+		nw := obs
+		if old != 0 {
+			nw = old + (obs-old)/8
+		}
+		if a.ewmaNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}

@@ -27,6 +27,19 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies. 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxInflight caps concurrently executing compute requests
+	// (discover/integrate/pipeline/correlate/resolve). Lake mutations get
+	// an independent pool of the same size and cheap lake reads get 8x, so
+	// neither is starved behind expensive pipeline work. 0 means
+	// defaultMaxInflight (4x GOMAXPROCS, at least 4); negative disables the
+	// cap.
+	MaxInflight int
+	// MaxQueueWait bounds how long an at-capacity request may queue for an
+	// admission slot before it is shed with 429 + Retry-After; requests
+	// whose projected wait already exceeds this (or their own deadline) are
+	// shed on arrival. 0 means DefaultMaxQueueWait; negative disables
+	// queueing entirely — at-capacity requests shed immediately.
+	MaxQueueWait time.Duration
 }
 
 // Defaults for Config zero values.
@@ -50,6 +63,13 @@ type Server struct {
 	store atomic.Pointer[persist.Store]
 	cfg   Config
 	mux   *http.ServeMux
+
+	// Admission pools by endpoint class, and the per-endpoint metrics
+	// behind /metrics. Both are fully built in NewWarming and read-only
+	// afterwards, so the request path touches them without locks.
+	admit         [numClasses]*admitter
+	metricsByPath map[string]*endpointMetrics
+	metricsOrder  []*endpointMetrics
 
 	// Shutdown ordering: closing refuses new mutations, mutGate drains the
 	// in-flight ones (mutations hold it shared; shutdown takes it exclusive),
@@ -77,23 +97,48 @@ func NewWarming(cfg Config) *Server {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = defaultMaxInflight()
+	}
+	if cfg.MaxQueueWait == 0 {
+		cfg.MaxQueueWait = DefaultMaxQueueWait
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), metricsByPath: map[string]*endpointMetrics{}}
+	k := cfg.MaxInflight
+	if k < 0 {
+		k = 1 << 20 // "unbounded": far past any plausible connection count
+	}
+	// Mutations serialize in the lake anyway, so their pool exists to keep
+	// them from occupying compute slots, not to parallelize them. Reads are
+	// an order of magnitude cheaper than pipeline work; 8x keeps catalog
+	// queries answering while the compute class saturates.
+	s.admit[classCompute] = newAdmitter(k, cfg.MaxQueueWait)
+	s.admit[classMutate] = newAdmitter(k, cfg.MaxQueueWait)
+	s.admit[classRead] = newAdmitter(8*k, cfg.MaxQueueWait)
 	endpoints := map[string]struct {
-		method  string
-		handler http.HandlerFunc
+		method string
+		class  endpointClass
+		fn     func(context.Context, *http.Request) (any, error)
 	}{
-		"/v1/discover":    {http.MethodPost, s.handle(s.discover)},
-		"/v1/integrate":   {http.MethodPost, s.handle(s.integrate)},
-		"/v1/pipeline":    {http.MethodPost, s.handle(s.pipeline)},
-		"/v1/correlate":   {http.MethodPost, s.handle(s.correlate)},
-		"/v1/resolve":     {http.MethodPost, s.handle(s.resolve)},
-		"/v1/lake/add":    {http.MethodPost, s.handle(s.lakeAdd)},
-		"/v1/lake/remove": {http.MethodPost, s.handle(s.lakeRemove)},
-		"/v1/lake":        {http.MethodGet, s.handle(s.lakeInfo)},
-		"/healthz":        {http.MethodGet, s.healthz},
+		"/v1/discover":    {http.MethodPost, classCompute, s.discover},
+		"/v1/integrate":   {http.MethodPost, classCompute, s.integrate},
+		"/v1/pipeline":    {http.MethodPost, classCompute, s.pipeline},
+		"/v1/correlate":   {http.MethodPost, classCompute, s.correlate},
+		"/v1/resolve":     {http.MethodPost, classCompute, s.resolve},
+		"/v1/lake/add":    {http.MethodPost, classMutate, s.lakeAdd},
+		"/v1/lake/remove": {http.MethodPost, classMutate, s.lakeRemove},
+		"/v1/lake":        {http.MethodGet, classRead, s.lakeInfo},
 	}
 	for path, ep := range endpoints {
-		s.mux.HandleFunc(ep.method+" "+path, ep.handler)
+		s.mux.HandleFunc(ep.method+" "+path, s.handle(s.newEndpointMetrics(path), ep.class, ep.fn))
+	}
+	// /healthz and /metrics bypass admission and metering: both must answer
+	// exactly when the serving path is saturated or refusing.
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metricsHandler)
+	methods := map[string]string{"/healthz": http.MethodGet, "/metrics": http.MethodGet}
+	for path, ep := range endpoints {
+		methods[path] = ep.method
 	}
 	// The fallback keeps every error structured: a known path reached with
 	// the wrong method is 405 (a catch-all "/" pattern preempts the mux's
@@ -101,9 +146,9 @@ func NewWarming(cfg Config) *Server {
 	// including trailing-slash variants, which are not registered paths —
 	// is 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if ep, known := endpoints[r.URL.Path]; known && r.Method != ep.method {
-			w.Header().Set("Allow", ep.method)
-			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", r.URL.Path, ep.method))
+		if method, known := methods[r.URL.Path]; known && r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", r.URL.Path, method))
 			return
 		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no endpoint %s (see /v1/{discover,integrate,pipeline,correlate,resolve,lake})", r.URL.Path))
@@ -130,13 +175,16 @@ func (s *Server) p() *core.Pipeline { return s.pipe.Load() }
 // the lake is persisted; ReplayInProgress is true while the server is up
 // but the pipeline is still recovering (warming restarts).
 type HealthResponse struct {
-	Status           string `json:"status"` // "ok", "warming" or "stopping"
+	Status           string `json:"status"` // "ok", "warming", "degraded" or "stopping"
 	ReplayInProgress bool   `json:"replay_in_progress"`
 	// SketchEngine is the containment index's sketch engine ("minhash" or
 	// "kmv"), present once the lake is attached — for a recovered lake it is
 	// whatever the snapshot recorded, not what any flag said.
 	SketchEngine string          `json:"sketch_engine,omitempty"`
 	Persistence  *persist.Status `json:"persistence,omitempty"`
+	// Load aggregates the per-endpoint serving counters (see /metrics): one
+	// glance says whether the server is saturated or shedding.
+	Load LoadSummary `json:"load"`
 }
 
 // healthz reports liveness plus the durability state: during a warm
@@ -158,7 +206,13 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	if st := s.store.Load(); st != nil {
 		status := st.Status()
 		resp.Persistence = &status
+		if status.ReadOnly && resp.Status == "ok" {
+			// Still live for reads, but mutations are being refused with
+			// 503: the store hit a write failure and degraded to read-only.
+			resp.Status = "degraded"
+		}
 	}
+	resp.Load = s.loadSummary()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -253,7 +307,15 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // is the caller's error.
 func statusFor(err error) int {
 	var tooBig *http.MaxBytesError
+	var sh *shedError
 	switch {
+	case errors.As(err, &sh):
+		return http.StatusTooManyRequests
+	case errors.Is(err, persist.ErrReadOnly):
+		// The store degraded to read-only (disk full / write failure):
+		// writes are refused until an operator intervenes, but this is a
+		// server-side condition, not the caller's error.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled), errors.Is(err, errShuttingDown):
@@ -270,27 +332,66 @@ func statusFor(err error) int {
 	}
 }
 
+// Retry-After values for the two non-overload refusals. Warming is short:
+// replay finishes on its own schedule and clients should re-probe quickly.
+// Read-only degradation is sticky until an operator restarts the process,
+// so hammering sooner buys nothing.
+const (
+	warmingRetryAfter  = "1"
+	readOnlyRetryAfter = "30"
+)
+
 // handle wraps an endpoint with the per-request scope: readiness gate,
-// body limit, timeout context, JSON rendering and structured errors.
-func (s *Server) handle(fn func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
+// admission control, metering, body limit, timeout context, JSON rendering
+// and structured errors. Counter discipline: every arrival is exactly one
+// of admitted or shed; every admitted request lands exactly once in the
+// latency histogram and exactly one of completed or errors.
+func (s *Server) handle(m *endpointMetrics, class endpointClass, fn func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.p() == nil {
-			w.Header().Set("Retry-After", "1")
+			m.shed.Add(1)
+			w.Header().Set("Retry-After", warmingRetryAfter)
 			writeError(w, http.StatusServiceUnavailable, "lake recovery in progress; retry shortly")
 			return
 		}
+		arrival := time.Now()
 		ctx := r.Context()
 		if s.cfg.Timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 			defer cancel()
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		out, err := fn(ctx, r)
-		if err != nil {
+		if err := s.admit[class].admit(ctx, &m.queued); err != nil {
+			// Not served at all — a shed, whatever the error's shape (a
+			// context that died in the queue sheds too, it just reports the
+			// honest 504/503 instead of 429).
+			m.shed.Add(1)
+			var sh *shedError
+			if errors.As(err, &sh) {
+				w.Header().Set("Retry-After", retryAfterSeconds(sh.retryAfter))
+			}
 			writeError(w, statusFor(err), err.Error())
 			return
 		}
+		m.admitted.Add(1)
+		m.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			s.admit[class].release(start)
+			m.inflight.Add(-1)
+			m.lat.observe(time.Since(arrival)) // queue wait included: it is what the client felt
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		out, err := fn(ctx, r)
+		if err != nil {
+			m.errored.Add(1)
+			if errors.Is(err, persist.ErrReadOnly) {
+				w.Header().Set("Retry-After", readOnlyRetryAfter)
+			}
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		m.completed.Add(1)
 		writeJSON(w, http.StatusOK, out)
 	}
 }

@@ -24,7 +24,10 @@ OUT="BENCH_${PR}.json"
 BENCHTIME="${BENCHTIME:-1x}"
 BENCH="${BENCH:-.}"
 
-go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . |
+# The root package carries the paper-figure benchmarks; loadharness
+# carries BenchmarkServeSaturation, whose qps/p50-ns/p99-ns metrics make
+# serving throughput a tracked number alongside ns/op.
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . ./internal/loadharness/ |
 	awk '
 	/^Benchmark/ {
 		name = $1
