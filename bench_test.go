@@ -348,6 +348,60 @@ func BenchmarkLakeRebuild(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedBuild measures building the same 361-table catalog as a
+// lake.Sharded: per-shard private interners and indexes built in parallel,
+// no shared-dictionary locks on the build path. Compare ns/op against
+// BenchmarkLakeRebuild (the single-lake build of the identical table set).
+func BenchmarkShardedBuild(b *testing.B) {
+	sl := experiments.JoinSearchLake(17)
+	src := sl.Tables[0]
+	extra := table.New("bench_extra", src.Columns...)
+	extra.Rows = src.Rows
+	all := append(append([]*table.Table(nil), sl.Tables...), extra)
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lake.NewSharded(all, shards, lake.Options{Knowledge: kb.Demo()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedDiscovery measures the full discovery fan-out — every
+// built-in method across every shard, merged to one ranking per method —
+// against the 360-table lake, sharded and not. shards=1 is the unsharded
+// baseline (same lake.Lake the serve path uses today); the sharded runs
+// pay the scatter-gather merge and (for foreign queries) per-shard query
+// re-extraction.
+func BenchmarkShardedDiscovery(b *testing.B) {
+	sl := experiments.JoinSearchLake(17)
+	q := sl.Tables[0]
+	methods := []string{"santos-union", "lsh-join", "josie-join", "syntactic-union"}
+	reg := discovery.NewRegistry()
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4} {
+		var target discovery.Target
+		var err error
+		if shards == 1 {
+			target, err = lake.New(sl.Tables, lake.Options{SynthesizeKB: true})
+		} else {
+			target, err = lake.NewSharded(sl.Tables, shards, lake.Options{SynthesizeKB: true})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := discovery.Discover(ctx, reg, target, q, 0, 10, methods); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSnapshotLoad measures recovering the 360-table lake through the
 // durability layer (persist.Open: read the checksummed snapshot, verify,
 // decode, lake.Restore, replay the empty WAL) — the warm-restart path that

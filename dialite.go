@@ -39,7 +39,9 @@
 //	srv := dialite.NewServer(p, dialite.ServeConfig{Timeout: 10 * time.Second})
 //	err = srv.ListenAndServe(ctx, ":8080")      // graceful shutdown on ctx cancel
 //
-// or, from a CSV directory, `dialite serve -lake DIR -addr :8080`. The
+// or, from a CSV directory, `dialite serve -lake DIR -addr :8080`
+// (`-shards N` partitions the catalog across N shard lakes with
+// scatter-gather discovery and identical answers — see SHARDING.md). The
 // server exposes JSON endpoints for every stage (POST /v1/discover,
 // /v1/integrate, /v1/pipeline, /v1/correlate, /v1/resolve) and for lake
 // mutation (POST /v1/lake/add, /v1/lake/remove, GET /v1/lake), each request
@@ -83,6 +85,14 @@ type (
 	RunResult = core.RunResult
 	// Lake is a preprocessed table repository.
 	Lake = lake.Lake
+	// ShardedLake partitions the catalog across shard lakes with private
+	// per-shard indexes, hash-routed mutations, and scatter-gather
+	// discovery whose rankings are byte-identical to an unsharded Lake
+	// (set Config.Shards > 1, see SHARDING.md).
+	ShardedLake = lake.Sharded
+	// LakeCatalog is the catalog interface both Lake and ShardedLake
+	// satisfy; Pipeline.Lake returns it.
+	LakeCatalog = lake.Catalog
 	// LakeIndexOptions tunes lake preprocessing.
 	LakeIndexOptions = lake.Options
 	// KB is a knowledge base (semantic types, aliases, relationships).

@@ -33,62 +33,77 @@ type Config struct {
 	SynthesizeKB bool
 	// LakeOptions tunes index construction (LSH parameters).
 	LakeOptions lake.Options
+	// Shards splits the catalog across this many shard lakes (lake.Sharded):
+	// private per-shard interners and indexes, hash-routed mutations,
+	// scatter-gather discovery with byte-identical rankings. 0 or 1 builds
+	// the usual single lake.
+	Shards int
 }
 
-// Pipeline is a DIALITE instance bound to one data lake.
+// Pipeline is a DIALITE instance bound to one data lake — a single
+// lake.Lake or a lake.Sharded composite behind the lake.Catalog interface;
+// every stage works identically against either.
 type Pipeline struct {
-	lake        *lake.Lake
+	lake        lake.Catalog
 	discoverers *discovery.Registry
 	operators   *integrate.Registry
 }
 
 // New preprocesses the lake tables and returns a pipeline with the
-// built-in discoverers and operators registered.
+// built-in discoverers and operators registered. cfg.Shards > 1 builds a
+// sharded catalog.
 func New(tables []*table.Table, cfg Config) (*Pipeline, error) {
 	lopts := cfg.LakeOptions
 	lopts.Knowledge = cfg.Knowledge
 	lopts.SynthesizeKB = cfg.SynthesizeKB
-	l, err := lake.New(tables, lopts)
+	var (
+		c   lake.Catalog
+		err error
+	)
+	if cfg.Shards > 1 {
+		c, err = lake.NewSharded(tables, cfg.Shards, lopts)
+	} else {
+		c, err = lake.New(tables, lopts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return FromCatalog(c), nil
+}
+
+// FromCatalog wraps an already-built catalog (a *lake.Lake or a
+// *lake.Sharded) with the built-in discoverers and operators.
+func FromCatalog(c lake.Catalog) *Pipeline {
 	return &Pipeline{
-		lake:        l,
+		lake:        c,
 		discoverers: discovery.NewRegistry(),
 		operators:   integrate.NewRegistry(),
-	}, nil
+	}
 }
 
 // FromLake wraps an already-built lake — typically one recovered from a
 // persisted snapshot + WAL — with the built-in discoverers and operators.
-func FromLake(l *lake.Lake) *Pipeline {
-	return &Pipeline{
-		lake:        l,
-		discoverers: discovery.NewRegistry(),
-		operators:   integrate.NewRegistry(),
-	}
-}
+func FromLake(l *lake.Lake) *Pipeline { return FromCatalog(l) }
 
 // FromDir loads a CSV directory as the lake and builds the pipeline.
+// cfg.Shards > 1 shards the loaded tables.
 func FromDir(dir string, cfg Config) (*Pipeline, error) {
-	lopts := cfg.LakeOptions
-	lopts.Knowledge = cfg.Knowledge
-	lopts.SynthesizeKB = cfg.SynthesizeKB
-	l, err := lake.FromDir(dir, lopts)
+	tables, err := table.LoadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("core: lake: %w", err)
 	}
-	return &Pipeline{
-		lake:        l,
-		discoverers: discovery.NewRegistry(),
-		operators:   integrate.NewRegistry(),
-	}, nil
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("core: lake: no CSV tables in %s", dir)
+	}
+	return New(tables, cfg)
 }
 
-// Lake exposes the preprocessed lake. The lake is mutable: AddTables and
-// RemoveTables (or lake.Add/Remove directly) maintain the discovery indexes
-// incrementally, and discovery queries may run concurrently with mutations.
-func (p *Pipeline) Lake() *lake.Lake { return p.lake }
+// Lake exposes the preprocessed catalog — a *lake.Lake, or a *lake.Sharded
+// when the pipeline was built with Config.Shards > 1 (type-assert for
+// concrete-type APIs such as persistence). The catalog is mutable:
+// AddTables and RemoveTables maintain the discovery indexes incrementally,
+// and discovery queries may run concurrently with mutations.
+func (p *Pipeline) Lake() lake.Catalog { return p.lake }
 
 // AddTables incrementally indexes additional tables into the pipeline's
 // lake — all three discovery indexes absorb the delta without a rebuild,

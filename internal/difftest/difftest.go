@@ -87,8 +87,10 @@ var DiffMethods = []string{"santos-union", "lsh-join", "josie-join", "syntactic-
 // DiscoverySig renders one full discovery run — every method's ranked
 // results and the merged integration set — into a byte-comparable string.
 // Scores are rendered from their exact float64 bits: "identical" means
-// identical, not approximately equal.
-func DiscoverySig(reg *discovery.Registry, l *lake.Lake, q *table.Table, col, k int) string {
+// identical, not approximately equal. The target may be a single *lake.Lake
+// or a *lake.Sharded: the sharded differential harness compares the two
+// forms' signatures directly.
+func DiscoverySig(reg *discovery.Registry, l discovery.Target, q *table.Table, col, k int) string {
 	perMethod, set, err := discovery.Discover(context.Background(), reg, l, q, col, k, DiffMethods)
 	if err != nil {
 		return "err:" + err.Error()

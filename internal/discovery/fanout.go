@@ -3,42 +3,90 @@ package discovery
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/lake"
 	"repro/internal/par"
 	"repro/internal/table"
 )
 
-// RunAll executes the given discoverers concurrently over one query and
-// returns their result lists slot-indexed: out[i] is ds[i]'s ranked
-// results, so a multi-method DIALITE query costs max(discoverer) instead of
-// sum(discoverer) while the merged output stays byte-identical to running
-// the methods sequentially. The lake's indexes are immutable and every
-// shared interner is lock-protected, so discoverers — including
-// user-defined similarity hooks (Fig. 4), which must be safe to call
-// concurrently — run without coordination. If any discoverer fails, the
-// first error in slot order is returned (deterministic regardless of which
-// worker finished first).
+// Target is what a discovery run executes against: one or more concrete
+// shard lakes plus the seqlock epoch that guards multi-index reads. Both
+// *lake.Lake (its own single shard) and *lake.Sharded satisfy it, as does
+// the lake.Catalog interface the pipeline holds — discoverers themselves
+// always receive one concrete *lake.Lake and never see sharding.
+type Target interface {
+	Shards() []*lake.Lake
+	Epoch() uint64
+}
+
+// tornRetries is how many times RunAll re-executes a run whose epoch
+// samples prove it may have read the lake mid-mutation. One retry is
+// enough: the retry re-reads the epoch, and a steady lake settles it;
+// under continuous mutation churn the retried run's results are still a
+// valid answer for *some* recent lake state, which is all a concurrent
+// reader was ever promised.
+const tornRetries = 1
+
+// RunAll executes the given discoverers over one query against every shard
+// of the target and returns the merged result lists slot-indexed: out[i] is
+// ds[i]'s ranked results over the whole catalog. Per-shard rankings
+// concatenate and re-rank by (score descending, table name ascending) —
+// table names are unique catalog-wide, so the comparator is total and the
+// merge deterministic regardless of shard count or scheduling; against a
+// single-shard target the output is byte-identical to running the methods
+// sequentially. The shards' indexes are immutable and every shared interner
+// is lock-protected, so discoverers — including user-defined similarity
+// hooks (Fig. 4), which must be safe to call concurrently — run without
+// coordination across the discoverer×shard fan-out. If any discoverer
+// fails, the first error in (discoverer, shard) slot order is returned
+// (deterministic regardless of which worker finished first).
+//
+// Torn-read protection: a discovery run concurrent with Add/Remove could
+// otherwise observe the lake between per-index updates (a table visible to
+// JOSIE but not yet to SANTOS). RunAll samples the target's mutation epoch
+// before and after the fan-out; any mutation overlapping the run perturbs
+// the samples, and RunAll re-executes once. See lake.(*Lake).Epoch.
 //
 // Cancellation propagates to every worker: ctx flows into each discoverer
 // (the built-ins check it inside their index scans) and the fan-out itself
 // stops dispatching once ctx is done. RunAll returns only after every
 // in-flight discoverer has returned — cancelling a query never leaks a
 // worker goroutine — and reports ctx.Err() when the context was cancelled.
-func RunAll(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, error) {
-	out := make([][]Result, len(ds))
-	errs := make([]error, len(ds))
-	ferr := par.ForCtx(ctx, len(ds), func(i int) {
+func RunAll(ctx context.Context, t Target, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, error) {
+	for attempt := 0; ; attempt++ {
+		e1 := t.Epoch()
+		out, err := runShards(ctx, t.Shards(), q, queryCol, k, ds)
+		if err != nil {
+			return nil, err
+		}
+		// A clean run sampled the same even epoch on both sides: no
+		// mutation was in flight when it started (e1 even) and none
+		// started before it finished (e1 == e2).
+		if e2 := t.Epoch(); (e1 == e2 && e1%2 == 0) || attempt == tornRetries {
+			return out, nil
+		}
+	}
+}
+
+// runShards is one epoch-unguarded execution of the discoverer×shard
+// fan-out. Work item j covers discoverer j/len(shards) on shard
+// j%len(shards), so error precedence and result slots stay deterministic.
+func runShards(ctx context.Context, shards []*lake.Lake, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, error) {
+	nd, ns := len(ds), len(shards)
+	per := make([][]Result, nd*ns)
+	errs := make([]error, nd*ns)
+	ferr := par.ForCtx(ctx, nd*ns, func(j int) {
 		// Discoverers ran on the caller's goroutine before the fan-out, where
 		// a server could recover a misbehaving user hook; on a worker
 		// goroutine a panic would kill the process, so contain it here and
 		// surface it as that slot's error.
 		defer func() {
 			if r := recover(); r != nil {
-				errs[i] = fmt.Errorf("discovery: %q panicked: %v", ds[i].Name(), r)
+				errs[j] = fmt.Errorf("discovery: %q panicked: %v", ds[j/ns].Name(), r)
 			}
 		}()
-		out[i], errs[i] = ds[i].Discover(ctx, l, q, queryCol, k)
+		per[j], errs[j] = ds[j/ns].Discover(ctx, shards[j%ns], q, queryCol, k)
 	})
 	if ferr != nil {
 		return nil, ferr
@@ -48,7 +96,43 @@ func RunAll(ctx context.Context, l *lake.Lake, q *table.Table, queryCol, k int, 
 			return nil, err
 		}
 	}
+	out := make([][]Result, nd)
+	if ns == 1 {
+		copy(out, per)
+		return out, nil
+	}
+	for i := 0; i < nd; i++ {
+		out[i] = mergeShardRankings(per[i*ns:(i+1)*ns], k)
+	}
 	return out, nil
+}
+
+// mergeShardRankings concatenates one discoverer's per-shard rankings and
+// re-ranks them globally. Every discoverer reports at most one result per
+// table and each table lives on exactly one shard, so the concatenation
+// has no duplicates and the (score descending, name ascending) comparator
+// — the same order rankResults produces — is total. Per-shard lists were
+// already truncated to their local top-k, which is safe: a shard's k+1st
+// result can never enter the global top k.
+func mergeShardRankings(lists [][]Result, k int) []Result {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Result, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Table.Name < out[b].Table.Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // Resolve maps method names to registered discoverers, in input order.
@@ -66,18 +150,18 @@ func (r *Registry) Resolve(names []string) ([]Discoverer, error) {
 }
 
 // Discover is the full discovery stage in one call: resolve the named
-// methods against the registry, fan them out concurrently with RunAll, and
-// merge the per-method rankings into the integration set ("we persist the
-// set of tables found by all techniques"). perMethod is keyed by method
-// name; the integration set lists the query table first, then discovered
-// tables deduplicated in method order then rank order. Cancelling ctx
-// aborts the fan-out and returns ctx.Err() (see RunAll).
-func Discover(ctx context.Context, r *Registry, l *lake.Lake, q *table.Table, queryCol, k int, methods []string) (perMethod map[string][]Result, integrationSet []*table.Table, err error) {
+// methods against the registry, fan them out over the target's shards with
+// RunAll, and merge the per-method rankings into the integration set ("we
+// persist the set of tables found by all techniques"). perMethod is keyed
+// by method name; the integration set lists the query table first, then
+// discovered tables deduplicated in method order then rank order.
+// Cancelling ctx aborts the fan-out and returns ctx.Err() (see RunAll).
+func Discover(ctx context.Context, r *Registry, t Target, q *table.Table, queryCol, k int, methods []string) (perMethod map[string][]Result, integrationSet []*table.Table, err error) {
 	ds, err := r.Resolve(methods)
 	if err != nil {
 		return nil, nil, err
 	}
-	all, err := RunAll(ctx, l, q, queryCol, k, ds)
+	all, err := RunAll(ctx, t, q, queryCol, k, ds)
 	if err != nil {
 		return nil, nil, err
 	}

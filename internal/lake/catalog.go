@@ -1,0 +1,51 @@
+package lake
+
+import (
+	"repro/internal/kb"
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// Catalog is the mutable table-repository contract the pipeline and the
+// serving layer consume: everything they need from a lake without naming
+// its concrete shape. Both *Lake (one shard — itself) and *Sharded (N
+// shards behind a routing hash) satisfy it, which is what lets
+// `dialite serve -shards N` reuse every endpoint unchanged.
+//
+// Discovery never sees a Catalog: discoverers run against one concrete
+// *Lake at a time, and discovery.RunAll scatters them over Shards() and
+// merges the per-shard rankings deterministically. Epoch is the torn-read
+// guard for that scatter — see Lake.Epoch for the seqlock protocol.
+type Catalog interface {
+	// Shards returns the concrete shard lakes discovery scatters over. A
+	// plain Lake returns itself; the slice is fixed for the Catalog's
+	// lifetime and must be treated as read-only — route mutations through
+	// the Catalog's own Add/Remove so epoch accounting and (for Sharded)
+	// catalog-order bookkeeping stay correct.
+	Shards() []*Lake
+	// Epoch is the seqlock-style mutation counter over the whole catalog:
+	// even when settled, odd while a mutation is applying per-index deltas.
+	Epoch() uint64
+
+	// Catalog access.
+	Get(name string) (*table.Table, bool)
+	Tables() []*table.Table
+	Size() int
+
+	// Mutation.
+	Add(tables ...*table.Table) error
+	Remove(names ...string) error
+	Compact()
+	RefreshKB() bool
+
+	// Shared state the integration/analysis stages read.
+	Knowledge() *kb.KB
+	Annotator() *kb.Annotator
+	Dict() *table.Dict
+	SketchEngine() sketch.Engine
+}
+
+var (
+	_ Catalog = (*Lake)(nil)
+	_ Catalog = (*Sharded)(nil)
+)

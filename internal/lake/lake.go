@@ -20,6 +20,7 @@ package lake
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/josie"
@@ -54,6 +55,14 @@ type Options struct {
 // own synchronization, so queries against an index captured before a
 // mutation stay safe.
 type Lake struct {
+	// epoch is a seqlock-style mutation counter: odd while an
+	// answer-changing mutation (Add, Remove, KB re-annotation) is applying
+	// its per-index deltas, even when the lake is settled. Multi-index
+	// readers sample it before and after a run to detect a torn read — see
+	// Epoch and discovery.RunAll. It is advisory: mutations never block on
+	// it, and it is bumped only after validation succeeds, so failed
+	// mutations leave it untouched.
+	epoch     atomic.Uint64
 	mu        sync.RWMutex
 	tables    []*table.Table
 	byName    map[string]*table.Table
@@ -94,6 +103,29 @@ type colRef struct {
 	table  string
 	column int
 }
+
+// beginMutation marks the start of an answer-changing mutation (epoch goes
+// odd). Callers must hold mu and must have finished all validation: a
+// rejected batch never perturbs the epoch.
+func (l *Lake) beginMutation() { l.epoch.Add(1) }
+
+// endMutation marks the end of a mutation (epoch goes even again).
+func (l *Lake) endMutation() { l.epoch.Add(1) }
+
+// Epoch returns the lake's mutation epoch: even when every discovery index
+// reflects the same catalog state, odd while Add/Remove/RefreshKB is
+// applying per-index deltas. A reader that samples Epoch before and after a
+// multi-index run and sees the same even value is guaranteed the run was
+// not torn across a mutation; any other pair means some index may have been
+// read mid-mutation and the run should be retried. Compact does not bump
+// the epoch — it never changes query answers, so a read spanning it is not
+// torn.
+func (l *Lake) Epoch() uint64 { return l.epoch.Load() }
+
+// Shards returns the lake's shard list. A plain Lake is its own single
+// shard; the method exists so *Lake and *Sharded satisfy the same
+// scatter-gather discovery contract (see Catalog and discovery.RunAll).
+func (l *Lake) Shards() []*Lake { return []*Lake{l} }
 
 // New preprocesses the given tables into a queryable lake. Duplicate table
 // names are rejected: discovery results are reported by name.
@@ -211,7 +243,9 @@ func FromDir(dir string, opts Options) (*Lake, error) {
 // index applies its delta atomically with respect to its own queries, but a
 // multi-index query running mid-mutation may observe the lake between index
 // updates (e.g. a table already visible to JOSIE but not yet to SANTOS);
-// queries issued after Add returns see the delta everywhere.
+// queries issued after Add returns see the delta everywhere. Multi-index
+// readers detect that window via the mutation epoch (see Epoch) and retry —
+// discovery.RunAll does this automatically.
 //
 // KB semantics: the added tables are annotated against the knowledge base
 // as compiled now. If the KB has been mutated since the lake was built (or
@@ -239,6 +273,8 @@ func (l *Lake) Add(tables ...*table.Table) error {
 		}
 		batch[t.Name] = true
 	}
+	l.beginMutation()
+	defer l.endMutation()
 	// A KB mutated since the last (re-)annotation invalidates every
 	// compiled ID in the SANTOS index; refresh the annotator and re-annotate
 	// the semantic graphs below (the KB-independent indexes are untouched).
@@ -314,6 +350,8 @@ func (l *Lake) Remove(names ...string) error {
 		}
 		doomed[n] = true
 	}
+	l.beginMutation()
+	defer l.endMutation()
 	// New slices rather than in-place filtering: accessors hand the old
 	// backing arrays to concurrent readers, which must keep seeing the
 	// pre-removal state rather than shifted elements.
@@ -380,6 +418,8 @@ func (l *Lake) RefreshKB() bool {
 	if l.annotator.UpToDate(l.knowledge) {
 		return false
 	}
+	l.beginMutation()
+	defer l.endMutation()
 	t0 := time.Now()
 	l.annotator = kb.NewAnnotator(l.knowledge.Compiled(), l.dict)
 	l.stats.KBPrep += time.Since(t0)

@@ -1,0 +1,355 @@
+package lake
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kb"
+	"repro/internal/par"
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// Sharded partitions the catalog across N shard lakes, each with its own
+// value/token dictionaries and discovery indexes. Tables route to shards by
+// a stable hash of the table name (ShardIndex), so the placement of a table
+// depends only on its name and the shard count — not on insertion order,
+// process identity, or the rest of the catalog — which keeps the routing
+// rule portable to shard-per-process deployments (see SHARDING.md).
+//
+// Sharding removes the last shared-interner contention from the build path:
+// NewSharded builds the shard lakes concurrently and each shard interns
+// into private dictionaries, so no lock is shared between shards at any
+// point of preprocessing. The cost is that per-shard token IDs are
+// incomparable across shards; discovery never compares them (rankings merge
+// by score and name), and the cross-shard stages (integration, entity
+// resolution) go through a composite-level dictionary instead.
+//
+// Discovery equivalence: a Sharded catalog answers every discovery query
+// identically to an unsharded New over the same tables — same result sets,
+// float64-bit-identical scores — pinned by the sharded differential
+// harness. SANTOS, JOSIE and the syntactic baseline are per-candidate
+// computations, exact by construction; the LSH Ensemble verifies
+// exactly and its candidate generation is layout-independent at small
+// partition sizes and under the KMV engine (see SHARDING.md for the
+// banded-probing caveat at scale).
+//
+// Concurrency contract: identical to Lake — mutations are exclusive with
+// each other, queries run concurrently with mutations, and the composite
+// epoch (Epoch) lets multi-index readers detect and retry torn reads.
+// Mutations must go through the Sharded value; mutating a shard returned by
+// Shards() directly bypasses epoch accounting and catalog-order
+// bookkeeping.
+type Sharded struct {
+	epoch atomic.Uint64
+	mu    sync.RWMutex
+	// shards is fixed at construction; the *Lake values are mutable, the
+	// slice is not.
+	shards []*Lake
+	// order holds table names in catalog order (build order, then Add
+	// order, minus removals) so Tables() reports the same sequence an
+	// unsharded lake would.
+	order     []string
+	knowledge *kb.KB
+	annotator *kb.Annotator
+	dict      *table.Dict
+}
+
+// ShardIndex routes a table name to a shard: FNV-1a (64-bit) of the name,
+// reduced mod n. The hash is fixed — never keyed, never seeded — so a
+// table's placement is reproducible across processes and restarts, which a
+// future shard-per-process deployment depends on.
+func ShardIndex(name string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	return int(h % uint64(n))
+}
+
+// NewSharded preprocesses tables into an n-shard lake. Validation matches
+// New (nil tables, empty or duplicate names reject the whole input), with
+// duplicates checked across the entire input before routing — two
+// same-named tables landing on different shards must not coexist. KB
+// synthesis (Options.SynthesizeKB) runs once over the full table set, so
+// the knowledge base — and therefore every SANTOS annotation — is identical
+// to an unsharded build; the shards then share the one compiled KB.
+func NewSharded(tables []*table.Table, n int, opts Options) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("lake: sharded: shard count %d, need at least 1", n)
+	}
+	if !sketch.Known(opts.LSH.Engine) {
+		return nil, fmt.Errorf("lake: unknown sketch engine %q", opts.LSH.Engine)
+	}
+	seen := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		if t == nil {
+			return nil, fmt.Errorf("lake: nil table")
+		}
+		if t.Name == "" {
+			return nil, fmt.Errorf("lake: table with empty name")
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("lake: duplicate table name %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	knowledge := opts.Knowledge
+	if opts.SynthesizeKB {
+		syn := kb.Synthesize(tables, kb.SynthesizeOptions{})
+		if knowledge != nil {
+			knowledge = knowledge.Merge(syn)
+		} else {
+			knowledge = syn
+		}
+	}
+	if knowledge == nil {
+		knowledge = kb.New()
+	}
+	// Compile once before fanning out: KB.Compiled memoizes per version,
+	// and seeding the memo here guarantees every shard (and the composite
+	// annotator) holds the same *Compiled pointer — the identity UpToDate
+	// staleness checks compare.
+	compiled := knowledge.Compiled()
+	shardOpts := opts
+	shardOpts.Knowledge = knowledge
+	shardOpts.SynthesizeKB = false // already folded into knowledge above
+	parts := make([][]*table.Table, n)
+	for _, t := range tables {
+		i := ShardIndex(t.Name, n)
+		parts[i] = append(parts[i], t)
+	}
+	s := &Sharded{
+		shards:    make([]*Lake, n),
+		knowledge: knowledge,
+		dict:      table.NewDict(),
+	}
+	errs := make([]error, n)
+	par.For(n, func(i int) {
+		s.shards[i], errs[i] = New(parts[i], shardOpts)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	s.annotator = kb.NewAnnotator(compiled, s.dict)
+	s.order = make([]string, 0, len(tables))
+	for _, t := range tables {
+		s.order = append(s.order, t.Name)
+	}
+	return s, nil
+}
+
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardFor reports which shard the named table routes to.
+func (s *Sharded) ShardFor(name string) int { return ShardIndex(name, len(s.shards)) }
+
+// Shards returns the shard lakes in shard order. The slice is fixed for the
+// Sharded's lifetime; treat it as read-only and route mutations through the
+// Sharded itself.
+func (s *Sharded) Shards() []*Lake { return s.shards }
+
+// Epoch is the composite seqlock epoch — see Lake.Epoch for the protocol.
+// It covers mutations routed through the Sharded (the only supported kind);
+// per-shard epochs additionally tick underneath it.
+func (s *Sharded) Epoch() uint64 { return s.epoch.Load() }
+
+func (s *Sharded) beginMutation() { s.epoch.Add(1) }
+func (s *Sharded) endMutation()   { s.epoch.Add(1) }
+
+// Add routes the new tables to their shards and indexes each shard's batch
+// concurrently. Validation is atomic across the whole composite: a nil
+// table, an empty name, or a name duplicating any batch member or any
+// table on any shard rejects the entire batch before anything is indexed.
+// KB semantics match Lake.Add: a KB mutated since the last (re-)annotation
+// refreshes every shard — including shards receiving no tables — so
+// compiled type IDs stay comparable catalog-wide.
+func (s *Sharded) Add(tables ...*table.Table) error {
+	if len(tables) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	batch := make(map[string]bool, len(tables))
+	perShard := make([][]*table.Table, len(s.shards))
+	for _, t := range tables {
+		if t == nil {
+			return fmt.Errorf("lake: add: nil table")
+		}
+		if t.Name == "" {
+			return fmt.Errorf("lake: add: table with empty name")
+		}
+		shard := s.ShardFor(t.Name)
+		if _, dup := s.shards[shard].Get(t.Name); dup || batch[t.Name] {
+			return fmt.Errorf("lake: add: duplicate table name %q", t.Name)
+		}
+		batch[t.Name] = true
+		perShard[shard] = append(perShard[shard], t)
+	}
+	stale := !s.annotator.UpToDate(s.knowledge)
+	s.beginMutation()
+	defer s.endMutation()
+	if stale {
+		s.annotator = kb.NewAnnotator(s.knowledge.Compiled(), s.dict)
+	}
+	errs := make([]error, len(s.shards))
+	par.For(len(s.shards), func(i int) {
+		if len(perShard[i]) > 0 {
+			errs[i] = s.shards[i].Add(perShard[i]...)
+		} else if stale {
+			s.shards[i].RefreshKB()
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		// Pre-validated batches cannot fail shard-side unless a shard was
+		// mutated behind the composite's back; surface it rather than
+		// recording names that may not all be indexed.
+		return err
+	}
+	for _, t := range tables {
+		s.order = append(s.order, t.Name)
+	}
+	return nil
+}
+
+// Remove drops the named tables from their shards concurrently. Validation
+// is atomic: an unknown name rejects the whole batch (duplicates within the
+// batch are tolerated, as with Lake.Remove). A shard left with zero tables
+// stays live and answers discovery queries with empty rankings.
+func (s *Sharded) Remove(names ...string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doomed := make(map[string]bool, len(names))
+	perShard := make([][]string, len(s.shards))
+	for _, n := range names {
+		shard := s.ShardFor(n)
+		if _, ok := s.shards[shard].Get(n); !ok {
+			return fmt.Errorf("lake: remove: no table %q", n)
+		}
+		if !doomed[n] {
+			doomed[n] = true
+			perShard[shard] = append(perShard[shard], n)
+		}
+	}
+	s.beginMutation()
+	defer s.endMutation()
+	errs := make([]error, len(s.shards))
+	par.For(len(s.shards), func(i int) {
+		if len(perShard[i]) > 0 {
+			errs[i] = s.shards[i].Remove(perShard[i]...)
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	kept := s.order[:0]
+	for _, n := range s.order {
+		if !doomed[n] {
+			kept = append(kept, n)
+		}
+	}
+	s.order = kept
+	return nil
+}
+
+// Compact forces every shard's index compaction (concurrently). Like
+// Lake.Compact it never changes query answers, so it does not tick the
+// epoch.
+func (s *Sharded) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	par.For(len(s.shards), func(i int) { s.shards[i].Compact() })
+}
+
+// RefreshKB re-annotates every shard (and the composite annotator) against
+// the knowledge base as compiled now, reporting whether anything was stale.
+// See Lake.RefreshKB.
+func (s *Sharded) RefreshKB() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.annotator.UpToDate(s.knowledge) {
+		return false
+	}
+	s.beginMutation()
+	defer s.endMutation()
+	s.annotator = kb.NewAnnotator(s.knowledge.Compiled(), s.dict)
+	par.For(len(s.shards), func(i int) { s.shards[i].RefreshKB() })
+	return true
+}
+
+// Get returns a table by name, from the shard its name routes to.
+func (s *Sharded) Get(name string) (*table.Table, bool) {
+	return s.shards[s.ShardFor(name)].Get(name)
+}
+
+// Size reports the current number of tables across all shards.
+func (s *Sharded) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.order)
+}
+
+// Tables returns the current tables in catalog order — build order, then
+// Add order, minus removals — matching what an unsharded lake over the same
+// history would report. The returned slice is a fresh snapshot.
+func (s *Sharded) Tables() []*table.Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*table.Table, 0, len(s.order))
+	for _, n := range s.order {
+		if t, ok := s.shards[ShardIndex(n, len(s.shards))].Get(n); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Knowledge returns the (possibly merged) knowledge base every shard was
+// annotated with.
+func (s *Sharded) Knowledge() *kb.KB { return s.knowledge }
+
+// Annotator returns the composite-level KB annotation cache, used by the
+// cross-shard stages (integration matching, entity resolution). It is
+// backed by the composite Dict rather than any shard's dictionary, so its
+// codes are consistent across tables from different shards.
+func (s *Sharded) Annotator() *kb.Annotator {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.annotator
+}
+
+// Dict returns the composite-level value dictionary. Shard dictionaries are
+// private to their shards (that privacy is the build-path win), so
+// cross-shard integration interns into this one lazily instead of hitting a
+// prefilled lake dictionary; see SHARDING.md.
+func (s *Sharded) Dict() *table.Dict { return s.dict }
+
+// SketchEngine reports the sketch engine the shards' containment indexes
+// run on (identical across shards — they share Options).
+func (s *Sharded) SketchEngine() sketch.Engine { return s.shards[0].SketchEngine() }
+
+// Stats returns the sum of the shards' per-stage preprocessing timings.
+// Stages run concurrently across and within shards, so the sum can exceed
+// build wall time by roughly the parallelism factor.
+func (s *Sharded) Stats() BuildStats {
+	var sum BuildStats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		sum.KBPrep += st.KBPrep
+		sum.DomainExtraction += st.DomainExtraction
+		sum.Santos += st.Santos
+		sum.LSH += st.LSH
+		sum.Josie += st.Josie
+	}
+	return sum
+}

@@ -1,0 +1,231 @@
+package lake_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/lake"
+	"repro/internal/lshensemble"
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+func shardedFixture(t *testing.T, n int) (*lake.Sharded, []*table.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	tables := make([]*table.Table, 6)
+	for i := range tables {
+		tables[i] = difftest.DiffTable(rng, string(rune('a'+i))+"_tbl")
+	}
+	s, err := lake.NewSharded(tables, n, lake.Options{Knowledge: difftest.DiffKB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tables
+}
+
+// TestShardIndexStable pins the routing hash: FNV-1a 64 of the name mod n.
+// These values must never change — a future shard-per-process deployment
+// routes by recomputing them, so an accidental hash change would strand
+// every persisted placement.
+func TestShardIndexStable(t *testing.T) {
+	// Independent FNV-1a computation (hash/fnv semantics) as the oracle.
+	fnv := func(s string) uint64 {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+		return h
+	}
+	for _, name := range []string{"", "cities", "covid_vaccines", "a", "寿司"} {
+		for _, n := range []int{1, 2, 3, 8, 17} {
+			want := int(fnv(name) % uint64(n))
+			if got := lake.ShardIndex(name, n); got != want {
+				t.Fatalf("ShardIndex(%q, %d) = %d, want %d", name, n, got, want)
+			}
+		}
+	}
+	// A few literal pins so a hash-function change fails loudly even if the
+	// oracle were changed in the same commit.
+	if got := lake.ShardIndex("cities", 4); got != 2 {
+		t.Errorf("ShardIndex(cities, 4) = %d, want pinned 2", got)
+	}
+	if got := lake.ShardIndex("covid_vaccines", 3); got != 2 {
+		t.Errorf("ShardIndex(covid_vaccines, 3) = %d, want pinned 2", got)
+	}
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := difftest.DiffTable(rng, "a")
+	b := difftest.DiffTable(rng, "b")
+	if _, err := lake.NewSharded([]*table.Table{a}, 0, lake.Options{}); err == nil {
+		t.Error("shard count 0 accepted")
+	}
+	if _, err := lake.NewSharded([]*table.Table{a, nil}, 2, lake.Options{}); err == nil || !strings.Contains(err.Error(), "nil table") {
+		t.Errorf("nil table: %v", err)
+	}
+	dup := difftest.DiffTable(rng, "a")
+	if _, err := lake.NewSharded([]*table.Table{a, b, dup}, 2, lake.Options{}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate name across input: %v", err)
+	}
+	if _, err := lake.NewSharded([]*table.Table{a}, 2, lake.Options{LSH: lshOptionsWithEngine("bogus")}); err == nil || !strings.Contains(err.Error(), "unknown sketch engine") {
+		t.Errorf("unknown engine: %v", err)
+	}
+	// n=1 is legal: one shard, still a Sharded.
+	s, err := lake.NewSharded([]*table.Table{a, b}, 1, lake.Options{})
+	if err != nil {
+		t.Fatalf("n=1: %v", err)
+	}
+	if s.NumShards() != 1 || s.Size() != 2 {
+		t.Errorf("n=1: NumShards=%d Size=%d", s.NumShards(), s.Size())
+	}
+}
+
+func TestShardedAddRemoveAtomicity(t *testing.T) {
+	s, tables := shardedFixture(t, 3)
+	rng := rand.New(rand.NewSource(2))
+	fresh := difftest.DiffTable(rng, "fresh")
+	// A batch with one duplicate (against the catalog) must reject whole.
+	if err := s.Add(fresh, tables[0]); err == nil {
+		t.Fatal("Add with duplicate accepted")
+	}
+	if _, ok := s.Get("fresh"); ok {
+		t.Error("failed Add left a batch member indexed")
+	}
+	if s.Size() != len(tables) {
+		t.Errorf("Size after failed Add = %d, want %d", s.Size(), len(tables))
+	}
+	// A batch duplicating within itself must reject whole.
+	f2 := difftest.DiffTable(rng, "fresh")
+	if err := s.Add(fresh, f2); err == nil {
+		t.Fatal("Add with in-batch duplicate accepted")
+	}
+	// Remove with one unknown name must reject whole.
+	if err := s.Remove(tables[1].Name, "nope"); err == nil {
+		t.Fatal("Remove with unknown name accepted")
+	}
+	if _, ok := s.Get(tables[1].Name); !ok {
+		t.Error("failed Remove dropped a batch member")
+	}
+	// Epoch untouched by failed mutations, even afterwards, bumped by 2 per
+	// successful one.
+	e0 := s.Epoch()
+	if e0%2 != 0 {
+		t.Fatalf("idle epoch %d is odd", e0)
+	}
+	if err := s.Add(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if e := s.Epoch(); e != e0+2 {
+		t.Errorf("epoch after Add = %d, want %d", e, e0+2)
+	}
+	if err := s.Remove("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if e := s.Epoch(); e != e0+4 {
+		t.Errorf("epoch after Remove = %d, want %d", e, e0+4)
+	}
+	s.Compact() // answer-preserving: no epoch tick
+	if e := s.Epoch(); e != e0+4 {
+		t.Errorf("epoch after Compact = %d, want %d", e, e0+4)
+	}
+}
+
+func TestShardedCatalogViews(t *testing.T) {
+	s, tables := shardedFixture(t, 3)
+	if s.Size() != len(tables) {
+		t.Fatalf("Size = %d, want %d", s.Size(), len(tables))
+	}
+	for i, tbl := range s.Tables() {
+		if tbl.Name != tables[i].Name {
+			t.Fatalf("Tables()[%d] = %q, want %q (insertion order)", i, tbl.Name, tables[i].Name)
+		}
+	}
+	for _, tbl := range tables {
+		got, ok := s.Get(tbl.Name)
+		if !ok || got != tbl {
+			t.Fatalf("Get(%q) = %v, %v", tbl.Name, got, ok)
+		}
+		shard := s.Shards()[s.ShardFor(tbl.Name)]
+		if _, ok := shard.Get(tbl.Name); !ok {
+			t.Fatalf("table %q not on its routed shard %d", tbl.Name, s.ShardFor(tbl.Name))
+		}
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Error("Get(absent) reported present")
+	}
+	if got := s.SketchEngine(); got != sketch.MinHash {
+		t.Errorf("SketchEngine = %q, want %q", got, sketch.MinHash)
+	}
+}
+
+func TestShardedKMVEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tables := []*table.Table{difftest.DiffTable(rng, "k1"), difftest.DiffTable(rng, "k2"), difftest.DiffTable(rng, "k3")}
+	opts := lake.Options{Knowledge: difftest.DiffKB(), LSH: lshOptionsWithEngine(string(sketch.KMV))}
+	s, err := lake.NewSharded(tables, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SketchEngine(); got != sketch.KMV {
+		t.Fatalf("SketchEngine = %q, want %q", got, sketch.KMV)
+	}
+	un, err := lake.New(tables, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyShardedEquivalence(t, s, un, tables, rand.New(rand.NewSource(4)), "kmv engine")
+}
+
+// TestShardedRefreshKB pins KB-mutation semantics across shards: after the
+// shared KB is mutated, a composite Add must re-annotate every shard —
+// including shards receiving no tables — exactly as the unsharded lake
+// re-annotates everything.
+func TestShardedRefreshKB(t *testing.T) {
+	knowledge := difftest.DiffKB()
+	rng := rand.New(rand.NewSource(5))
+	tables := make([]*table.Table, 5)
+	for i := range tables {
+		tables[i] = difftest.DiffTable(rng, string(rune('r'+i))+"_kb")
+	}
+	opts := lake.Options{Knowledge: knowledge}
+	s, err := lake.NewSharded(tables, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := lake.New(tables, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knowledge.AddEntity("atlantis", "city")
+	if !s.RefreshKB() {
+		t.Fatal("RefreshKB reported nothing stale after a KB mutation")
+	}
+	if s.RefreshKB() {
+		t.Fatal("second RefreshKB reported stale")
+	}
+	if !un.RefreshKB() {
+		t.Fatal("unsharded RefreshKB reported nothing stale")
+	}
+	verifyShardedEquivalence(t, s, un, tables, rand.New(rand.NewSource(6)), "after RefreshKB")
+
+	// Mutate again; this time let a composite Add trigger the refresh.
+	knowledge.AddEntity("el dorado", "city")
+	extra := difftest.DiffTable(rng, "extra_kb")
+	if err := s.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := un.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	pool := append(append([]*table.Table(nil), tables...), extra)
+	verifyShardedEquivalence(t, s, un, pool, rand.New(rand.NewSource(7)), "Add with stale KB")
+}
+
+// lshOptionsWithEngine builds lake LSH options with just the engine set.
+func lshOptionsWithEngine(e string) lshensemble.Options {
+	return lshensemble.Options{Engine: sketch.Engine(e)}
+}

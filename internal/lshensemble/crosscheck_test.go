@@ -90,6 +90,24 @@ func referenceQuery(ix *Index, rawQuery []string, threshold float64, k int) []re
 		if len(p.tables) == 0 {
 			continue
 		}
+		// Mirror the production small-partition rule: partitions at or below
+		// scanPartitionMax live domains are probed exhaustively, not by
+		// bands. The cross-check pins ID-based vs string-based equivalence,
+		// so the reference follows the same candidate-generation policy.
+		live := 0
+		for _, di := range p.domains {
+			if ix.alive[di] {
+				live++
+			}
+		}
+		if live <= scanPartitionMax {
+			for _, di := range p.domains {
+				if ix.alive[di] {
+					candidates[int32(di)] = true
+				}
+			}
+			continue
+		}
 		j := minhash.JaccardForContainment(threshold, len(query), p.upper)
 		bt := p.chooseTable(j, ix.opts.NumHashes)
 		for _, key := range referenceBandKeys(qsig, bt.r) {
@@ -189,6 +207,47 @@ func TestCrossCheckRandomizedLakes(t *testing.T) {
 					assertSameContainments(t, label, ix.Query(query, th, k), referenceQuery(ix, query, th, k))
 				}
 			}
+		}
+	}
+}
+
+// TestCrossCheckBandedPartitions is TestCrossCheckRandomizedLakes at a
+// scale where every partition holds well over scanPartitionMax live
+// domains, so the banded candidate path — bypassed by the small-partition
+// scan above — stays cross-checked against the string-based reference too.
+func TestCrossCheckBandedPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nd = 400
+	vocab := 600
+	var domains []Domain
+	for i := 0; i < nd; i++ {
+		n := 1 + rng.Intn(120)
+		seen := make(map[string]bool, n)
+		var vals []string
+		for j := 0; j < n; j++ {
+			v := fmt.Sprintf("val%05d", rng.Intn(vocab))
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
+		}
+		domains = append(domains, Domain{Table: fmt.Sprintf("t%03d", i), Column: rng.Intn(3), Values: vals})
+	}
+	ix := Build(domains, Options{NumHashes: 128, NumPartitions: 2})
+	for pi := range ix.parts {
+		if n := len(ix.parts[pi].domains); n > 0 && n <= scanPartitionMax {
+			t.Fatalf("partition %d has %d domains — too small to exercise the banded path", pi, n)
+		}
+	}
+	for qi := 0; qi < 10; qi++ {
+		qn := 1 + rng.Intn(80)
+		query := make([]string, qn)
+		for j := range query {
+			query[j] = fmt.Sprintf("val%05d", rng.Intn(vocab))
+		}
+		for _, th := range []float64{0.25, 0.5, 0.8} {
+			label := fmt.Sprintf("banded query=%d th=%v", qi, th)
+			assertSameContainments(t, label, ix.Query(query, th, 0), referenceQuery(ix, query, th, 0))
 		}
 	}
 }

@@ -662,6 +662,17 @@ func appendBandKeys(sig sketch.Sketch, r int, dst []uint64) []uint64 {
 // candidate sets small without sacrificing recall at the threshold.
 const minRecallAtThreshold = 0.95
 
+// scanPartitionMax is the live-domain count at or below which a partition
+// is probed by exhaustive scan instead of band lookups. For a partition
+// this small, verifying every member costs less than hashing the query
+// signature into bands and chasing buckets, and the scan's recall is exact
+// rather than probabilistic. It also makes small-lake candidate generation
+// independent of the equi-depth partition layout — band misses are a
+// function of where partition boundaries fall, a scan admits everything —
+// which is what lets the sharded differential harness demand byte-identical
+// rankings between shard-local and global partitionings (see SHARDING.md).
+const scanPartitionMax = 64
+
 // chooseTable picks the most selective precomputed banding whose collision
 // probability 1-(1-j^r)^b at the target Jaccard threshold j is still at
 // least minRecallAtThreshold. r=1 (which collides with probability
@@ -849,6 +860,21 @@ func (ix *Index) query(ctx context.Context, qsig sketch.Sketch, qids map[uint32]
 			}
 			p := &ix.parts[pi]
 			if len(p.tables) == 0 {
+				continue
+			}
+			live := 0
+			for _, di := range p.domains {
+				if ix.alive[di] {
+					live++
+				}
+			}
+			if live <= scanPartitionMax {
+				for _, di := range p.domains {
+					if ix.alive[di] && s.seen[di] != s.epoch {
+						s.seen[di] = s.epoch
+						candidates = append(candidates, int32(di))
+					}
+				}
 				continue
 			}
 			j := minhash.JaccardForContainment(threshold, qsize, p.upper)

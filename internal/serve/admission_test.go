@@ -551,3 +551,45 @@ func TestWarmingShedding(t *testing.T) {
 		t.Fatalf("discover after attach = %d, want 200", resp.StatusCode)
 	}
 }
+
+// TestRetryAfterSecondsFloor pins the Retry-After rendering floor: the
+// header is whole seconds rounded up and never "0" — RFC 9110 allows a
+// zero delay, but well-behaved clients treat it as "retry immediately",
+// which under shedding is exactly the retry storm the hint exists to
+// prevent. Sub-second projections (including a zero or negative EWMA
+// projection on a cold admitter) must render as "1".
+func TestRetryAfterSecondsFloor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{-time.Second, "1"},
+		{0, "1"},
+		{time.Nanosecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{10 * time.Second, "10"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+	// And through the shed path itself: a cold admitter (no completions
+	// yet, so the EWMA projection is zero) must produce a hint that
+	// renders as "1", never "0".
+	a := newAdmitter(1, -1)
+	var gauge atomic.Int64
+	if err := a.admit(context.Background(), &gauge); err != nil {
+		t.Fatal(err)
+	}
+	err := a.admit(context.Background(), &gauge)
+	var sh *shedError
+	if !errors.As(err, &sh) {
+		t.Fatalf("admit at capacity = %v, want shed", err)
+	}
+	if got := retryAfterSeconds(sh.retryAfter); got == "0" || got == "" {
+		t.Fatalf("cold-admitter shed rendered Retry-After %q", got)
+	}
+}

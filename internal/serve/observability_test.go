@@ -1,0 +1,163 @@
+package serve
+
+// Observability regression pins: the /metrics empty-histogram quantile
+// rendering and the /healthz effective-vs-requested sketch engine
+// surfacing. Both exist because an operator reading these endpoints acts
+// on what they say — a phantom latency on an idle endpoint or a silently
+// ignored -sketch flag sends that action in the wrong direction.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/lake"
+	"repro/internal/lshensemble"
+	"repro/internal/paperdata"
+	"repro/internal/sketch"
+)
+
+// TestMetricsZeroCompletionQuantiles pins the empty-histogram rendering:
+// an endpoint with zero completed requests reports p50 = p99 = 0 — not
+// the first bucket's upper bound (1µs), which would read as a phantom
+// latency on endpoints that have never served. After one completion the
+// quantiles turn nonzero for that endpoint only.
+func TestMetricsZeroCompletionQuantiles(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	fetch := func() map[string]EndpointMetrics {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics?format=json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		byPath := map[string]EndpointMetrics{}
+		for _, m := range decodeResp[[]EndpointMetrics](t, resp) {
+			byPath[m.Endpoint] = m
+		}
+		return byPath
+	}
+
+	// The snapshot request itself is not metered past its own endpoint, so
+	// at this point no metered endpoint has completed anything... except
+	// /metrics is unmetered entirely (it bypasses admission). Every
+	// endpoint must read zero across the histogram fields.
+	for path, m := range fetch() {
+		if m.Count != 0 || m.P50NS != 0 || m.P99NS != 0 || m.MaxNS != 0 || m.SumNS != 0 {
+			t.Errorf("%s: zero-completion metrics = %+v, want all-zero histogram", path, m)
+		}
+	}
+
+	// The Prometheus text must render literal zeros too.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(bytes.Buffer)
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`dialite_request_seconds{endpoint="/v1/lake",quantile="0.5"} 0`,
+		`dialite_request_seconds{endpoint="/v1/lake",quantile="0.99"} 0`,
+		`dialite_request_seconds_count{endpoint="/v1/lake"} 0`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("prometheus text missing %q\n%s", want, buf.String())
+		}
+	}
+
+	// One completion on /v1/lake: its quantiles turn positive; everything
+	// else stays zero.
+	lr, err := http.Get(ts.URL + "/v1/lake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	for path, m := range fetch() {
+		if path == "/v1/lake" {
+			if m.Count != 1 || m.P50NS <= 0 || m.P99NS <= 0 {
+				t.Errorf("/v1/lake after one request = %+v, want count 1 and positive quantiles", m)
+			}
+			continue
+		}
+		if m.P50NS != 0 || m.P99NS != 0 {
+			t.Errorf("%s: idle endpoint got quantiles %d/%d after traffic elsewhere", path, m.P50NS, m.P99NS)
+		}
+	}
+}
+
+// TestHealthzSketchEngineMismatch pins the warm-restart engine surfacing:
+// a lake recovered from a snapshot keeps its persisted sketch engine
+// regardless of the -sketch flag, and /healthz must say so — effective
+// engine, requested engine, and an explicit mismatch bit — instead of
+// letting the operator believe the flag took effect.
+func TestHealthzSketchEngineMismatch(t *testing.T) {
+	health := func(t *testing.T, requested string, opts lake.Options) map[string]any {
+		t.Helper()
+		p, err := core.New(paperdata.CovidLake(), core.Config{Knowledge: kb.Demo(), LakeOptions: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(p, Config{RequestedSketchEngine: requested})
+		rec := newTestResponse(t, s, "/healthz")
+		var out map[string]any
+		if err := json.Unmarshal(rec, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	kmvLake := lake.Options{LSH: lshensemble.Options{Engine: sketch.KMV}}
+
+	// Warm restart with a kmv-persisted lake while the operator asked for
+	// minhash: both engines surfaced, mismatch set.
+	h := health(t, "minhash", kmvLake)
+	if h["sketch_engine"] != "kmv" {
+		t.Errorf("sketch_engine = %v, want kmv", h["sketch_engine"])
+	}
+	if h["requested_sketch_engine"] != "minhash" {
+		t.Errorf("requested_sketch_engine = %v, want minhash", h["requested_sketch_engine"])
+	}
+	if h["sketch_engine_mismatch"] != true {
+		t.Errorf("sketch_engine_mismatch = %v, want true", h["sketch_engine_mismatch"])
+	}
+
+	// Request matches the effective engine: no mismatch, and the omitempty
+	// bit disappears from the JSON rather than reading false-but-present.
+	h = health(t, "kmv", kmvLake)
+	if h["requested_sketch_engine"] != "kmv" {
+		t.Errorf("requested_sketch_engine = %v, want kmv", h["requested_sketch_engine"])
+	}
+	if _, present := h["sketch_engine_mismatch"]; present {
+		t.Errorf("sketch_engine_mismatch present on a match: %v", h["sketch_engine_mismatch"])
+	}
+
+	// No requested engine (flag unset): neither field appears — there is
+	// nothing to mismatch against.
+	h = health(t, "", lake.Options{})
+	if h["sketch_engine"] != "minhash" {
+		t.Errorf("default sketch_engine = %v, want minhash", h["sketch_engine"])
+	}
+	for _, field := range []string{"requested_sketch_engine", "sketch_engine_mismatch"} {
+		if _, present := h[field]; present {
+			t.Errorf("%s present with no requested engine", field)
+		}
+	}
+}
+
+// newTestResponse performs one GET against a handler without a listener
+// and returns the response body.
+func newTestResponse(t *testing.T, s *Server, path string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec.Body.Bytes()
+}
