@@ -394,7 +394,7 @@ func BenchmarkShardedDiscovery(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := discovery.Discover(ctx, reg, target, q, 0, 10, methods); err != nil {
+				if _, _, _, err := discovery.Discover(ctx, reg, target, q, 0, 10, methods); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,6 +4,9 @@
 // Usage:
 //
 //	dialite serve     -lake DIR [-persist DIR] [-addr :8080] [-timeout 30s] [-max-inflight N] [-max-queue-wait 1s] [-max-body-bytes N] [-sketch minhash|kmv]
+//	dialite serve     -coordinator -shard-addrs HOST:PORT,... [-persist DIR] [-addr :8080] [-sketch minhash|kmv]
+//	dialite serve     -lake DIR -shard-of I/N [-persist DIR] [-addr :8080]
+//	dialite shardctl  -shard-addrs HOST:PORT,... | -persist DIR
 //	dialite snapshot  -persist DIR [-lake DIR] [-sketch minhash|kmv]
 //	dialite loadtest  -url http://HOST:PORT [-qps N] [-duration 2s] [-saturate]
 //	dialite discover  -lake DIR -query Q.csv -col N [-methods m1,m2] [-k K] [-grow DIR] [-drop t1,t2] [-sketch minhash|kmv]
@@ -34,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/analyze"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/er"
 	"repro/internal/kb"
@@ -71,6 +75,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "shardctl":
+		err = cmdShardctl(ctx, os.Args[2:])
 	case "snapshot":
 		err = cmdSnapshot(os.Args[2:])
 	case "loadtest":
@@ -92,7 +98,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `dialite — Discover, Align and Integrate Open Data Tables
 
 commands:
-  serve      serve the pipeline over HTTP (JSON endpoints, mutable lake)
+  serve      serve the pipeline over HTTP (JSON endpoints, mutable lake);
+             -coordinator scatter-gathers over remote shard servers,
+             -shard-of I/N serves one shard's slice of a CSV directory
+  shardctl   inspect a cluster: placement manifest + per-shard health probe
   snapshot   compact a durable lake directory: fold the WAL into a snapshot
   loadtest   drive a running server with load and report QPS + p50/p99
   discover   find unionable/joinable tables for a query table
@@ -169,17 +178,32 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing compute requests (0 picks 4x GOMAXPROCS; negative disables the cap)")
 	maxQueueWait := fs.Duration("max-queue-wait", 0, "max time an at-capacity request may queue before shedding with 429 (0 picks the default; negative disables queueing)")
 	maxBodyBytes := fs.Int64("max-body-bytes", 0, "max request body size in bytes (0 picks the 32 MiB default)")
-	shards := fs.Int("shards", 0, "shard the lake across N shard lakes with scatter-gather discovery (0 or 1 = unsharded; incompatible with -persist)")
+	shards := fs.Int("shards", 0, "shard the lake across N in-process shard lakes with scatter-gather discovery (0 or 1 = unsharded; for durable sharding use -coordinator)")
+	coordinator := fs.Bool("coordinator", false, "serve as a cluster coordinator: scatter-gather over the -shard-addrs shard servers instead of a local lake")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard server base URLs, in shard order (coordinator mode)")
+	shardOf := fs.String("shard-of", "", `serve shard I of an N-shard cluster as "I/N": load only the -lake tables that lake.ShardIndex routes to shard I`)
 	engine := sketchFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := validateServeFlags(*addr, *timeout, *maxBodyBytes, *lakeDir, *persistDir, *shards); err != nil {
+	if err := validateServeFlags(*addr, *timeout, *maxBodyBytes, *lakeDir, *persistDir, *shards, *coordinator, *shardAddrs, *shardOf); err != nil {
 		return err
 	}
 	cfg := serve.Config{Timeout: *timeout, MaxBodyBytes: *maxBodyBytes, MaxInflight: *maxInflight, MaxQueueWait: *maxQueueWait, RequestedSketchEngine: *engine}
+	if *coordinator {
+		return serveCoordinator(ctx, cfg, *addr, *shardAddrs, *persistDir, *engine, *timeout)
+	}
+	// buildLocal builds the lake-backed pipeline, honoring -shard-of: a
+	// shard server loads only its slice of the CSV directory (possibly
+	// empty — a valid shard holds no tables until mutations route to it).
+	buildLocal := func() (*core.Pipeline, error) {
+		if *shardOf != "" {
+			return newShardPipeline(*lakeDir, *synthKB, *engine, *shardOf)
+		}
+		return newPipeline(*lakeDir, *synthKB, *engine, *shards)
+	}
 	if *persistDir == "" {
-		p, err := newPipeline(*lakeDir, *synthKB, *engine, *shards)
+		p, err := buildLocal()
 		if err != nil {
 			return err
 		}
@@ -224,8 +248,10 @@ func cmdServe(ctx context.Context, args []string) error {
 	// Cold start: build from the -lake CSVs, then make the directory the
 	// lake's durable home before taking traffic. validateServeFlags refused
 	// -shards with -persist, so the catalog here is always a concrete
-	// single lake — what the persistence layer snapshots.
-	p, err := newPipeline(*lakeDir, *synthKB, *engine, 0)
+	// single lake — what the persistence layer snapshots. A -shard-of
+	// server persists exactly its slice: each shard process owns its own
+	// durable store, which is what cluster mode's manifest coordinates.
+	p, err := buildLocal()
 	if err != nil {
 		return err
 	}
@@ -248,21 +274,52 @@ func cmdServe(ctx context.Context, args []string) error {
 // error — a bad listen address or a nonsensical timeout should fail before
 // the lake is built, not as a late bind error or a silently applied
 // default.
-func validateServeFlags(addr string, timeout time.Duration, maxBodyBytes int64, lakeDir, persistDir string, shards int) error {
+func validateServeFlags(addr string, timeout time.Duration, maxBodyBytes int64, lakeDir, persistDir string, shards int, coordinator bool, shardAddrs, shardOf string) error {
 	if timeout <= 0 {
 		return fmt.Errorf("-timeout must be positive, got %s (the per-request deadline is what load shedding budgets against)", timeout)
 	}
 	if shards < 0 {
 		return fmt.Errorf("-shards must be >= 0, got %d", shards)
 	}
-	if shards > 1 && persistDir != "" {
-		return fmt.Errorf("-shards %d conflicts with -persist %s: the durability layer snapshots a single lake; run sharded lakes in-memory (see SHARDING.md)", shards, persistDir)
-	}
 	if _, err := net.ResolveTCPAddr("tcp", addr); err != nil {
 		return fmt.Errorf("-addr %q is not a usable listen address: %v", addr, err)
 	}
 	if maxBodyBytes < 0 {
 		return fmt.Errorf("-max-body-bytes must be >= 0, got %d", maxBodyBytes)
+	}
+	if coordinator {
+		// Coordinator mode: the shards are the lake. -persist is the
+		// manifest directory, not a lake store.
+		if shardAddrs == "" {
+			return fmt.Errorf("-coordinator requires -shard-addrs (comma-separated shard server URLs, in shard order)")
+		}
+		if lakeDir != "" {
+			return fmt.Errorf("-coordinator conflicts with -lake: a coordinator holds no tables; point the shard servers at their CSV slices instead")
+		}
+		if shards > 1 {
+			return fmt.Errorf("-coordinator conflicts with -shards: the shard count is len(-shard-addrs)")
+		}
+		if shardOf != "" {
+			return fmt.Errorf("-coordinator conflicts with -shard-of: a process is either the coordinator or a shard, not both")
+		}
+		return nil
+	}
+	if shardAddrs != "" {
+		return fmt.Errorf("-shard-addrs requires -coordinator")
+	}
+	if shardOf != "" {
+		if _, _, err := parseShardOf(shardOf); err != nil {
+			return err
+		}
+		if shards > 1 {
+			return fmt.Errorf("-shard-of conflicts with -shards: a shard server is a single lake")
+		}
+		if lakeDir == "" && !persist.Exists(persistDir, persist.Options{}) {
+			return fmt.Errorf("-shard-of needs -lake to slice (warm restarts recover the slice from -persist and may drop -shard-of)")
+		}
+	}
+	if shards > 1 && persistDir != "" {
+		return fmt.Errorf("-shards %d conflicts with -persist %s: the durability layer snapshots a single lake; for durable sharding run one `serve -shard-of` per shard plus `serve -coordinator -persist` (see SHARDING.md)", shards, persistDir)
 	}
 	if lakeDir == "" && persistDir == "" {
 		return fmt.Errorf("one of -lake (CSV directory) or -persist (durable lake directory) is required")
@@ -273,10 +330,190 @@ func validateServeFlags(addr string, timeout time.Duration, maxBodyBytes int64, 
 	return nil
 }
 
+// parseShardOf parses "I/N" into (shard, count).
+func parseShardOf(s string) (shard, count int, err error) {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf(`-shard-of wants "I/N" (e.g. 0/3), got %q`, s)
+	}
+	shard, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	count, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil || count < 1 || shard < 0 || shard >= count {
+		return 0, 0, fmt.Errorf(`-shard-of wants "I/N" with 0 <= I < N, got %q`, s)
+	}
+	return shard, count, nil
+}
+
+// newShardPipeline builds a single-lake pipeline over shard I's slice of
+// the -lake directory: exactly the tables lake.ShardIndex(name, N) routes
+// to shard I, so N such servers partition the directory with no overlap
+// and no gaps. An empty slice is valid — the shard fills via routed
+// mutations.
+func newShardPipeline(lakeDir string, synthKB bool, engine, shardOf string) (*core.Pipeline, error) {
+	if lakeDir == "" {
+		return nil, fmt.Errorf("-lake directory is required")
+	}
+	shard, count, err := parseShardOf(shardOf)
+	if err != nil {
+		return nil, err
+	}
+	all, err := table.LoadDir(lakeDir)
+	if err != nil {
+		return nil, err
+	}
+	mine := make([]*table.Table, 0, len(all)/count+1)
+	for _, t := range all {
+		if lake.ShardIndex(t.Name, count) == shard {
+			mine = append(mine, t)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dialite: shard %d/%d holds %d of %d tables from %s\n", shard, count, len(mine), len(all), lakeDir)
+	cfg := core.Config{Knowledge: kb.Demo(), SynthesizeKB: synthKB}
+	cfg.LakeOptions.LSH.Engine = sketch.Engine(engine)
+	return core.New(mine, cfg)
+}
+
+// serveCoordinator stands up cluster mode's front door: a serve.Server
+// whose catalog is a cluster.Coordinator scatter-gathering over the shard
+// servers. With -persist the placement manifest lives there — first boot
+// pins the shard count and (probed or flagged) sketch engine, later boots
+// refuse a drifted shard count or engine before taking any traffic.
+func serveCoordinator(ctx context.Context, cfg serve.Config, addr, shardAddrs, persistDir, engine string, timeout time.Duration) error {
+	addrs := splitCommaList(shardAddrs)
+	if len(addrs) == 0 {
+		return fmt.Errorf("-shard-addrs is empty after trimming")
+	}
+	eng := sketch.Engine(engine)
+	if persistDir != "" && eng == "" {
+		// An existing manifest supplies the engine so cluster.New can
+		// cross-check the shards against it rather than trusting a probe.
+		if m, err := cluster.LoadManifest(persistDir); err == nil {
+			eng = m.Engine
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Addrs:       addrs,
+		Knowledge:   kb.Demo(),
+		Engine:      eng,
+		CallTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if persistDir != "" {
+		if _, err := cluster.ReconcileManifest(persistDir, coord.Addrs(), coord.SketchEngine()); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dialite: coordinating %d shards (%s) on %s, engine %s (request timeout %s)\n",
+		coord.NumShards(), strings.Join(coord.Addrs(), ", "), addr, coord.SketchEngine(), timeout)
+	return serve.New(core.FromCatalog(coord), cfg).ListenAndServe(ctx, addr)
+}
+
+// cmdShardctl inspects a cluster without serving: print the placement
+// manifest (if -persist names one) and probe each shard's health and size.
+// Exit status is nonzero when any probed shard is unreachable, so scripts
+// can gate on a fully-up cluster.
+func cmdShardctl(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("shardctl", flag.ExitOnError)
+	persistDir := fs.String("persist", "", "coordinator persist directory holding cluster.json")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard server URLs to probe (default: the manifest's recorded addresses)")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-shard probe deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var manifest *cluster.Manifest
+	if *persistDir != "" {
+		m, err := cluster.LoadManifest(*persistDir)
+		if err != nil {
+			return err
+		}
+		manifest = m
+	}
+	addrs := splitCommaList(*shardAddrs)
+	if len(addrs) == 0 && manifest != nil {
+		addrs = manifest.Addrs
+	}
+	if len(addrs) == 0 && manifest == nil {
+		return fmt.Errorf("nothing to inspect: give -persist (manifest) and/or -shard-addrs (probe targets)")
+	}
+	if manifest != nil && len(addrs) != 0 && len(addrs) != manifest.Shards {
+		fmt.Fprintf(os.Stderr, "shardctl: warning: probing %d addresses but the manifest pins %d shards\n", len(addrs), manifest.Shards)
+	}
+	out := struct {
+		Manifest *cluster.Manifest   `json:"manifest,omitempty"`
+		Shards   []serve.ShardHealth `json:"shards,omitempty"`
+	}{Manifest: manifest}
+	down := 0
+	if len(addrs) > 0 {
+		health, err := cluster.ProbeShards(ctx, addrs, *probeTimeout)
+		if err != nil {
+			return err
+		}
+		out.Shards = health
+		for _, h := range health {
+			if h.Status == "down" {
+				down++
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if down > 0 {
+		return fmt.Errorf("%d of %d shards down", down, len(out.Shards))
+	}
+	return nil
+}
+
+// fetchShardFanout asks the target for its per-shard fan-out counters.
+// Empty (and silent) against a non-coordinator server — the scope=shards
+// metrics view answers null outside cluster mode.
+func fetchShardFanout(ctx context.Context, baseURL string) []serve.ShardMetrics {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(baseURL, "/")+"/metrics?format=json&scope=shards", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var out []serve.ShardMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil
+	}
+	return out
+}
+
+// splitCommaList splits a comma-separated flag value, trimming whitespace
+// and dropping empties.
+func splitCommaList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // cmdLoadtest drives a running dialite server (see internal/loadharness):
 // a fixed-rate or closed-loop run by default, or -saturate to step the
 // rate upward until the server stops keeping up. The measurement is
-// printed as JSON on stdout.
+// printed as JSON on stdout. The target may be a cluster coordinator — the
+// API surface is identical — in which case the result also captures the
+// coordinator's per-shard fan-out counters, so a bench trajectory over
+// cluster mode records where the fan-out spent its time.
 func cmdLoadtest(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	url := fs.String("url", "http://127.0.0.1:8080", "base URL of a running dialite serve")
@@ -318,7 +555,11 @@ func cmdLoadtest(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := enc.Encode(res); err != nil {
+	out := struct {
+		loadharness.Result
+		ShardFanout []serve.ShardMetrics `json:"shard_fanout,omitempty"`
+	}{Result: res, ShardFanout: fetchShardFanout(ctx, *url)}
+	if err := enc.Encode(out); err != nil {
 		return err
 	}
 	if res.Errors > 0 {

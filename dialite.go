@@ -58,10 +58,15 @@
 package dialite
 
 import (
+	"context"
+	"time"
+
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/lake"
 	"repro/internal/serve"
+	"repro/internal/sketch"
 	"repro/internal/table"
 )
 
@@ -135,6 +140,46 @@ func NewServer(p *Pipeline, cfg ServeConfig) *Server { return serve.New(p, cfg) 
 // EncodeTableJSON converts a table to the serve endpoints' wire form — what
 // a client posts as a query or inline integration member.
 func EncodeTableJSON(t *Table) TableJSON { return serve.EncodeTable(t) }
+
+// Cluster mode (shard-per-process over HTTP), re-exported.
+type (
+	// Coordinator is a lake catalog whose shards are remote dialite serve
+	// processes: hash-routed mutations, scatter-gather discovery with
+	// rankings byte-identical to an in-process ShardedLake, and explicit
+	// partial-result degradation when shards are down (see SHARDING.md,
+	// "Cluster mode").
+	Coordinator = cluster.Coordinator
+	// ClusterConfig configures a Coordinator (shard addresses, call
+	// deadlines, retry policy).
+	ClusterConfig = cluster.Config
+	// ClusterManifest is the coordinator-side placement record pinning
+	// shard count and sketch engine across restarts.
+	ClusterManifest = cluster.Manifest
+	// ShardHealth is one shard's entry in a coordinator health report.
+	ShardHealth = serve.ShardHealth
+)
+
+// NewCoordinator connects to the shard servers and returns a coordinator
+// catalog over them; pass it to NewPipelineFromCatalog (or run `dialite
+// serve -coordinator`).
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
+
+// NewPipelineFromCatalog builds a pipeline over an already-constructed
+// catalog (a ShardedLake or a cluster Coordinator).
+func NewPipelineFromCatalog(c LakeCatalog) *Pipeline { return core.FromCatalog(c) }
+
+// ProbeClusterShards health-checks shard servers without building a
+// coordinator — what `dialite shardctl` runs.
+func ProbeClusterShards(ctx context.Context, addrs []string, timeout time.Duration) ([]serve.ShardHealth, error) {
+	return cluster.ProbeShards(ctx, addrs, timeout)
+}
+
+// ReconcileClusterManifest loads (or first-boot writes) a cluster persist
+// directory's placement manifest and checks it against the given shard
+// addresses and engine.
+func ReconcileClusterManifest(dir string, addrs []string, engine string) (*ClusterManifest, error) {
+	return cluster.ReconcileManifest(dir, addrs, sketch.Engine(engine))
+}
 
 // NewKB returns an empty knowledge base.
 func NewKB() *KB { return kb.New() }

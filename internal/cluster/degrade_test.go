@@ -1,0 +1,310 @@
+// degrade_test drives the kill-one-shard-mid-traffic acceptance scenario:
+// concurrent readers and writers against the coordinator while one shard
+// server dies, then comes back at the same address. Reads must degrade to
+// explicit partials (never hang, never silently full), mutations to the
+// dead shard must refuse fast with 503, the fan-out goroutines must all
+// settle (checked under -race), and the restart must restore full answers
+// with no coordinator restart.
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/difftest"
+	"repro/internal/discovery"
+	"repro/internal/lake"
+	"repro/internal/serve"
+	"repro/internal/table"
+	"repro/internal/testutil"
+)
+
+// killableShard is one shard server on a fixed address with an explicit
+// lifecycle: stop() tears the listener and server down, start() brings a
+// fresh server up on the same address over the same tables.
+type killableShard struct {
+	t       *testing.T
+	addr    string
+	tables  []*table.Table
+	cancel  context.CancelFunc
+	done    chan error
+	stopped bool
+}
+
+func (ks *killableShard) start() {
+	ks.t.Helper()
+	l, err := lake.New(ks.tables, lake.Options{Knowledge: difftest.DiffKB()})
+	if err != nil {
+		ks.t.Fatal(err)
+	}
+	s := serve.New(core.FromLake(l), serve.Config{Timeout: 10 * time.Second})
+	var ln net.Listener
+	// The previous incarnation's listener may take a moment to release the
+	// port even after Serve returned.
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", ks.addr)
+		if err == nil {
+			break
+		}
+		if attempt > 100 {
+			ks.t.Fatalf("rebinding %s: %v", ks.addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ks.addr = ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	ks.cancel = cancel
+	ks.stopped = false
+	ks.done = make(chan error, 1)
+	go func() { ks.done <- s.Serve(ctx, ln) }()
+	waitShardReady(ks.t, "http://"+ks.addr)
+}
+
+func (ks *killableShard) stop() {
+	ks.t.Helper()
+	if ks.stopped {
+		return
+	}
+	ks.stopped = true
+	ks.cancel()
+	select {
+	case err := <-ks.done:
+		if err != nil {
+			ks.t.Fatalf("shard %s exited: %v", ks.addr, err)
+		}
+	case <-time.After(10 * time.Second):
+		ks.t.Fatalf("shard %s did not shut down", ks.addr)
+	}
+}
+
+func waitShardReady(t testing.TB, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/lake/epoch")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("shard %s never became ready", base)
+}
+
+func TestClusterShardDeathAndRecoveryMidTraffic(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	pool := diffPool(55, 9)
+	const n = 3
+	shards := make([]*killableShard, n)
+	addrs := make([]string, n)
+	for i := range shards {
+		var mine []*table.Table
+		for _, tbl := range pool {
+			if lake.ShardIndex(tbl.Name, n) == i {
+				mine = append(mine, tbl)
+			}
+		}
+		shards[i] = &killableShard{t: t, addr: "127.0.0.1:0", tables: mine}
+		shards[i].start()
+		addrs[i] = "http://" + shards[i].addr
+	}
+	defer func() {
+		for _, ks := range shards {
+			ks.stop()
+		}
+	}()
+	coord, err := cluster.New(cluster.Config{
+		Addrs:        addrs,
+		Knowledge:    difftest.DiffKB(),
+		CallTimeout:  10 * time.Second,
+		ProbeTimeout: time.Second,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := lake.NewSharded(pool, n, lake.Options{Knowledge: difftest.DiffKB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := discovery.NewRegistry()
+	fullSig := func(q *table.Table) string { return difftest.DiscoverySig(reg, coord, q, 0, 5) }
+	wantSig := difftest.DiscoverySig(reg, mirror, pool[0], 0, 5)
+	if got := fullSig(pool[0]); got != wantSig {
+		t.Fatalf("pre-kill answers diverge\n got:\n%s\nwant:\n%s", got, wantSig)
+	}
+
+	// Concurrent traffic: readers fan discovery out, a writer churns a
+	// table on a healthy shard. All of it must keep completing (full or
+	// partial, never hung) while shard 1 dies and recovers.
+	const down = 1
+	trafficCtx, stopTraffic := context.WithCancel(context.Background())
+	var (
+		wg           sync.WaitGroup
+		partialSeen  atomic.Int64
+		readFailures atomic.Int64
+	)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; trafficCtx.Err() == nil; i++ {
+				q := pool[(w+i)%len(pool)]
+				_, _, serrs, err := discovery.Discover(trafficCtx, reg, coord, q, 0, 5, difftest.DiffMethods)
+				switch {
+				case err != nil && trafficCtx.Err() == nil:
+					readFailures.Add(1)
+				case len(serrs) > 0:
+					partialSeen.Add(1)
+				}
+			}
+		}(w)
+	}
+	healthy := (down + 1) % n
+	churn := difftest.DiffTable(rand.New(rand.NewSource(77)), nameForShard("churn", healthy, n))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for trafficCtx.Err() == nil {
+			if err := coord.Add(churn); err != nil {
+				continue // racing its own remove, or mid-kill probe refusal
+			}
+			_ = coord.Remove(churn.Name)
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let traffic establish
+	shards[down].stop()
+
+	// Reads degrade to explicit partials while the shard is gone.
+	settle := time.Now().Add(10 * time.Second)
+	for partialSeen.Load() == 0 && time.Now().Before(settle) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if partialSeen.Load() == 0 {
+		t.Fatal("no partial reads observed while a shard was down")
+	}
+	// Mutations to the dead shard refuse fast with a 503-coded error.
+	victim := difftest.DiffTable(rand.New(rand.NewSource(78)), nameForShard("victim", down, n))
+	start := time.Now()
+	err = coord.Add(victim)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Add routed to the dead shard succeeded")
+	}
+	var coded interface{ HTTPStatus() int }
+	if !errors.As(err, &coded) || coded.HTTPStatus() != http.StatusServiceUnavailable {
+		t.Fatalf("dead-shard Add error = %v, want 503-coded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("dead-shard Add took %s, want a fast refusal", elapsed)
+	}
+
+	// Restart the shard at the same address: full answers come back with
+	// no coordinator restart (the next epoch sample sees it live).
+	shards[down].start()
+	stopTraffic()
+	wg.Wait()
+	// The churn table may have been mid-toggle when traffic stopped; settle
+	// the catalog back to the mirror's contents before comparing.
+	if err := coord.Remove(churn.Name); err != nil && !strings.Contains(err.Error(), "no table") {
+		t.Fatalf("removing churn table: %v", err)
+	}
+	var got string
+	recovered := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if got = fullSig(pool[0]); got == wantSig {
+			recovered = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatalf("answers did not recover after shard restart\n got:\n%s\nwant:\n%s", got, wantSig)
+	}
+	if rf := readFailures.Load(); rf > 0 {
+		// Reads racing the exact kill window may fail hard only if their
+		// error does not match the unavailable contract; that would be a
+		// degradation bug.
+		t.Fatalf("%d concurrent reads failed hard instead of degrading to partial", rf)
+	}
+	// Everything the fan-out and the shard servers spawned must be gone
+	// (run under -race in CI). Stop the shards and drop idle keep-alive
+	// conns first — both legitimately hold goroutines while running.
+	for _, ks := range shards {
+		ks.stop()
+	}
+	coordClient(coord)
+	testutil.WaitGoroutinesSettle(t, baseline)
+}
+
+// coordClient shuts the coordinator's pooled transport down so its idle
+// connections stop holding goroutines.
+func coordClient(c *cluster.Coordinator) {
+	http.DefaultClient.CloseIdleConnections()
+	c.CloseIdleConnections()
+}
+
+// TestClusterRestartWithoutTraffic is the minimal lifecycle check the big
+// test above subsumes, kept separate for fast failure triage: kill, verify
+// partial + sentinel stability, restart, verify full.
+func TestClusterRestartWithoutTraffic(t *testing.T) {
+	pool := diffPool(66, 6)
+	const n = 2
+	shards := make([]*killableShard, n)
+	addrs := make([]string, n)
+	for i := range shards {
+		var mine []*table.Table
+		for _, tbl := range pool {
+			if lake.ShardIndex(tbl.Name, n) == i {
+				mine = append(mine, tbl)
+			}
+		}
+		shards[i] = &killableShard{t: t, addr: "127.0.0.1:0", tables: mine}
+		shards[i].start()
+		addrs[i] = "http://" + shards[i].addr
+	}
+	defer func() {
+		for _, ks := range shards {
+			ks.stop()
+		}
+	}()
+	coord, err := cluster.New(cluster.Config{Addrs: addrs, Knowledge: difftest.DiffKB(), ProbeTimeout: time.Second, RetryBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := discovery.NewRegistry()
+	want := difftest.DiscoverySig(reg, coord, pool[0], 0, 0)
+	if strings.HasPrefix(want, "err:") {
+		t.Fatalf("all-up signature errored: %s", want)
+	}
+	shards[0].stop()
+	partial := difftest.DiscoverySig(reg, coord, pool[0], 0, 0)
+	if !strings.Contains(partial, "partial run") {
+		t.Fatalf("down-shard signature = %q, want an explicit partial marker", partial)
+	}
+	shards[0].start()
+	deadline := time.Now().Add(10 * time.Second)
+	var got string
+	for time.Now().Before(deadline) {
+		if got = difftest.DiscoverySig(reg, coord, pool[0], 0, 0); got == want {
+			coordClient(coord)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("restart did not restore answers\n got:\n%s\nwant:\n%s", got, want)
+}

@@ -161,7 +161,16 @@ type DiscoverResponse struct {
 	// IntegrationSet is the deduplicated union of all results with the
 	// query table first — the input to Align & Integrate.
 	IntegrationSet []*table.Table
+	// ShardErrors is non-empty when the discovery run was partial: some
+	// shards of a cluster-mode catalog were unreachable and contributed
+	// nothing (discovery.RunAllPartial). PerMethod and IntegrationSet then
+	// cover the reachable shards only. Always empty for in-process lakes.
+	ShardErrors []discovery.ShardError
 }
+
+// Partial reports whether the discovery run covered only part of the
+// catalog — see ShardErrors.
+func (r *DiscoverResponse) Partial() bool { return len(r.ShardErrors) > 0 }
 
 // Discover runs stage 1. The configured discoverers fan out concurrently
 // (discovery.RunAll), so a multi-method query costs as much as its slowest
@@ -190,11 +199,11 @@ func (p *Pipeline) Discover(ctx context.Context, req DiscoverRequest) (*Discover
 	if k == 0 {
 		k = 10
 	}
-	perMethod, set, err := discovery.Discover(ctx, p.discoverers, p.lake, req.Query, req.QueryColumn, k, methods)
+	perMethod, set, shardErrs, err := discovery.Discover(ctx, p.discoverers, p.lake, req.Query, req.QueryColumn, k, methods)
 	if err != nil {
 		return nil, fmt.Errorf("core: discover: %w", err)
 	}
-	return &DiscoverResponse{PerMethod: perMethod, IntegrationSet: set}, nil
+	return &DiscoverResponse{PerMethod: perMethod, IntegrationSet: set, ShardErrors: shardErrs}, nil
 }
 
 // IntegrateRequest configures the align-and-integrate stage.

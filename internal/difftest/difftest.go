@@ -87,13 +87,18 @@ var DiffMethods = []string{"santos-union", "lsh-join", "josie-join", "syntactic-
 // DiscoverySig renders one full discovery run — every method's ranked
 // results and the merged integration set — into a byte-comparable string.
 // Scores are rendered from their exact float64 bits: "identical" means
-// identical, not approximately equal. The target may be a single *lake.Lake
-// or a *lake.Sharded: the sharded differential harness compares the two
-// forms' signatures directly.
+// identical, not approximately equal. The target may be a single *lake.Lake,
+// a *lake.Sharded, or a cluster coordinator over remote shard processes:
+// the sharded and multi-process differential harnesses compare the forms'
+// signatures directly. A partial run (unreachable shards) renders as an
+// error, so degraded answers can never masquerade as equivalent ones.
 func DiscoverySig(reg *discovery.Registry, l discovery.Target, q *table.Table, col, k int) string {
-	perMethod, set, err := discovery.Discover(context.Background(), reg, l, q, col, k, DiffMethods)
+	perMethod, set, shardErrs, err := discovery.Discover(context.Background(), reg, l, q, col, k, DiffMethods)
 	if err != nil {
 		return "err:" + err.Error()
+	}
+	if len(shardErrs) > 0 {
+		return fmt.Sprintf("err: partial run, %d shard(s) down: %v", len(shardErrs), shardErrs[0])
 	}
 	s := ""
 	for _, m := range DiffMethods {

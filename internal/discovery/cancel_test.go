@@ -56,7 +56,7 @@ func TestDiscoverPreCancelled(t *testing.T) {
 	q := paperdata.T1()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := Discover(ctx, NewRegistry(), l, q, cityCol(t, q), 10, []string{"santos-union", "lsh-join"})
+	_, _, _, err := Discover(ctx, NewRegistry(), l, q, cityCol(t, q), 10, []string{"santos-union", "lsh-join"})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled Discover err = %v", err)
 	}

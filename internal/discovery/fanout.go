@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -10,15 +11,68 @@ import (
 	"repro/internal/table"
 )
 
-// Target is what a discovery run executes against: one or more concrete
-// shard lakes plus the seqlock epoch that guards multi-index reads. Both
-// *lake.Lake (its own single shard) and *lake.Sharded satisfy it, as does
-// the lake.Catalog interface the pipeline holds — discoverers themselves
-// always receive one concrete *lake.Lake and never see sharding.
+// Target is what a discovery run executes against: a set of shards plus the
+// seqlock epoch vector that guards multi-index reads. *lake.Lake (its own
+// single shard), *lake.Sharded, and the lake.Catalog interface the pipeline
+// holds all satisfy it, as does a cluster coordinator whose shards are
+// remote processes. How the shards are reached is the target's second
+// interface: in-process targets expose `Shards() []*lake.Lake` and
+// discoverers run directly against each shard; remote targets implement
+// Remote and the fan-out goes through its per-shard transport.
 type Target interface {
-	Shards() []*lake.Lake
-	Epoch() uint64
+	// Epochs samples the target's mutation-epoch vector — see
+	// lake.Catalog.Epochs for the seqlock protocol. A clean run samples
+	// the same all-even vector before and after its fan-out.
+	Epochs() []uint64
 }
+
+// localTarget is the in-process shard access every pre-cluster target
+// provides; discoverers receive the concrete shard lakes directly.
+type localTarget interface {
+	Shards() []*lake.Lake
+}
+
+// Remote extends Target for shard sets reached over a transport (the
+// cluster coordinator's HTTP shards). The fan-out calls DiscoverShard once
+// per discoverer×shard work item; implementations run the named method on
+// the remote shard and return its ranked results, whose Table pointers may
+// be name-only stubs. After the merge, RunAll materializes the surviving
+// top-k through one ResolveTables batch.
+type Remote interface {
+	Target
+	// NumShards reports the shard count (fixed for the target's lifetime).
+	NumShards() int
+	// DiscoverShard runs one discoverer on one shard. An error wrapping
+	// ErrShardUnavailable marks the shard down/degraded — tolerated by
+	// RunAllPartial; any other error is a hard failure.
+	DiscoverShard(ctx context.Context, shard int, d Discoverer, q *table.Table, queryCol, k int) ([]Result, error)
+	// ResolveTables fetches the named tables. Names it cannot resolve —
+	// removed mid-run, or their shard became unreachable after answering
+	// the discover call — are simply absent from the map; implementations
+	// return an error only for malformed responses.
+	ResolveTables(ctx context.Context, names []string) (map[string]*table.Table, error)
+}
+
+// ErrShardUnavailable marks a per-shard discovery failure caused by the
+// shard being unreachable, shedding, or degraded — as opposed to the query
+// itself being invalid. RunAllPartial tolerates slots whose errors wrap it,
+// returning the surviving shards' merged rankings plus a ShardError per
+// down shard; strict RunAll treats it like any other failure.
+var ErrShardUnavailable = errors.New("shard unavailable")
+
+// ShardError records that one shard contributed nothing to a partial run,
+// and why. It wraps the underlying per-shard error, so errors.Is/As see
+// through it (every ShardError from RunAllPartial wraps
+// ErrShardUnavailable).
+type ShardError struct {
+	// Shard is the shard index within the target.
+	Shard int
+	// Err is the underlying failure, wrapping ErrShardUnavailable.
+	Err error
+}
+
+func (e ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+func (e ShardError) Unwrap() error { return e.Err }
 
 // tornRetries is how many times RunAll re-executes a run whose epoch
 // samples prove it may have read the lake mid-mutation. One retry is
@@ -27,6 +81,22 @@ type Target interface {
 // valid answer for *some* recent lake state, which is all a concurrent
 // reader was ever promised.
 const tornRetries = 1
+
+// epochsClean reports whether an epoch-vector pair proves a run untorn:
+// same length (a shard set that changed shape mid-run is a perturbation),
+// elementwise equal, and every element even (no mutation in flight on
+// either side of the run).
+func epochsClean(e1, e2 []uint64) bool {
+	if len(e1) != len(e2) {
+		return false
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] || e1[i]%2 != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // RunAll executes the given discoverers over one query against every shard
 // of the target and returns the merged result lists slot-indexed: out[i] is
@@ -44,9 +114,12 @@ const tornRetries = 1
 //
 // Torn-read protection: a discovery run concurrent with Add/Remove could
 // otherwise observe the lake between per-index updates (a table visible to
-// JOSIE but not yet to SANTOS). RunAll samples the target's mutation epoch
-// before and after the fan-out; any mutation overlapping the run perturbs
-// the samples, and RunAll re-executes once. See lake.(*Lake).Epoch.
+// JOSIE but not yet to SANTOS) — or, on a sharded target, observe some
+// shards pre-mutation and others post-mutation. RunAll samples the target's
+// mutation-epoch vector before and after the fan-out; any mutation
+// overlapping the run perturbs some element (a mutation applied directly to
+// one shard perturbs that shard's element even when the composite counter
+// never moves), and RunAll re-executes once. See lake.(*Lake).Epoch.
 //
 // Cancellation propagates to every worker: ctx flows into each discoverer
 // (the built-ins check it inside their index scans) and the fan-out itself
@@ -54,25 +127,88 @@ const tornRetries = 1
 // in-flight discoverer has returned — cancelling a query never leaks a
 // worker goroutine — and reports ctx.Err() when the context was cancelled.
 func RunAll(ctx context.Context, t Target, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, error) {
+	out, _, err := runAll(ctx, t, q, queryCol, k, ds, false)
+	return out, err
+}
+
+// RunAllPartial is RunAll with graceful degradation: slots whose error
+// wraps ErrShardUnavailable — a remote shard down, shedding, or degraded —
+// contribute empty rankings instead of failing the run, and the down shards
+// are reported as ShardErrors (deduplicated per shard, ascending shard
+// order). A non-empty ShardError list is the "partial" marker the serving
+// layer surfaces to clients: the rankings are complete over the reachable
+// shards only. Any error not wrapping ErrShardUnavailable still fails the
+// whole run, exactly as in RunAll.
+func RunAllPartial(ctx context.Context, t Target, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, []ShardError, error) {
+	return runAll(ctx, t, q, queryCol, k, ds, true)
+}
+
+// runAll is the shared epoch-guarded driver: sample the epoch vector, run
+// one fan-out (local or remote, tolerant or strict), resample, and retry
+// once on a perturbed pair.
+func runAll(ctx context.Context, t Target, q *table.Table, queryCol, k int, ds []Discoverer, tolerate bool) ([][]Result, []ShardError, error) {
 	for attempt := 0; ; attempt++ {
-		e1 := t.Epoch()
-		out, err := runShards(ctx, t.Shards(), q, queryCol, k, ds)
-		if err != nil {
-			return nil, err
+		e1 := t.Epochs()
+		var (
+			out   [][]Result
+			serrs []ShardError
+			err   error
+		)
+		switch tt := t.(type) {
+		case localTarget:
+			out, serrs, err = runShards(ctx, tt.Shards(), q, queryCol, k, ds, tolerate)
+		case Remote:
+			out, serrs, err = runRemote(ctx, tt, q, queryCol, k, ds, tolerate)
+		default:
+			return nil, nil, fmt.Errorf("discovery: target %T exposes neither in-process shards nor a remote transport", t)
 		}
-		// A clean run sampled the same even epoch on both sides: no
-		// mutation was in flight when it started (e1 even) and none
-		// started before it finished (e1 == e2).
-		if e2 := t.Epoch(); (e1 == e2 && e1%2 == 0) || attempt == tornRetries {
-			return out, nil
+		if err != nil {
+			return nil, nil, err
+		}
+		// A clean run sampled the same all-even epoch vector on both sides:
+		// no mutation was in flight anywhere when it started and none
+		// started before it finished. A down shard's sentinel element is
+		// even and stable while it stays down, so degraded targets do not
+		// retry-storm.
+		if epochsClean(e1, t.Epochs()) || attempt == tornRetries {
+			return out, serrs, nil
 		}
 	}
 }
 
-// runShards is one epoch-unguarded execution of the discoverer×shard
-// fan-out. Work item j covers discoverer j/len(shards) on shard
-// j%len(shards), so error precedence and result slots stay deterministic.
-func runShards(ctx context.Context, shards []*lake.Lake, q *table.Table, queryCol, k int, ds []Discoverer) ([][]Result, error) {
+// collectSlots applies the tolerance policy to one fan-out's slot errors:
+// hard errors surface first-in-slot-order; tolerated slots (wrapping
+// ErrShardUnavailable, when tolerate is set) are cleared to empty rankings
+// and recorded once per shard.
+func collectSlots(per [][]Result, errs []error, ns int, tolerate bool) ([][]Result, []ShardError, error) {
+	var serrs []ShardError
+	down := make(map[int]error, ns)
+	for j, err := range errs {
+		if err == nil {
+			continue
+		}
+		if tolerate && errors.Is(err, ErrShardUnavailable) {
+			if _, seen := down[j%ns]; !seen {
+				down[j%ns] = err
+			}
+			per[j] = nil
+			continue
+		}
+		return nil, nil, err
+	}
+	for shard := 0; shard < ns; shard++ {
+		if err, ok := down[shard]; ok {
+			serrs = append(serrs, ShardError{Shard: shard, Err: err})
+		}
+	}
+	return per, serrs, nil
+}
+
+// runShards is one epoch-unguarded execution of the in-process
+// discoverer×shard fan-out. Work item j covers discoverer j/len(shards) on
+// shard j%len(shards), so error precedence and result slots stay
+// deterministic.
+func runShards(ctx context.Context, shards []*lake.Lake, q *table.Table, queryCol, k int, ds []Discoverer, tolerate bool) ([][]Result, []ShardError, error) {
 	nd, ns := len(ds), len(shards)
 	per := make([][]Result, nd*ns)
 	errs := make([]error, nd*ns)
@@ -89,22 +225,82 @@ func runShards(ctx context.Context, shards []*lake.Lake, q *table.Table, queryCo
 		per[j], errs[j] = ds[j/ns].Discover(ctx, shards[j%ns], q, queryCol, k)
 	})
 	if ferr != nil {
-		return nil, ferr
+		return nil, nil, ferr
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	per, serrs, err := collectSlots(per, errs, ns, tolerate)
+	if err != nil {
+		return nil, nil, err
 	}
 	out := make([][]Result, nd)
-	if ns == 1 {
+	if ns == 1 && len(serrs) == 0 {
 		copy(out, per)
-		return out, nil
+		return out, serrs, nil
 	}
 	for i := 0; i < nd; i++ {
 		out[i] = mergeShardRankings(per[i*ns:(i+1)*ns], k)
 	}
-	return out, nil
+	return out, serrs, nil
+}
+
+// runRemote is one epoch-unguarded execution of the discoverer×shard
+// fan-out over a remote target: the same slot layout and error precedence
+// as runShards, but each work item is one DiscoverShard transport call, and
+// the merged top-k is materialized through one ResolveTables batch (remote
+// results arrive as name-only stubs; fetching every shard's full candidate
+// lists would defeat the truncation).
+func runRemote(ctx context.Context, t Remote, q *table.Table, queryCol, k int, ds []Discoverer, tolerate bool) ([][]Result, []ShardError, error) {
+	nd, ns := len(ds), t.NumShards()
+	per := make([][]Result, nd*ns)
+	errs := make([]error, nd*ns)
+	ferr := par.ForCtx(ctx, nd*ns, func(j int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[j] = fmt.Errorf("discovery: %q panicked: %v", ds[j/ns].Name(), r)
+			}
+		}()
+		per[j], errs[j] = t.DiscoverShard(ctx, j%ns, ds[j/ns], q, queryCol, k)
+	})
+	if ferr != nil {
+		return nil, nil, ferr
+	}
+	per, serrs, err := collectSlots(per, errs, ns, tolerate)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]Result, nd)
+	for i := 0; i < nd; i++ {
+		out[i] = mergeShardRankings(per[i*ns:(i+1)*ns], k)
+	}
+	// Materialize the survivors: one batch fetch of every distinct name in
+	// the merged rankings. A name that resolves to nothing (removed mid-run,
+	// or its shard died after answering) keeps its stub — the ranking entry
+	// stays correct by (name, score), and Discover excludes column-less
+	// stubs from the integration set.
+	names := make([]string, 0, nd*k)
+	seen := make(map[string]bool)
+	for _, rs := range out {
+		for _, r := range rs {
+			if !seen[r.Table.Name] {
+				seen[r.Table.Name] = true
+				names = append(names, r.Table.Name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return out, serrs, nil
+	}
+	resolved, err := t.ResolveTables(ctx, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rs := range out {
+		for i := range rs {
+			if tbl, ok := resolved[rs[i].Table.Name]; ok {
+				rs[i].Table = tbl
+			}
+		}
+	}
+	return out, serrs, nil
 }
 
 // mergeShardRankings concatenates one discoverer's per-shard rankings and
@@ -151,23 +347,38 @@ func (r *Registry) Resolve(names []string) ([]Discoverer, error) {
 
 // Discover is the full discovery stage in one call: resolve the named
 // methods against the registry, fan them out over the target's shards with
-// RunAll, and merge the per-method rankings into the integration set ("we
-// persist the set of tables found by all techniques"). perMethod is keyed
-// by method name; the integration set lists the query table first, then
-// discovered tables deduplicated in method order then rank order.
-// Cancelling ctx aborts the fan-out and returns ctx.Err() (see RunAll).
-func Discover(ctx context.Context, r *Registry, t Target, q *table.Table, queryCol, k int, methods []string) (perMethod map[string][]Result, integrationSet []*table.Table, err error) {
+// RunAllPartial, and merge the per-method rankings into the integration set
+// ("we persist the set of tables found by all techniques"). perMethod is
+// keyed by method name; the integration set lists the query table first,
+// then discovered tables deduplicated in method order then rank order
+// (excluding any result whose table could not be materialized — a
+// column-less stub cannot be integrated). shardErrs is non-empty when the
+// run was partial: some shards were unreachable and contributed nothing
+// (see RunAllPartial) — impossible for in-process targets, which either
+// answer or fail hard. Cancelling ctx aborts the fan-out and returns
+// ctx.Err() (see RunAll).
+func Discover(ctx context.Context, r *Registry, t Target, q *table.Table, queryCol, k int, methods []string) (perMethod map[string][]Result, integrationSet []*table.Table, shardErrs []ShardError, err error) {
 	ds, err := r.Resolve(methods)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	all, err := RunAll(ctx, t, q, queryCol, k, ds)
+	all, shardErrs, err := RunAllPartial(ctx, t, q, queryCol, k, ds)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	perMethod = make(map[string][]Result, len(methods))
 	for i, m := range methods {
 		perMethod[m] = all[i]
 	}
-	return perMethod, IntegrationSet(q, all...), nil
+	integrable := make([][]Result, len(all))
+	for i, rs := range all {
+		keep := make([]Result, 0, len(rs))
+		for _, r := range rs {
+			if r.Table.NumCols() > 0 {
+				keep = append(keep, r)
+			}
+		}
+		integrable[i] = keep
+	}
+	return perMethod, IntegrationSet(q, integrable...), shardErrs, nil
 }

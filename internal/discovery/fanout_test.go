@@ -93,7 +93,7 @@ func TestRegistryResolve(t *testing.T) {
 func TestDiscoverFanOut(t *testing.T) {
 	l := demoLake(t)
 	q := paperdata.T1()
-	per, set, err := Discover(context.Background(), NewRegistry(), l, q, cityCol(t, q), 10,
+	per, set, _, err := Discover(context.Background(), NewRegistry(), l, q, cityCol(t, q), 10,
 		[]string{"santos-union", "lsh-join"})
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +108,7 @@ func TestDiscoverFanOut(t *testing.T) {
 	if !reflect.DeepEqual(names, []string{"T1", "T2", "T3"}) {
 		t.Errorf("integration set = %v, want [T1 T2 T3]", names)
 	}
-	if _, _, err := Discover(context.Background(), NewRegistry(), l, q, 1, 10, []string{"nope"}); err == nil {
+	if _, _, _, err := Discover(context.Background(), NewRegistry(), l, q, 1, 10, []string{"nope"}); err == nil {
 		t.Error("unknown method must error before any discoverer runs")
 	}
 }
@@ -145,7 +145,7 @@ func TestConcurrentFanOutRace(t *testing.T) {
 	methods := []string{"santos-union", "lsh-join", "josie-join", "syntactic-union", "user-sim"}
 	q := paperdata.T1()
 	col := cityCol(t, q)
-	want, _, err := Discover(context.Background(), r, l, q, col, 10, methods)
+	want, _, _, err := Discover(context.Background(), r, l, q, col, 10, methods)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestConcurrentFanOutRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				got, _, err := Discover(context.Background(), r, l, q, col, 10, methods)
+				got, _, _, err := Discover(context.Background(), r, l, q, col, 10, methods)
 				if err != nil {
 					t.Error(err)
 					return

@@ -53,7 +53,7 @@ func TestDiscoverConcurrentWithLakeMutation(t *testing.T) {
 				// stream; the assertions here are race-freedom (the run
 				// itself), no errors, and structural sanity. Exact results
 				// are checked after the churn settles.
-				_, set, err := Discover(context.Background(), reg, l, q, col, 0, methods)
+				_, set, _, err := Discover(context.Background(), reg, l, q, col, 0, methods)
 				if err != nil {
 					t.Errorf("mid-churn Discover: %v", err)
 					return
@@ -85,11 +85,11 @@ func TestDiscoverConcurrentWithLakeMutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, gotSet, err := Discover(context.Background(), reg, l, q, col, 0, methods)
+	got, gotSet, _, err := Discover(context.Background(), reg, l, q, col, 0, methods)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, wantSet, err := Discover(context.Background(), NewRegistry(), fresh, q, col, 0, methods)
+	want, wantSet, _, err := Discover(context.Background(), NewRegistry(), fresh, q, col, 0, methods)
 	if err != nil {
 		t.Fatal(err)
 	}

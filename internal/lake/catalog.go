@@ -8,24 +8,31 @@ import (
 
 // Catalog is the mutable table-repository contract the pipeline and the
 // serving layer consume: everything they need from a lake without naming
-// its concrete shape. Both *Lake (one shard — itself) and *Sharded (N
-// shards behind a routing hash) satisfy it, which is what lets
-// `dialite serve -shards N` reuse every endpoint unchanged.
+// its concrete shape. *Lake (one shard — itself), *Sharded (N in-process
+// shards behind a routing hash), and cluster.Coordinator (N remote
+// `dialite serve` shard processes) all satisfy it, which is what lets
+// `dialite serve -shards N` and `dialite serve -coordinator` reuse every
+// endpoint unchanged.
 //
 // Discovery never sees a Catalog: discoverers run against one concrete
-// *Lake at a time, and discovery.RunAll scatters them over Shards() and
-// merges the per-shard rankings deterministically. Epoch is the torn-read
-// guard for that scatter — see Lake.Epoch for the seqlock protocol.
+// *Lake at a time, and discovery.RunAll scatters them over the catalog's
+// shards (in-process via an optional `Shards() []*Lake` method, remote via
+// discovery.Remote) and merges the per-shard rankings deterministically.
+// Epochs is the torn-read guard for that scatter — see Lake.Epoch for the
+// seqlock protocol of each element.
 type Catalog interface {
-	// Shards returns the concrete shard lakes discovery scatters over. A
-	// plain Lake returns itself; the slice is fixed for the Catalog's
-	// lifetime and must be treated as read-only — route mutations through
-	// the Catalog's own Add/Remove so epoch accounting and (for Sharded)
-	// catalog-order bookkeeping stay correct.
-	Shards() []*Lake
-	// Epoch is the seqlock-style mutation counter over the whole catalog:
-	// even when settled, odd while a mutation is applying per-index deltas.
-	Epoch() uint64
+	// Epochs samples the catalog's mutation-epoch vector: one seqlock
+	// counter per epoch domain (a plain Lake has one; Sharded has a
+	// composite counter plus one per shard; a remote coordinator has a
+	// local counter plus each shard process's vector). Every element is
+	// even when that domain is settled and odd while a mutation is applying
+	// per-index deltas. A multi-index reader that samples the vector before
+	// and after a run and sees the same all-even vector (same length,
+	// elementwise equal) is guaranteed the run was not torn; any other pair
+	// means a retry. Implementations whose sampling can fail (a remote
+	// shard down) must substitute a stable even sentinel for the
+	// unreachable domain rather than erroring.
+	Epochs() []uint64
 
 	// Catalog access.
 	Get(name string) (*table.Table, bool)

@@ -122,6 +122,14 @@ func (l *Lake) endMutation() { l.epoch.Add(1) }
 // torn.
 func (l *Lake) Epoch() uint64 { return l.epoch.Load() }
 
+// Epochs returns the lake's mutation-epoch vector — a single element for a
+// plain Lake. The vector form is what discovery's torn-read guard samples:
+// it generalizes to composites (lake.Sharded prepends a composite counter to
+// its shards' epochs) and to shard-per-process deployments, where each
+// remote shard contributes its own counter. A clean multi-index read samples
+// the same all-even vector before and after the run.
+func (l *Lake) Epochs() []uint64 { return []uint64{l.epoch.Load()} }
+
 // Shards returns the lake's shard list. A plain Lake is its own single
 // shard; the method exists so *Lake and *Sharded satisfy the same
 // scatter-gather discovery contract (see Catalog and discovery.RunAll).

@@ -161,6 +161,20 @@ func (s *Sharded) Shards() []*Lake { return s.shards }
 // per-shard epochs additionally tick underneath it.
 func (s *Sharded) Epoch() uint64 { return s.epoch.Load() }
 
+// Epochs returns the composite epoch followed by each shard's own epoch in
+// shard order. Routed mutations perturb the composite element; a mutation
+// applied to a shard behind the composite's back (unsupported, but possible)
+// still perturbs that shard's element, so a discovery fan-out sampling the
+// vector detects single-shard tears the scalar composite epoch cannot see.
+func (s *Sharded) Epochs() []uint64 {
+	out := make([]uint64, 0, 1+len(s.shards))
+	out = append(out, s.epoch.Load())
+	for _, sh := range s.shards {
+		out = append(out, sh.Epoch())
+	}
+	return out
+}
+
 func (s *Sharded) beginMutation() { s.epoch.Add(1) }
 func (s *Sharded) endMutation()   { s.epoch.Add(1) }
 

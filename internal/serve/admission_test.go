@@ -365,8 +365,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	snaps := decodeResp[[]EndpointMetrics](t, resp)
-	if len(snaps) != 8 {
-		t.Fatalf("metrics snapshot covers %d endpoints, want 8", len(snaps))
+	if len(snaps) != 11 {
+		t.Fatalf("metrics snapshot covers %d endpoints, want 11", len(snaps))
 	}
 	byPath := map[string]EndpointMetrics{}
 	for _, m := range snaps {

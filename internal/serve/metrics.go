@@ -189,8 +189,26 @@ func (s *Server) newEndpointMetrics(path string) *endpointMetrics {
 // default, the JSON snapshot with ?format=json. It bypasses admission and
 // works while warming or degraded — observability must answer exactly when
 // the serving path is refusing.
+// shardMetrics reports the attached catalog's per-shard transport counters,
+// or nil outside cluster mode (no catalog attached, or a local one).
+func (s *Server) shardMetrics() []ShardMetrics {
+	p := s.p()
+	if p == nil {
+		return nil
+	}
+	rep, ok := p.Lake().(ShardMetricsReporter)
+	if !ok {
+		return nil
+	}
+	return rep.ShardMetrics()
+}
+
 func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "json" {
+		if r.URL.Query().Get("scope") == "shards" {
+			writeJSON(w, http.StatusOK, s.shardMetrics())
+			return
+		}
 		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 		return
 	}
@@ -220,6 +238,26 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "dialite_request_seconds{endpoint=%q,quantile=\"0.99\"} %g\n", m.Endpoint, time.Duration(m.P99NS).Seconds())
 		fmt.Fprintf(&b, "dialite_request_seconds_sum{endpoint=%q} %g\n", m.Endpoint, time.Duration(m.SumNS).Seconds())
 		fmt.Fprintf(&b, "dialite_request_seconds_count{endpoint=%q} %d\n", m.Endpoint, m.Count)
+	}
+	// Cluster mode: per-shard fan-out transport counters + round-trip
+	// latency, labeled by shard index and address.
+	if shards := s.shardMetrics(); len(shards) > 0 {
+		shardCounter := func(name, help string, value func(ShardMetrics) uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, m := range shards {
+				fmt.Fprintf(&b, "%s{shard=\"%d\",addr=%q} %d\n", name, m.Shard, m.Addr, value(m))
+			}
+		}
+		shardCounter("dialite_shard_calls_total", "Coordinator-to-shard calls attempted (retries counted once).", func(m ShardMetrics) uint64 { return m.Calls })
+		shardCounter("dialite_shard_errors_total", "Coordinator-to-shard calls that failed after retries.", func(m ShardMetrics) uint64 { return m.Errors })
+		shardCounter("dialite_shard_retries_total", "Coordinator-to-shard attempt retries (idempotent reads only).", func(m ShardMetrics) uint64 { return m.Retries })
+		fmt.Fprintf(&b, "# HELP dialite_shard_rtt_seconds Shard call round-trip latency, bucketed upper-bound quantiles.\n# TYPE dialite_shard_rtt_seconds summary\n")
+		for _, m := range shards {
+			fmt.Fprintf(&b, "dialite_shard_rtt_seconds{shard=\"%d\",addr=%q,quantile=\"0.5\"} %g\n", m.Shard, m.Addr, time.Duration(m.P50NS).Seconds())
+			fmt.Fprintf(&b, "dialite_shard_rtt_seconds{shard=\"%d\",addr=%q,quantile=\"0.99\"} %g\n", m.Shard, m.Addr, time.Duration(m.P99NS).Seconds())
+			fmt.Fprintf(&b, "dialite_shard_rtt_seconds_sum{shard=\"%d\",addr=%q} %g\n", m.Shard, m.Addr, time.Duration(m.SumNS).Seconds())
+			fmt.Fprintf(&b, "dialite_shard_rtt_seconds_count{shard=\"%d\",addr=%q} %d\n", m.Shard, m.Addr, m.Count)
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

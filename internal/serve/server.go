@@ -128,23 +128,30 @@ func NewWarming(cfg Config) *Server {
 		class  endpointClass
 		fn     func(context.Context, *http.Request) (any, error)
 	}{
-		"/v1/discover":    {http.MethodPost, classCompute, s.discover},
-		"/v1/integrate":   {http.MethodPost, classCompute, s.integrate},
-		"/v1/pipeline":    {http.MethodPost, classCompute, s.pipeline},
-		"/v1/correlate":   {http.MethodPost, classCompute, s.correlate},
-		"/v1/resolve":     {http.MethodPost, classCompute, s.resolve},
-		"/v1/lake/add":    {http.MethodPost, classMutate, s.lakeAdd},
-		"/v1/lake/remove": {http.MethodPost, classMutate, s.lakeRemove},
-		"/v1/lake":        {http.MethodGet, classRead, s.lakeInfo},
+		"/v1/discover":     {http.MethodPost, classCompute, s.discover},
+		"/v1/integrate":    {http.MethodPost, classCompute, s.integrate},
+		"/v1/pipeline":     {http.MethodPost, classCompute, s.pipeline},
+		"/v1/correlate":    {http.MethodPost, classCompute, s.correlate},
+		"/v1/resolve":      {http.MethodPost, classCompute, s.resolve},
+		"/v1/lake/add":     {http.MethodPost, classMutate, s.lakeAdd},
+		"/v1/lake/remove":  {http.MethodPost, classMutate, s.lakeRemove},
+		"/v1/lake/compact": {http.MethodPost, classMutate, s.lakeCompact},
+		"/v1/lake":         {http.MethodGet, classRead, s.lakeInfo},
+		"/v1/lake/table":   {http.MethodGet, classRead, s.lakeTable},
+		"/v1/lake/tables":  {http.MethodPost, classRead, s.lakeTables},
 	}
 	for path, ep := range endpoints {
 		s.mux.HandleFunc(ep.method+" "+path, s.handle(s.newEndpointMetrics(path), ep.class, ep.fn))
 	}
-	// /healthz and /metrics bypass admission and metering: both must answer
-	// exactly when the serving path is saturated or refusing.
+	// /healthz, /metrics and /v1/lake/epoch bypass admission and metering:
+	// the first two must answer exactly when the serving path is saturated
+	// or refusing, and the epoch endpoint is the coordinator's torn-read
+	// sample — queueing it behind saturated compute traffic would shed
+	// every cluster read.
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metricsHandler)
-	methods := map[string]string{"/healthz": http.MethodGet, "/metrics": http.MethodGet}
+	s.mux.HandleFunc("GET /v1/lake/epoch", s.lakeEpoch)
+	methods := map[string]string{"/healthz": http.MethodGet, "/metrics": http.MethodGet, "/v1/lake/epoch": http.MethodGet}
 	for path, ep := range endpoints {
 		methods[path] = ep.method
 	}
@@ -198,6 +205,11 @@ type HealthResponse struct {
 	// that the flag did not take effect.
 	SketchEngineMismatch bool            `json:"sketch_engine_mismatch,omitempty"`
 	Persistence          *persist.Status `json:"persistence,omitempty"`
+	// Shards is present in cluster mode: one entry per remote shard process
+	// with its own health status ("down" when unreachable). Any shard not
+	// "ok" degrades the coordinator's overall Status — the coordinator
+	// process is healthy, the catalog behind it is not whole.
+	Shards []ShardHealth `json:"shards,omitempty"`
 	// Load aggregates the per-endpoint serving counters (see /metrics): one
 	// glance says whether the server is saturated or shedding.
 	Load LoadSummary `json:"load"`
@@ -221,6 +233,17 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		if req := s.cfg.RequestedSketchEngine; req != "" {
 			resp.RequestedSketchEngine = req
 			resp.SketchEngineMismatch = resp.SketchEngine != req
+		}
+		if rep, ok := p.Lake().(ShardHealthReporter); ok {
+			resp.Shards = rep.ShardHealth(r.Context())
+			if resp.Status == "ok" {
+				for _, sh := range resp.Shards {
+					if sh.Status != "ok" {
+						resp.Status = "degraded"
+						break
+					}
+				}
+			}
 		}
 	}
 	if st := s.store.Load(); st != nil {
@@ -247,19 +270,30 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // requests are cancellable mid-stage, shutdown is prompt even when requests
 // with long deadlines are in flight; nil is returned on a clean stop.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over a caller-provided listener — the shape the
+// cluster harness and shard helper processes need to bind :0 and report
+// the actual port before traffic arrives. It owns ln and closes it on
+// return; the shutdown ordering is documented on ListenAndServe.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// Request contexts descend from baseCtx, not context.Background():
 	// http.Server.Shutdown alone never cancels in-flight requests, which
 	// would leave shutdown waiting on whatever per-request deadlines remain.
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
@@ -328,7 +362,15 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 func statusFor(err error) int {
 	var tooBig *http.MaxBytesError
 	var sh *shedError
+	var coded interface{ HTTPStatus() int }
 	switch {
+	case errors.As(err, &coded):
+		// Typed errors carry their own status: serve's statusError (e.g.
+		// 404 for a missing table) and the cluster package's shard errors,
+		// which map a shard's 429/503/504 onto the coordinator response.
+		// Checked first: a shard-side timeout surfaces as the shard error's
+		// status even when it wraps a context deadline.
+		return coded.HTTPStatus()
 	case errors.As(err, &sh):
 		return http.StatusTooManyRequests
 	case errors.Is(err, persist.ErrReadOnly):
@@ -405,8 +447,17 @@ func (s *Server) handle(m *endpointMetrics, class endpointClass, fn func(ctx con
 		out, err := fn(ctx, r)
 		if err != nil {
 			m.errored.Add(1)
-			if errors.Is(err, persist.ErrReadOnly) {
+			var hinted interface{ RetryAfterHint() string }
+			switch {
+			case errors.Is(err, persist.ErrReadOnly):
 				w.Header().Set("Retry-After", readOnlyRetryAfter)
+			case errors.As(err, &hinted):
+				// Typed errors (cluster shard refusals) carry their own
+				// retry hint — a dead shard's 503 passes the hint through
+				// so clients back off like they would against the shard.
+				if h := hinted.RetryAfterHint(); h != "" {
+					w.Header().Set("Retry-After", h)
+				}
 			}
 			writeError(w, statusFor(err), err.Error())
 			return
@@ -447,12 +498,24 @@ type DiscoverResult struct {
 	Column int     `json:"column"`
 }
 
+// ShardErrorJSON is the wire form of one unreachable shard in a partial
+// discovery response.
+type ShardErrorJSON struct {
+	Shard int    `json:"shard"`
+	Error string `json:"error"`
+}
+
 // DiscoverResponse is the wire form of the discovery stage output. The
 // integration set is reported by name (the query first); full tables are
-// available through /v1/integrate.
+// available through /v1/integrate. Partial is the cluster-mode degradation
+// marker: when set, some shards were unreachable during the fan-out and
+// the rankings cover the reachable shards only, with per-shard detail in
+// ShardErrors. A non-partial response always covers the whole catalog.
 type DiscoverResponse struct {
 	PerMethod      map[string][]DiscoverResult `json:"perMethod"`
 	IntegrationSet []string                    `json:"integrationSet"`
+	Partial        bool                        `json:"partial,omitempty"`
+	ShardErrors    []ShardErrorJSON            `json:"shardErrors,omitempty"`
 }
 
 func (s *Server) discover(ctx context.Context, r *http.Request) (any, error) {
@@ -482,6 +545,13 @@ func encodeDiscoverResponse(resp *core.DiscoverResponse) DiscoverResponse {
 	}
 	for _, t := range resp.IntegrationSet {
 		out.IntegrationSet = append(out.IntegrationSet, t.Name)
+	}
+	if resp.Partial() {
+		out.Partial = true
+		out.ShardErrors = make([]ShardErrorJSON, 0, len(resp.ShardErrors))
+		for _, se := range resp.ShardErrors {
+			out.ShardErrors = append(out.ShardErrors, ShardErrorJSON{Shard: se.Shard, Error: se.Err.Error()})
+		}
 	}
 	return out
 }
@@ -745,6 +815,15 @@ func (s *Server) lakeRemove(ctx context.Context, r *http.Request) (any, error) {
 }
 
 func (s *Server) lakeInfo(ctx context.Context, r *http.Request) (any, error) {
+	if nl, ok := s.p().Lake().(NameLister); ok {
+		// Cluster-mode catalogs enumerate names over the wire instead of
+		// materializing every remote table.
+		names, err := nl.TableNames(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return LakeResponse{Size: len(names), Tables: names}, nil
+	}
 	tables := s.p().Lake().Tables()
 	names := make([]string, 0, len(tables))
 	for _, t := range tables {

@@ -26,8 +26,9 @@ BENCH="${BENCH:-.}"
 
 # The root package carries the paper-figure benchmarks; loadharness
 # carries BenchmarkServeSaturation, whose qps/p50-ns/p99-ns metrics make
-# serving throughput a tracked number alongside ns/op.
-go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . ./internal/loadharness/ |
+# serving throughput a tracked number alongside ns/op; cluster carries
+# BenchmarkClusterDiscovery, the HTTP scatter-gather fan-out cost.
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . ./internal/loadharness/ ./internal/cluster/ |
 	awk '
 	/^Benchmark/ {
 		name = $1
